@@ -1,0 +1,125 @@
+// Command cmbench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	cmbench -table1              Table I  (branches, improvement, speedup)
+//	cmbench -fig4                Figure 4 (coverage-over-time curves)
+//	cmbench -table2              Table II (previously-unknown bugs)
+//	cmbench -ablation            design-choice ablations
+//	cmbench -all                 everything
+//
+// The paper's full setting is -hours 24 -reps 5; the defaults are scaled
+// down so a laptop run finishes in a couple of minutes. Campaigns run on
+// the virtual clock, so hours are simulated, not wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"cmfuzz/internal/campaign"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table I")
+	fig4 := flag.Bool("fig4", false, "regenerate Figure 4")
+	table2 := flag.Bool("table2", false, "regenerate Table II")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablations")
+	all := flag.Bool("all", false, "regenerate everything")
+	hours := flag.Float64("hours", 24, "virtual hours per campaign (paper: 24)")
+	reps := flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
+	instances := flag.Int("n", 4, "parallel instances (paper: 4)")
+	subjectName := flag.String("subject", "", "restrict to one subject")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	svgDir := flag.String("svg", "", "also write Figure 4 panels as SVG files into this directory")
+	flag.Parse()
+
+	if !*table1 && !*fig4 && !*table2 && !*ablation && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances}
+
+	subs := protocols.All()
+	if *subjectName != "" {
+		sub, err := protocols.ByName(*subjectName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmbench:", err)
+			os.Exit(1)
+		}
+		subs = []subject.Subject{sub}
+	}
+
+	start := time.Now()
+	export := &campaign.Export{Config: cfg}
+	if *table1 || *all {
+		rows, err := campaign.Table1(subs, cfg)
+		exitOn(err)
+		if *jsonOut {
+			export.Table1 = rows
+		} else {
+			fmt.Printf("== Table I: branches covered (4 instances, %gh x %d reps) ==\n", *hours, *reps)
+			fmt.Print(campaign.RenderTable1(rows))
+			fmt.Println()
+		}
+	}
+	if *fig4 || *all {
+		if !*jsonOut {
+			fmt.Println("== Figure 4: branch coverage over time ==")
+		}
+		for _, sub := range subs {
+			f, err := campaign.Figure4(sub, cfg, 64)
+			exitOn(err)
+			if *svgDir != "" {
+				path := filepath.Join(*svgDir, "figure4-"+strings.ToLower(f.Subject)+".svg")
+				exitOn(os.WriteFile(path, []byte(f.SVG(campaign.SVGOptions{})), 0o644))
+				if !*jsonOut {
+					fmt.Println("wrote", path)
+				}
+			}
+			if *jsonOut {
+				export.Figure4 = append(export.Figure4, *f)
+			} else {
+				fmt.Print(campaign.RenderFigure4(f, 64, 14))
+				fmt.Println()
+			}
+		}
+	}
+	if *table2 || *all {
+		rows, err := campaign.Table2(subs, cfg)
+		exitOn(err)
+		if *jsonOut {
+			export.Table2 = campaign.NewTable2Export(rows)
+		} else {
+			fmt.Println("== Table II: previously-unknown bugs ==")
+			fmt.Print(campaign.RenderTable2(rows))
+			fmt.Println()
+		}
+	}
+	if *ablation || *all {
+		fmt.Println("== Ablations: CMFuzz design choices ==")
+		rows, err := campaign.Ablations(subs, cfg)
+		exitOn(err)
+		fmt.Print(campaign.RenderAblations(rows))
+		fmt.Println()
+	}
+	if *jsonOut {
+		raw, err := export.JSON()
+		exitOn(err)
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Second))
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmbench:", err)
+		os.Exit(1)
+	}
+}

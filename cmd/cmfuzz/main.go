@@ -1,0 +1,275 @@
+// Command cmfuzz is the CMFuzz CLI. It exposes each stage of the pipeline
+// and the full parallel fuzzing campaign:
+//
+//	cmfuzz subjects                         list the evaluation subjects
+//	cmfuzz extract  -subject MQTT           run Algorithm 1 (items)
+//	cmfuzz model    -subject MQTT           build the generalized model
+//	cmfuzz relate   -subject MQTT           quantify relation weights
+//	cmfuzz schedule -subject MQTT -n 4      allocate cohesive groups
+//	cmfuzz fuzz     -subject MQTT -mode cmfuzz -hours 24 -seed 1
+//
+// All campaigns run on the virtual clock, so "-hours 24" completes in
+// seconds of wall time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/campaign"
+	"cmfuzz/internal/core"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "subjects":
+		err = cmdSubjects()
+	case "extract":
+		err = cmdExtract(args)
+	case "model":
+		err = cmdModel(args)
+	case "relate":
+		err = cmdRelate(args)
+	case "schedule":
+		err = cmdSchedule(args)
+	case "fuzz":
+		err = cmdFuzz(args)
+	case "bugs":
+		err = cmdBugs()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "cmfuzz: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdBugs() error {
+	fmt.Printf("%-4s %-9s %-24s %s\n", "No.", "Protocol", "Vulnerability Type", "Affected Function")
+	for _, k := range bugs.Table2 {
+		fmt.Printf("%-4d %-9s %-24s %s\n", k.No, k.Protocol, k.Kind, k.Function)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cmfuzz <command> [flags]
+
+commands:
+  subjects   list the six evaluation subjects
+  extract    extract configuration items (Algorithm 1)
+  model      build the generalized configuration model (Figure 2)
+  relate     quantify pairwise relation weights (Figure 3)
+  schedule   allocate cohesive configuration groups (Algorithm 2)
+  fuzz       run a parallel fuzzing campaign
+  bugs       list the Table II vulnerability registry
+
+common flags: -subject NAME (protocol or implementation name)`)
+}
+
+func subjectFlag(fs *flag.FlagSet) *string {
+	return fs.String("subject", "MQTT", "subject protocol or implementation name")
+}
+
+func getSubject(name string) (subject.Subject, error) {
+	return protocols.ByName(name)
+}
+
+func cmdSubjects() error {
+	fmt.Printf("%-10s %-12s %-9s %s\n", "Protocol", "Implement.", "Transport", "Port")
+	for _, s := range protocols.All() {
+		info := s.Info()
+		fmt.Printf("%-10s %-12s %-9s %d\n", info.Protocol, info.Implementation, info.Transport, info.Port)
+	}
+	return nil
+}
+
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	name := subjectFlag(fs)
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	items := configspec.Extract(sub.ConfigInput())
+	fmt.Printf("%d configuration items extracted from %s sources:\n", len(items), sub.Info().Implementation)
+	for _, it := range items {
+		vals := ""
+		if len(it.Values) > 0 {
+			vals = " candidates=" + strings.Join(it.Values, ",")
+		}
+		fmt.Printf("  %-55s source=%-12s default=%q%s\n", it.Name, it.Source, it.Default, vals)
+	}
+	return nil
+}
+
+func cmdModel(args []string) error {
+	fs := flag.NewFlagSet("model", flag.ExitOnError)
+	name := subjectFlag(fs)
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	model := configmodel.Build(configspec.Extract(sub.ConfigInput()))
+	fmt.Printf("generalized configuration model for %s (%d entities):\n", sub.Info().Implementation, model.Len())
+	fmt.Printf("  %-55s %-8s %-10s %s\n", "Name", "Type", "Flag", "Values")
+	for _, e := range model.Entities() {
+		fmt.Printf("  %-55s %-8s %-10s %s\n", e.Name, e.Type, e.Flag, strings.Join(e.Values, ","))
+	}
+	return nil
+}
+
+func pipelineFor(sub subject.Subject, instances int) *core.Pipeline {
+	return &core.Pipeline{
+		Probe: func(cfg configmodel.Assignment) int {
+			return subject.Probe(sub, map[string]string(cfg))
+		},
+		Instances: instances,
+		MaxValues: 4,
+	}
+}
+
+func cmdRelate(args []string) error {
+	fs := flag.NewFlagSet("relate", flag.ExitOnError)
+	name := subjectFlag(fs)
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	plan := pipelineFor(sub, 4).Run(sub.ConfigInput())
+	rel := plan.Relation
+	fmt.Printf("relation-aware configuration model for %s:\n", sub.Info().Implementation)
+	fmt.Printf("  baseline startup coverage: %d branches (%d probes)\n", rel.Baseline, rel.Probes)
+	fmt.Printf("  %d relation edges:\n", rel.Graph.EdgeCount())
+	for _, e := range rel.Graph.SortedEdges() {
+		best := rel.Best[relationKey(e.A, e.B)]
+		fmt.Printf("    %.2f  %s=%s <-> %s=%s (coverage %d)\n",
+			e.Weight, best.A, best.ValueA, best.B, best.ValueB, best.Cover)
+	}
+	return nil
+}
+
+// relationKey mirrors relation.PairKey without importing it here twice.
+func relationKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	name := subjectFlag(fs)
+	n := fs.Int("n", 4, "number of parallel instances")
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	plan := pipelineFor(sub, *n).Run(sub.ConfigInput())
+	fmt.Printf("cohesive groups for %s across %d instances:\n", sub.Info().Implementation, *n)
+	for i, g := range plan.Groups {
+		fmt.Printf("  instance %d: %s\n", i, strings.Join(g.Members, ", "))
+		fmt.Printf("    config: %s\n", plan.Assignments[i].String())
+	}
+	return nil
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	name := subjectFlag(fs)
+	modeName := fs.String("mode", "cmfuzz", "fuzzer: cmfuzz, peach or spfuzz")
+	hours := fs.Float64("hours", 24, "virtual campaign hours")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	instances := fs.Int("n", 4, "parallel instances")
+	alloc := fs.String("alloc", "cohesive", "CMFuzz allocator: cohesive, random or round-robin (ablation)")
+	noMut := fs.Bool("no-config-mutation", false, "disable adaptive configuration mutation (ablation)")
+	rawWeights := fs.Bool("raw-weights", false, "use raw-coverage relation weights (ablation)")
+	outDir := fs.String("out", "", "write artifacts (result.json, coverage.csv, crashes/) to this directory")
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	var mode parallel.Mode
+	switch strings.ToLower(*modeName) {
+	case "cmfuzz":
+		mode = parallel.ModeCMFuzz
+	case "peach":
+		mode = parallel.ModePeach
+	case "spfuzz":
+		mode = parallel.ModeSPFuzz
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+	var allocator parallel.Allocator
+	switch *alloc {
+	case "cohesive":
+		allocator = parallel.AllocCohesive
+	case "random":
+		allocator = parallel.AllocRandom
+	case "round-robin":
+		allocator = parallel.AllocRoundRobin
+	default:
+		return fmt.Errorf("unknown allocator %q", *alloc)
+	}
+	res, err := parallel.Run(sub, parallel.Options{
+		Mode:                  mode,
+		Instances:             *instances,
+		VirtualHours:          *hours,
+		Seed:                  *seed,
+		Allocator:             allocator,
+		DisableConfigMutation: *noMut,
+		RawRelationWeighting:  *rawWeights,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %d branches, %d execs over %g virtual hours\n",
+		mode, sub.Info().Implementation, res.FinalBranches, res.TotalExecs, *hours)
+	for _, in := range res.Instances {
+		fmt.Printf("  instance %d: %6d branches, %7d execs, %d crashes, %d config mutations\n",
+			in.Index, in.FinalBranches, in.Execs, in.Crashes, in.ConfigMutations)
+		if mode == parallel.ModeCMFuzz {
+			fmt.Printf("    config: %s\n", in.Config)
+		}
+	}
+	if *outDir != "" {
+		if err := campaign.WriteArtifacts(*outDir, res); err != nil {
+			return err
+		}
+		fmt.Println("artifacts written to", *outDir)
+	}
+	reports := res.Bugs.Unique()
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Time < reports[j].Time })
+	if len(reports) > 0 {
+		fmt.Printf("unique bugs (%d):\n", len(reports))
+		for _, r := range reports {
+			fmt.Printf("  [%6.1fh] %s\n", r.Time/3600, r.Crash.Error())
+		}
+	}
+	return nil
+}

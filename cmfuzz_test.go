@@ -1,0 +1,92 @@
+package cmfuzz
+
+import (
+	"testing"
+)
+
+func TestSubjectsList(t *testing.T) {
+	subs := Subjects()
+	if len(subs) != 6 {
+		t.Fatalf("Subjects() = %d, want 6", len(subs))
+	}
+	wantOrder := []string{"MQTT", "CoAP", "DDS", "DTLS", "AMQP", "DNS"}
+	for i, sub := range subs {
+		if sub.Info().Protocol != wantOrder[i] {
+			t.Errorf("subject %d = %s, want %s (Table I order)", i, sub.Info().Protocol, wantOrder[i])
+		}
+	}
+}
+
+func TestSubjectLookup(t *testing.T) {
+	if _, err := Subject("Mosquitto"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Subject("nope"); err == nil {
+		t.Fatal("unknown subject accepted")
+	}
+}
+
+func TestIdentifyProducesRunnablePlan(t *testing.T) {
+	sub, err := Subject("DNS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Identify(sub, 4)
+	if plan.Model.Len() < 10 {
+		t.Fatalf("model too small: %d entities", plan.Model.Len())
+	}
+	if len(plan.Groups) == 0 || len(plan.Groups) > 4 {
+		t.Fatalf("groups = %d", len(plan.Groups))
+	}
+	if len(plan.Assignments) != len(plan.Groups) {
+		t.Fatal("assignments/groups mismatch")
+	}
+	// The strongest DNS dependency must be captured and scheduled.
+	if _, ok := plan.Relation.Graph.Weight("dnssec", "trust-anchor"); !ok {
+		t.Fatal("dnssec/trust-anchor dependency edge missing")
+	}
+}
+
+func TestFuzzPublicAPI(t *testing.T) {
+	sub, err := Subject("CoAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fuzz(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalBranches == 0 || res.TotalExecs == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+// TestHeadlineClaim verifies the paper's core result end-to-end through
+// the public API: on a configuration-rich subject, CMFuzz covers more
+// branches than both baselines and finds configuration-gated bugs that
+// neither baseline reaches.
+func TestHeadlineClaim(t *testing.T) {
+	sub, err := Subject("DNS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	branches := map[Mode]int{}
+	bugsFound := map[Mode]int{}
+	for _, mode := range []Mode{ModeCMFuzz, ModePeach, ModeSPFuzz} {
+		res, err := Fuzz(sub, Options{Mode: mode, VirtualHours: 4, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		branches[mode] = res.FinalBranches
+		bugsFound[mode] = res.Bugs.Len()
+	}
+	if branches[ModeCMFuzz] <= branches[ModePeach] || branches[ModeCMFuzz] <= branches[ModeSPFuzz] {
+		t.Fatalf("CMFuzz does not lead: %v", branches)
+	}
+	if bugsFound[ModeCMFuzz] == 0 {
+		t.Fatal("CMFuzz found no bugs")
+	}
+	if bugsFound[ModePeach] != 0 || bugsFound[ModeSPFuzz] != 0 {
+		t.Fatalf("baselines found config-gated bugs: %v", bugsFound)
+	}
+}

@@ -1,0 +1,3 @@
+module cmfuzz
+
+go 1.22

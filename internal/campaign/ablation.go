@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
+)
+
+// AblationRow compares one CMFuzz design choice against its alternatives
+// on one subject.
+type AblationRow struct {
+	Subject  string
+	Variant  string
+	Branches int
+	Bugs     int
+}
+
+// Ablations runs the design-choice ablations DESIGN.md calls out on the
+// given subjects:
+//
+//   - allocation strategy: Algorithm 2's cohesive grouping vs random and
+//     round-robin dealing;
+//   - adaptive configuration-value mutation: on vs off;
+//   - relation weighting: interaction gain vs the paper-literal raw
+//     startup coverage;
+//   - Peach schedule redundancy: independent vs pairwise-shared workers.
+func Ablations(subs []subject.Subject, cfg Config) ([]AblationRow, error) {
+	cfg.setDefaults()
+	variants := []struct {
+		name string
+		opts func(parallel.Options) parallel.Options
+	}{
+		{"cmfuzz (full)", func(o parallel.Options) parallel.Options { return o }},
+		{"alloc=random", func(o parallel.Options) parallel.Options { o.Allocator = parallel.AllocRandom; return o }},
+		{"alloc=round-robin", func(o parallel.Options) parallel.Options { o.Allocator = parallel.AllocRoundRobin; return o }},
+		{"no-config-mutation", func(o parallel.Options) parallel.Options { o.DisableConfigMutation = true; return o }},
+		{"weight=raw-coverage", func(o parallel.Options) parallel.Options { o.RawRelationWeighting = true; return o }},
+		{"peach", func(o parallel.Options) parallel.Options { o.Mode = parallel.ModePeach; return o }},
+		{"peach-shared-sched", func(o parallel.Options) parallel.Options {
+			o.Mode = parallel.ModePeach
+			o.PeachSharedSchedules = true
+			return o
+		}},
+	}
+	var rows []AblationRow
+	for _, sub := range subs {
+		for _, v := range variants {
+			sumBranches, sumBugs := 0, 0
+			for rep := 0; rep < cfg.Repetitions; rep++ {
+				opts := v.opts(parallel.Options{
+					Mode:         parallel.ModeCMFuzz,
+					Instances:    cfg.Instances,
+					VirtualHours: cfg.Hours,
+					Seed:         cfg.BaseSeed + int64(rep) + 1,
+				})
+				r, err := parallel.Run(sub, opts)
+				if err != nil {
+					return nil, fmt.Errorf("campaign: ablation %s/%s: %w", sub.Info().Protocol, v.name, err)
+				}
+				sumBranches += r.FinalBranches
+				sumBugs += r.Bugs.Len()
+			}
+			rows = append(rows, AblationRow{
+				Subject:  sub.Info().Implementation,
+				Variant:  v.name,
+				Branches: sumBranches / cfg.Repetitions,
+				Bugs:     sumBugs / cfg.Repetitions,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblations formats the ablation table.
+func RenderAblations(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-20s %9s %5s\n", "Subject", "Variant", "Branches", "Bugs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-20s %9d %5d\n", r.Subject, r.Variant, r.Branches, r.Bugs)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/parallel"
+)
+
+// WriteArtifacts persists one campaign's outcome the way a production
+// fuzzer drops artifacts:
+//
+//	dir/
+//	  result.json            summary (subject, mode, branches, instances)
+//	  coverage.csv           the union coverage time series
+//	  crashes/NN-<slug>.txt  one report per unique bug
+func WriteArtifacts(dir string, res *parallel.Result) error {
+	if err := os.MkdirAll(filepath.Join(dir, "crashes"), 0o755); err != nil {
+		return err
+	}
+
+	summary := struct {
+		Protocol       string                    `json:"protocol"`
+		Implementation string                    `json:"implementation"`
+		Mode           string                    `json:"mode"`
+		FinalBranches  int                       `json:"final_branches"`
+		TotalExecs     int                       `json:"total_execs"`
+		UniqueBugs     int                       `json:"unique_bugs"`
+		ModelEntities  int                       `json:"model_entities,omitempty"`
+		RelationEdges  int                       `json:"relation_edges,omitempty"`
+		Probes         int                       `json:"probes,omitempty"`
+		Instances      []parallel.InstanceResult `json:"instances"`
+	}{
+		Protocol:       res.Subject.Protocol,
+		Implementation: res.Subject.Implementation,
+		Mode:           res.Mode.String(),
+		FinalBranches:  res.FinalBranches,
+		TotalExecs:     res.TotalExecs,
+		UniqueBugs:     res.Bugs.Len(),
+		ModelEntities:  res.ModelEntities,
+		RelationEdges:  res.RelationEdges,
+		Probes:         res.Probes,
+		Instances:      res.Instances,
+	}
+	raw, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "result.json"), raw, 0o644); err != nil {
+		return err
+	}
+
+	var csv strings.Builder
+	csv.WriteString("time_seconds,branches\n")
+	for _, p := range res.Series.Points() {
+		fmt.Fprintf(&csv, "%.1f,%d\n", p.T, p.Count)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "coverage.csv"), []byte(csv.String()), 0o644); err != nil {
+		return err
+	}
+
+	for i, rep := range res.Bugs.Unique() {
+		if err := os.WriteFile(
+			filepath.Join(dir, "crashes", fmt.Sprintf("%02d-%s.txt", i+1, crashSlug(&rep.Crash))),
+			[]byte(renderCrash(rep)), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func crashSlug(c *bugs.Crash) string {
+	slug := strings.ToLower(c.Protocol + "-" + c.Function)
+	var b strings.Builder
+	for _, r := range slug {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+// renderCrash formats a report the way sanitizer triage notes look.
+func renderCrash(rep bugs.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SUMMARY: %s in %s\n", rep.Crash.Kind, rep.Crash.Function)
+	fmt.Fprintf(&b, "Protocol:  %s\n", rep.Crash.Protocol)
+	fmt.Fprintf(&b, "Detail:    %s\n", rep.Crash.Detail)
+	fmt.Fprintf(&b, "Found at:  %.1f virtual hours by instance %d\n", rep.Time/3600, rep.Instance)
+	fmt.Fprintf(&b, "Hit count: %d\n", rep.Count)
+	fmt.Fprintf(&b, "Config:    %s\n", rep.Config)
+	if k, ok := bugs.LookupKnown(&rep.Crash); ok {
+		fmt.Fprintf(&b, "Matches:   paper Table II row %d\n", k.No)
+	}
+	return b.String()
+}

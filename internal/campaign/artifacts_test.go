@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	sub, _ := protocols.ByName("DNS")
+	res, err := parallel.Run(sub, parallel.Options{Mode: parallel.ModeCMFuzz, VirtualHours: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteArtifacts(dir, res); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]any
+	if err := json.Unmarshal(raw, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary["protocol"] != "DNS" || summary["mode"] != "CMFuzz" {
+		t.Fatalf("summary = %v", summary)
+	}
+
+	csv, err := os.ReadFile(filepath.Join(dir, "coverage.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(csv), "\n"); lines < 3 {
+		t.Fatalf("coverage.csv too short: %d lines", lines)
+	}
+
+	crashes, err := os.ReadDir(filepath.Join(dir, "crashes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashes) != res.Bugs.Len() {
+		t.Fatalf("crash files = %d, bugs = %d", len(crashes), res.Bugs.Len())
+	}
+	if res.Bugs.Len() > 0 {
+		body, _ := os.ReadFile(filepath.Join(dir, "crashes", crashes[0].Name()))
+		for _, want := range []string{"SUMMARY:", "Config:", "Table II row"} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("crash report missing %q:\n%s", want, body)
+			}
+		}
+	}
+}
+
+func TestCrashSlug(t *testing.T) {
+	c := &bugs.Crash{Protocol: "MQTT", Function: "Connection::newMessage"}
+	if got := crashSlug(c); got != "mqtt-connection--newmessage" {
+		t.Errorf("slug = %q", got)
+	}
+	c2 := &bugs.Crash{Protocol: "DNS", Function: "dns_question_parse, dns_request_parse"}
+	if got := crashSlug(c2); strings.ContainsAny(got, " ,_") {
+		t.Errorf("slug not sanitized: %q", got)
+	}
+}

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cmfuzz/internal/coverage"
+)
+
+// Export bundles one evaluation's artifacts in a machine-readable form,
+// so external tooling (plotting scripts, CI dashboards) can consume the
+// reproduction without scraping the rendered tables.
+type Export struct {
+	Config  Config          `json:"config"`
+	Table1  []Table1Row     `json:"table1,omitempty"`
+	Figure4 []Figure4Series `json:"figure4,omitempty"`
+	Table2  []Table2Export  `json:"table2,omitempty"`
+}
+
+// Table2Export is the JSON shape of one Table II row.
+type Table2Export struct {
+	No       int      `json:"no"`
+	Protocol string   `json:"protocol"`
+	Kind     string   `json:"kind"`
+	Function string   `json:"function"`
+	FoundBy  []string `json:"found_by,omitempty"`
+	CMFuzzH  float64  `json:"cmfuzz_hours,omitempty"`
+}
+
+// NewTable2Export converts the runner's rows.
+func NewTable2Export(rows []Table2Row) []Table2Export {
+	out := make([]Table2Export, 0, len(rows))
+	for _, r := range rows {
+		e := Table2Export{
+			No:       r.Known.No,
+			Protocol: r.Known.Protocol,
+			Kind:     r.Known.Kind.String(),
+			Function: r.Known.Function,
+			FoundBy:  r.FoundBy,
+		}
+		for _, f := range r.FoundBy {
+			if f == "CMFuzz" {
+				e.CMFuzzH = r.TimeSec / 3600
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// JSON renders the export with indentation.
+func (e *Export) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// Table1CSV renders Table I as CSV (header + one row per subject).
+func Table1CSV(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("subject,cmfuzz,peach,improv_peach_pct,speedup_peach,spfuzz,improv_spfuzz_pct,speedup_spfuzz\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.1f,%.1f,%d,%.1f,%.1f\n",
+			r.Subject, r.CMFuzz, r.Peach, r.ImprovPeach, r.SpeedupPeach,
+			r.SPFuzz, r.ImprovSPFuzz, r.SpeedupSPFuzz)
+	}
+	return b.String()
+}
+
+// Figure4CSV renders one subject's curves as CSV: time_hours followed by
+// one column per fuzzer.
+func Figure4CSV(f *Figure4Series) string {
+	var b strings.Builder
+	b.WriteString("time_hours,cmfuzz,peach,spfuzz\n")
+	curves := [3][]coverage.Point{f.Points["CMFuzz"], f.Points["Peach"], f.Points["SPFuzz"]}
+	n := 0
+	for _, c := range curves {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	at := func(c []coverage.Point, i int) int {
+		if i < len(c) {
+			return c[i].Count
+		}
+		return 0
+	}
+	tAt := func(i int) float64 {
+		for _, c := range curves {
+			if i < len(c) {
+				return c[i].T / 3600
+			}
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%.2f,%d,%d,%d\n", tAt(i), at(curves[0], i), at(curves[1], i), at(curves[2], i))
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package campaign
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/coverage"
+)
+
+func sampleFigure() *Figure4Series {
+	return &Figure4Series{
+		Subject: "Dnsmasq",
+		Hours:   24,
+		Points: map[string][]coverage.Point{
+			"CMFuzz": {{T: 0, Count: 100}, {T: 43200, Count: 1800}, {T: 86400, Count: 2200}},
+			"Peach":  {{T: 0, Count: 40}, {T: 43200, Count: 1200}, {T: 86400, Count: 1380}},
+			"SPFuzz": {{T: 0, Count: 40}, {T: 43200, Count: 1250}, {T: 86400, Count: 1400}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := sampleFigure().SVG(SVGOptions{})
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed XML: %v", err)
+		}
+	}
+	if c := strings.Count(out, "<polyline"); c != 3 {
+		t.Fatalf("polylines = %d, want 3", c)
+	}
+	for _, want := range []string{"Dnsmasq", "CMFuzz", "Peach", "SPFuzz", "24h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGCustomSize(t *testing.T) {
+	out := sampleFigure().SVG(SVGOptions{Width: 200, Height: 100})
+	if !strings.Contains(out, `width="200" height="100"`) {
+		t.Fatal("custom size ignored")
+	}
+}
+
+func TestSVGEmptyCurvesSafe(t *testing.T) {
+	f := &Figure4Series{Subject: "Empty", Hours: 24, Points: map[string][]coverage.Point{}}
+	out := f.SVG(SVGOptions{})
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("degenerate figure did not render")
+	}
+}

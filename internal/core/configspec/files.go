@@ -1,0 +1,372 @@
+package configspec
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format classifies a configuration file's structure, driving Algorithm 1's
+// format-specific extraction dispatch.
+type Format int
+
+// The formats DetectFileFormat distinguishes.
+const (
+	FormatKeyValue Format = iota
+	FormatJSON
+	FormatXML
+	FormatCustom
+)
+
+var formatNames = [...]string{
+	FormatKeyValue: "key-value",
+	FormatJSON:     "json",
+	FormatXML:      "xml",
+	FormatCustom:   "custom",
+}
+
+// String names the format.
+func (f Format) String() string {
+	if f < 0 || int(f) >= len(formatNames) {
+		return "unknown"
+	}
+	return formatNames[f]
+}
+
+// DetectFormat inspects file content and classifies it. JSON and XML are
+// recognized by their leading syntax. A file whose non-comment lines are
+// overwhelmingly `key = value` / `key value` pairs is key-value; files
+// with a significant share of bare keyword lines (feature toggles,
+// dnsmasq-style) or free-form text are custom and handled heuristically.
+func DetectFormat(content string) Format {
+	trimmed := strings.TrimSpace(content)
+	if strings.HasPrefix(trimmed, "{") || strings.HasPrefix(trimmed, "[") {
+		if json.Valid([]byte(trimmed)) {
+			return FormatJSON
+		}
+	}
+	if strings.HasPrefix(trimmed, "<") {
+		return FormatXML
+	}
+	total, pairs, bare := 0, 0, 0
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") ||
+			(strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]")) {
+			continue
+		}
+		total++
+		if k, v, ok := strings.Cut(line, "="); ok && isIdentifier(strings.TrimSpace(k)) && !strings.Contains(v, "=") {
+			pairs++
+			continue
+		}
+		// A space pair must be exactly two tokens (`port 1883`); prose
+		// sentences have more, or end in punctuation.
+		if fields := strings.Fields(line); len(fields) == 2 && isIdentifier(fields[0]) &&
+			!strings.HasSuffix(fields[1], ".") && !strings.HasSuffix(fields[1], "!") {
+			pairs++
+			continue
+		}
+		if isIdentifier(line) {
+			bare++
+		}
+	}
+	if total == 0 {
+		return FormatCustom
+	}
+	if bare*5 > total { // >20% bare feature toggles: unstandardized
+		return FormatCustom
+	}
+	if pairs*4 >= total*3 { // >=75% pair lines: key-value
+		return FormatKeyValue
+	}
+	return FormatCustom
+}
+
+// ExtractKeyValue parses an INI-style key-value file: `key = value` lines,
+// `[section]` headers that prefix following keys as "section.key", and
+// `#`/`;` comments. Commented-out assignments (`#key=value`) are mined as
+// candidate values, the way real config files document their defaults.
+func ExtractKeyValue(content string) []Item {
+	var items []Item
+	index := make(map[string]int)
+	section := ""
+	add := func(name, value string, commented bool) {
+		if section != "" {
+			name = section + "." + name
+		}
+		if i, ok := index[name]; ok {
+			if value != "" {
+				items[i].Values = append(items[i].Values, value)
+			}
+			return
+		}
+		it := Item{Name: name, Source: SourceKeyValue}
+		if commented {
+			// The live default is "unset"; the commented value is a candidate.
+			if value != "" {
+				it.Values = []string{value}
+			}
+		} else {
+			it.Default = value
+		}
+		index[name] = len(items)
+		items = append(items, it)
+	}
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		commented := false
+		if strings.HasPrefix(line, "#") {
+			body := strings.TrimSpace(strings.TrimLeft(line, "# "))
+			// Only treat it as a commented-out option if it looks like
+			// one: `key=value`, a two-token `key value` pair, or a bare
+			// keyword. Anything else is prose.
+			if k, _, ok := strings.Cut(body, "="); ok && isIdentifier(strings.TrimSpace(k)) {
+				line = body
+				commented = true
+			} else if fields := strings.Fields(body); (len(fields) == 2 || len(fields) == 1) &&
+				isIdentifier(fields[0]) && fields[0] == strings.ToLower(fields[0]) &&
+				!strings.HasSuffix(body, ".") && !strings.HasSuffix(body, "!") {
+				line = body
+				commented = true
+			} else {
+				continue
+			}
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			section = strings.TrimSpace(line[1 : len(line)-1])
+			continue
+		}
+		if k, v, ok := strings.Cut(line, "="); ok {
+			k = strings.TrimSpace(k)
+			if isIdentifier(k) {
+				add(k, strings.TrimSpace(v), commented)
+			}
+			continue
+		}
+		// mosquitto.conf style: `key value` (space separated).
+		if k, v, ok := strings.Cut(line, " "); ok {
+			k = strings.TrimSpace(k)
+			if isIdentifier(k) {
+				add(k, strings.TrimSpace(v), commented)
+			}
+			continue
+		}
+		if isIdentifier(line) {
+			add(line, "true", commented)
+		}
+	}
+	for i := range items {
+		items[i].Values = dedupStrings(items[i].Values)
+	}
+	return items
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '-' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractJSON recursively flattens a JSON document into dotted-path items,
+// the hierarchical branch of Algorithm 1. Arrays contribute their first
+// element as the representative default.
+func ExtractJSON(content string) []Item {
+	var doc any
+	if err := json.Unmarshal([]byte(content), &doc); err != nil {
+		return nil
+	}
+	var items []Item
+	flattenJSON("", doc, &items)
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	return items
+}
+
+func flattenJSON(path string, v any, items *[]Item) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flattenJSON(joinPath(path, k), t[k], items)
+		}
+	case []any:
+		if len(t) > 0 {
+			flattenJSON(path, t[0], items)
+		} else if path != "" {
+			*items = append(*items, Item{Name: path, Source: SourceHierarchical})
+		}
+	case nil:
+		if path != "" {
+			*items = append(*items, Item{Name: path, Source: SourceHierarchical})
+		}
+	default:
+		if path != "" {
+			*items = append(*items, Item{
+				Name:    path,
+				Default: fmt.Sprintf("%v", t),
+				Source:  SourceHierarchical,
+			})
+		}
+	}
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+// ExtractXML recursively walks an XML document (CycloneDDS-style
+// configuration) and emits one item per leaf element and per attribute,
+// named by their slash-joined element path.
+func ExtractXML(content string) []Item {
+	dec := xml.NewDecoder(strings.NewReader(content))
+	var (
+		items   []Item
+		stack   []string
+		text    strings.Builder
+		pending []string // enum candidates from the preceding comment
+	)
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.Comment:
+			// Configuration documentation conventionally lists the
+			// allowed values ("one of: a, b, c"); mine them as
+			// candidates for the next element.
+			pending = nil
+			if m := enumSetRe.FindStringSubmatch(string(t)); m != nil {
+				raw := m[1]
+				if raw == "" {
+					raw = m[2]
+				}
+				for _, v := range strings.FieldsFunc(raw, func(r rune) bool {
+					return r == '|' || r == ',' || r == ' '
+				}) {
+					if v = strings.TrimSpace(v); v != "" {
+						pending = append(pending, v)
+					}
+				}
+			}
+		case xml.StartElement:
+			stack = append(stack, t.Name.Local)
+			text.Reset()
+			path := strings.Join(stack, "/")
+			for _, attr := range t.Attr {
+				items = append(items, Item{
+					Name:    path + "@" + attr.Name.Local,
+					Default: attr.Value,
+					Source:  SourceHierarchical,
+				})
+			}
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				continue
+			}
+			val := strings.TrimSpace(text.String())
+			if val != "" {
+				items = append(items, Item{
+					Name:    strings.Join(stack, "/"),
+					Default: val,
+					Values:  pending,
+					Source:  SourceHierarchical,
+				})
+				pending = nil
+			}
+			stack = stack[:len(stack)-1]
+			text.Reset()
+		}
+	}
+	return Consolidate(items)
+}
+
+// ExtractCustom handles unstandardized formats with keyword heuristics
+// (Algorithm 1's "otherwise" arm): a non-comment line is either a bare
+// keyword (a boolean feature toggle, dnsmasq-style), `keyword=value`, or
+// `keyword value...`. Commented-out lines that look like options are mined
+// as candidate values.
+func ExtractCustom(content string) []Item {
+	var items []Item
+	index := make(map[string]int)
+	add := func(name, value string, commented bool) {
+		if !isIdentifier(name) {
+			return
+		}
+		if i, ok := index[name]; ok {
+			if value != "" && value != items[i].Default {
+				items[i].Values = append(items[i].Values, value)
+			}
+			return
+		}
+		it := Item{Name: name, Source: SourceCustom}
+		if commented {
+			if value != "" {
+				it.Values = []string{value}
+			}
+		} else {
+			it.Default = value
+		}
+		index[name] = len(items)
+		items = append(items, it)
+	}
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		commented := false
+		if strings.HasPrefix(line, "#") {
+			body := strings.TrimSpace(strings.TrimLeft(line, "# "))
+			if body == "" {
+				continue
+			}
+			first, _, hasEq := strings.Cut(body, "=")
+			first, _, _ = strings.Cut(first, " ")
+			// A disabled option is `key=...`, `key value` or a bare
+			// keyword; longer comments are prose.
+			if !isIdentifier(strings.TrimSpace(first)) || strings.Contains(body, ". ") ||
+				(!hasEq && len(strings.Fields(body)) > 2) {
+				continue // prose comment, not a disabled option
+			}
+			line = body
+			commented = true
+		}
+		if k, v, ok := strings.Cut(line, "="); ok {
+			add(strings.TrimSpace(k), strings.TrimSpace(v), commented)
+			continue
+		}
+		if k, v, ok := strings.Cut(line, " "); ok {
+			add(strings.TrimSpace(k), strings.TrimSpace(v), commented)
+			continue
+		}
+		add(line, "true", commented)
+	}
+	for i := range items {
+		items[i].Values = dedupStrings(items[i].Values)
+	}
+	return items
+}

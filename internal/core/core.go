@@ -1,0 +1,66 @@
+// Package core ties CMFuzz's two contributions together as one pipeline
+// (paper Figure 1): Configuration Model Identification — extraction
+// (Algorithm 1) and generalized model construction (Figure 2) — followed
+// by Configuration Model Scheduling — pairwise relation quantification
+// (Figure 3) and cohesive grouping/allocation (Algorithm 2). The output
+// is one runtime-ready configuration per parallel fuzzing instance.
+package core
+
+import (
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/core/relation"
+	"cmfuzz/internal/core/schedule"
+)
+
+// Pipeline is the identification → scheduling flow, parameterized by the
+// startup-coverage probe of the subject under test.
+type Pipeline struct {
+	// Probe measures startup coverage of one configuration (0 = startup
+	// failure, i.e. a conflicting configuration).
+	Probe relation.Probe
+	// Instances is the number of parallel fuzzing instances to schedule
+	// for.
+	Instances int
+	// MaxValues caps per-entity values during probing (0 = all).
+	MaxValues int
+	// Weighting selects relation-weight derivation.
+	Weighting relation.Weighting
+}
+
+// Plan is the pipeline's output: the models built along the way and the
+// per-instance configuration groups and assignments.
+type Plan struct {
+	// Items is the consolidated configuration item set (Algorithm 1).
+	Items []configspec.Item
+	// Model is the generalized configuration model (Figure 2).
+	Model *configmodel.Model
+	// Relation is the relation-aware configuration model (Figure 3).
+	Relation *relation.Result
+	// Groups are the cohesive entity groups (Algorithm 2), one per
+	// instance.
+	Groups []schedule.Group
+	// Assignments are the runtime-ready configurations, parallel to
+	// Groups.
+	Assignments []configmodel.Assignment
+}
+
+// Run executes the pipeline over the given configuration sources.
+func (p *Pipeline) Run(input configspec.Input) *Plan {
+	n := p.Instances
+	if n < 1 {
+		n = 4
+	}
+	plan := &Plan{}
+	plan.Items = configspec.Extract(input)
+	plan.Model = configmodel.Build(plan.Items)
+	plan.Relation = relation.Quantify(plan.Model, p.Probe, relation.Options{
+		MaxValues: p.MaxValues,
+		Weighting: p.Weighting,
+	})
+	plan.Groups = schedule.Allocate(plan.Relation.Graph, n)
+	for _, g := range plan.Groups {
+		plan.Assignments = append(plan.Assignments, schedule.GroupAssignment(plan.Model, plan.Relation, g))
+	}
+	return plan
+}

@@ -1,0 +1,218 @@
+// Package relation implements Pairwise Relation Weight Quantification
+// (paper §III-B1, Figure 3): it upgrades the generalized configuration
+// model into a relation-aware configuration model by probing the startup
+// coverage of every value combination of every entity pair.
+//
+// Coverage is the relation oracle: synergistic configurations unlock
+// additional initialization paths when enabled together, while conflicting
+// configurations fail startup and yield zero coverage. Each pair's weight
+// is taken from its peak value combination; pairs whose every combination
+// yields zero coverage get no edge; all weights are normalized into [0, 1].
+//
+// Two weightings are provided. WeightInteraction (the default) scores a
+// combination by its coverage *gain over the two values' individual
+// contributions* — cov(a=x, b=y) − cov(a=x) − cov(b=y) + cov(defaults) —
+// so an edge exists only where the pair genuinely interacts (a dependency
+// like bridge/bridge-address, or a feature synergy). This keeps the
+// relation graph sparse, which is what lets Algorithm 2 carve distinct
+// cohesive groups; scoring by raw coverage (WeightRawCoverage, kept as an
+// ablation) makes the graph near-complete — every feature-heavy pair ties
+// at the top — and the grouping degenerates toward a single group.
+package relation
+
+import (
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/graph"
+)
+
+// A Probe runs one startup of the subject under the given configuration
+// and returns the startup branch coverage. Startup failure (a conflicting
+// configuration) must return 0.
+type Probe func(cfg configmodel.Assignment) int
+
+// Weighting selects how a pair's relation weight is derived from its
+// combination coverages.
+type Weighting int
+
+// The weighting strategies.
+const (
+	// WeightInteraction scores combinations by pairwise coverage gain
+	// (see package comment). The default.
+	WeightInteraction Weighting = iota
+	// WeightRawCoverage scores combinations by their absolute startup
+	// coverage — the paper's literal formula, kept for the ablation.
+	WeightRawCoverage
+)
+
+// PairValues records the best-scoring value combination found for a pair
+// of entities; the scheduler uses it to seed each group's initial
+// configuration.
+type PairValues struct {
+	A, B   string
+	ValueA string
+	ValueB string
+	// Cover is the raw startup coverage of the best combination.
+	Cover int
+	// Gain is the interaction score of the best combination.
+	Gain int
+}
+
+// SingleValue records the best-scoring standalone value of one entity.
+type SingleValue struct {
+	Value string
+	Cover int
+	// Gain is the coverage gain over the default assignment.
+	Gain int
+}
+
+// Result is the relation-aware configuration model: the weighted relation
+// graph plus per-pair best combinations, per-entity best standalone
+// values, and probing statistics.
+type Result struct {
+	Graph *graph.Graph
+	// Best maps canonical pair keys (PairKey) to the best combination.
+	Best map[string]PairValues
+	// BestSingle maps entity names to their best standalone value.
+	BestSingle map[string]SingleValue
+	// Baseline is the startup coverage of the default assignment.
+	Baseline int
+	// Probes counts how many startups were executed.
+	Probes int
+}
+
+// PairKey returns the canonical map key for an unordered entity pair.
+func PairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// Options tune quantification.
+type Options struct {
+	// MaxValues caps how many typical values per entity are probed
+	// (0 means all). The paper explores all combinations; the cap exists
+	// for very large Values sets.
+	MaxValues int
+	// Weighting selects the combination scoring (default
+	// WeightInteraction).
+	Weighting Weighting
+}
+
+// Quantify builds the relation-aware configuration model for the given
+// generalized model, using probe as the startup-coverage oracle. Every
+// unordered pair of entities is probed across the cross product of their
+// typical values on top of the model's default assignment.
+func Quantify(model *configmodel.Model, probe Probe, opts Options) *Result {
+	res := &Result{
+		Graph:      graph.New(),
+		Best:       make(map[string]PairValues),
+		BestSingle: make(map[string]SingleValue),
+	}
+	entities := model.Entities()
+	defaults := model.Defaults()
+
+	res.Probes++
+	res.Baseline = probe(defaults)
+
+	// Standalone probes: one per (entity, value).
+	singles := make(map[string]map[string]int, len(entities))
+	for _, e := range entities {
+		res.Graph.AddNode(e.Name)
+		vals := candidateValues(e, opts)
+		singles[e.Name] = make(map[string]int, len(vals))
+		best := SingleValue{Gain: -1 << 30}
+		for _, v := range vals {
+			cfg := defaults.Clone()
+			cfg[e.Name] = v
+			res.Probes++
+			cov := probe(cfg)
+			singles[e.Name][v] = cov
+			if gain := cov - res.Baseline; cov > 0 && gain > best.Gain {
+				best = SingleValue{Value: v, Cover: cov, Gain: gain}
+			}
+		}
+		if best.Cover > 0 {
+			res.BestSingle[e.Name] = best
+		}
+	}
+
+	// Pairwise combination probes.
+	for i := 0; i < len(entities); i++ {
+		for j := i + 1; j < len(entities); j++ {
+			a, b := entities[i], entities[j]
+			best, anyCover := probePair(defaults, a, b, probe, singles, res.Baseline, opts, &res.Probes)
+			if !anyCover {
+				// Zero coverage across all combinations: conflicting pair,
+				// no edge (paper §III-B1).
+				continue
+			}
+			var weight float64
+			switch opts.Weighting {
+			case WeightRawCoverage:
+				weight = float64(best.Cover)
+			default:
+				if best.Gain <= 0 {
+					continue // no interaction: no relation edge
+				}
+				weight = float64(best.Gain)
+			}
+			res.Graph.AddEdge(a.Name, b.Name, weight)
+			res.Best[PairKey(a.Name, b.Name)] = best
+		}
+	}
+	res.Graph.Normalize()
+	return res
+}
+
+// probePair explores all value combinations of entities a and b and
+// returns the best one (by the configured score) plus whether any
+// combination achieved non-zero coverage.
+func probePair(defaults configmodel.Assignment, a, b configmodel.Entity, probe Probe, singles map[string]map[string]int, baseline int, opts Options, probes *int) (PairValues, bool) {
+	va := candidateValues(a, opts)
+	vb := candidateValues(b, opts)
+	best := PairValues{A: a.Name, B: b.Name, Gain: -1 << 30, Cover: -1}
+	anyCover := false
+	for _, x := range va {
+		for _, y := range vb {
+			cfg := defaults.Clone()
+			cfg[a.Name] = x
+			cfg[b.Name] = y
+			*probes++
+			cov := probe(cfg)
+			if cov > 0 {
+				anyCover = true
+			} else {
+				continue
+			}
+			// Interaction: gain of the combination over the individual
+			// contributions (inclusion–exclusion against the baseline).
+			gain := cov - singles[a.Name][x] - singles[b.Name][y] + baseline
+			better := false
+			switch opts.Weighting {
+			case WeightRawCoverage:
+				better = cov > best.Cover
+			default:
+				better = gain > best.Gain || (gain == best.Gain && cov > best.Cover)
+			}
+			if better {
+				best = PairValues{A: a.Name, B: b.Name, ValueA: x, ValueB: y, Cover: cov, Gain: gain}
+			}
+		}
+	}
+	return best, anyCover
+}
+
+func candidateValues(e configmodel.Entity, opts Options) []string {
+	vals := e.Values
+	if len(vals) == 0 {
+		if e.Default != "" {
+			return []string{e.Default}
+		}
+		return []string{""}
+	}
+	if opts.MaxValues > 0 && len(vals) > opts.MaxValues {
+		vals = vals[:opts.MaxValues]
+	}
+	return vals
+}

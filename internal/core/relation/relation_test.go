@@ -1,0 +1,209 @@
+package relation
+
+import (
+	"testing"
+
+	"cmfuzz/internal/core/configmodel"
+)
+
+// testModel builds a small model with a strong synergy (a=bridge, b=fast),
+// an independent contributor (c), and a conflicting pair (x=clash,
+// y=clash fails startup). Entities are hand-built so typical values are
+// exact.
+func testModel() *configmodel.Model {
+	return configmodel.NewModel([]configmodel.Entity{
+		{Name: "a", Default: "plain", Values: []string{"bridge", "plain"}},
+		{Name: "b", Default: "slow", Values: []string{"fast", "slow"}},
+		{Name: "c", Default: "1", Values: []string{"1", "2"}},
+		{Name: "x", Default: "idle", Values: []string{"clash"}},
+		{Name: "y", Default: "idle", Values: []string{"clash"}},
+	})
+}
+
+func testProbe(cfg configmodel.Assignment) int {
+	if cfg["x"] == "clash" && cfg["y"] == "clash" {
+		return 0 // conflicting pair: startup failure
+	}
+	cov := 10
+	if cfg["a"] == "bridge" {
+		cov += 5
+		if cfg["b"] == "fast" {
+			cov += 20 // synergy: only together
+		}
+	}
+	if cfg["c"] == "2" {
+		cov += 3 // independent contribution
+	}
+	return cov
+}
+
+func TestQuantifyInteractionEdges(t *testing.T) {
+	res := Quantify(testModel(), testProbe, Options{})
+
+	// The synergistic pair has the max weight, normalized to 1.
+	w, ok := res.Graph.Weight("a", "b")
+	if !ok || w != 1.0 {
+		t.Fatalf("weight(a,b) = %v,%v, want 1.0", w, ok)
+	}
+
+	// Conflicting pair gets no edge.
+	if _, ok := res.Graph.Weight("x", "y"); ok {
+		t.Fatal("conflicting pair (x,y) got an edge")
+	}
+
+	// Independent pairs get no edge either: no interaction.
+	for _, pair := range [][2]string{{"a", "c"}, {"b", "c"}, {"c", "y"}} {
+		if _, ok := res.Graph.Weight(pair[0], pair[1]); ok {
+			t.Errorf("independent pair %v got an interaction edge", pair)
+		}
+	}
+
+	if res.Baseline != 10 {
+		t.Fatalf("baseline = %d, want 10", res.Baseline)
+	}
+}
+
+func TestQuantifyBestComboAndGain(t *testing.T) {
+	res := Quantify(testModel(), testProbe, Options{})
+	best, ok := res.Best[PairKey("a", "b")]
+	if !ok {
+		t.Fatal("no best combo for (a,b)")
+	}
+	if best.ValueA != "bridge" || best.ValueB != "fast" {
+		t.Fatalf("best combo = %q/%q, want bridge/fast", best.ValueA, best.ValueB)
+	}
+	if best.Cover != 35 {
+		t.Fatalf("best cover = %d, want 35", best.Cover)
+	}
+	// Interaction gain: 35 − cov(a=bridge)=15 − cov(b=fast)=10 + 10 = 20.
+	if best.Gain != 20 {
+		t.Fatalf("best gain = %d, want 20", best.Gain)
+	}
+}
+
+func TestQuantifyBestSingle(t *testing.T) {
+	res := Quantify(testModel(), testProbe, Options{})
+	if sv, ok := res.BestSingle["a"]; !ok || sv.Value != "bridge" || sv.Gain != 5 {
+		t.Fatalf("BestSingle[a] = %+v, want bridge/+5", sv)
+	}
+	if sv, ok := res.BestSingle["c"]; !ok || sv.Value != "2" || sv.Gain != 3 {
+		t.Fatalf("BestSingle[c] = %+v, want 2/+3", sv)
+	}
+	// x alone does not fail; best is either value with gain 0.
+	if sv, ok := res.BestSingle["x"]; !ok || sv.Gain != 0 {
+		t.Fatalf("BestSingle[x] = %+v, want gain 0", sv)
+	}
+}
+
+func TestQuantifyRawCoverageWeighting(t *testing.T) {
+	res := Quantify(testModel(), testProbe, Options{Weighting: WeightRawCoverage})
+	// Under raw coverage, independent pairs DO get edges.
+	if _, ok := res.Graph.Weight("a", "c"); !ok {
+		t.Fatal("raw weighting should connect (a,c)")
+	}
+	// Conflict still pruned.
+	if _, ok := res.Graph.Weight("x", "y"); ok {
+		t.Fatal("conflicting pair got an edge under raw weighting")
+	}
+	// Heaviest pair is still (a,b) (raw 35).
+	if w, _ := res.Graph.Weight("a", "b"); w != 1.0 {
+		t.Fatalf("weight(a,b) = %v, want 1.0", w)
+	}
+}
+
+func TestQuantifyProbeCount(t *testing.T) {
+	res := Quantify(testModel(), testProbe, Options{})
+	// 1 baseline + singles (2+2+2+1+1 = 8) + pair combos (ab=4, ac=4,
+	// ax=2, ay=2, bc=4, bx=2, by=2, cx=2, cy=2, xy=1 = 25) = 34.
+	if res.Probes != 34 {
+		t.Fatalf("probes = %d, want 34", res.Probes)
+	}
+}
+
+func TestQuantifyMaxValuesCap(t *testing.T) {
+	m := configmodel.NewModel([]configmodel.Entity{
+		{Name: "n", Default: "5", Values: []string{"5", "6", "7", "8"}},
+		{Name: "m", Default: "1", Values: []string{"1", "2", "3", "4"}},
+	})
+	probe := func(cfg configmodel.Assignment) int { return 1 }
+	res := Quantify(m, probe, Options{MaxValues: 2})
+	// 1 baseline + 2+2 singles + 4 pair combos = 9.
+	if res.Probes != 9 {
+		t.Fatalf("capped probes = %d, want 9", res.Probes)
+	}
+}
+
+func TestQuantifyDependencyPair(t *testing.T) {
+	// f=on alone fails startup (missing dependency d); together they
+	// succeed with a feature region — the bridge/bridge-address shape.
+	m := configmodel.NewModel([]configmodel.Entity{
+		{Name: "f", Default: "off", Values: []string{"on", "off"}},
+		{Name: "d", Default: "", Values: []string{"10.0.0.2"}},
+		{Name: "z", Default: "0", Values: []string{"0", "1"}},
+	})
+	probe := func(cfg configmodel.Assignment) int {
+		if cfg["f"] == "on" && cfg["d"] == "" {
+			return 0 // f requires d
+		}
+		cov := 20
+		if cfg["f"] == "on" {
+			cov += 15
+		}
+		return cov
+	}
+	res := Quantify(m, probe, Options{})
+	w, ok := res.Graph.Weight("f", "d")
+	if !ok || w != 1.0 {
+		t.Fatalf("dependency edge (f,d) = %v,%v, want strongest edge", w, ok)
+	}
+	best := res.Best[PairKey("d", "f")]
+	if best.ValueA != "on" || best.ValueB != "10.0.0.2" {
+		// PairValues keeps model order (f before d).
+		t.Fatalf("dependency best combo = %+v", best)
+	}
+	if _, ok := res.Graph.Weight("f", "z"); ok {
+		t.Fatal("non-interacting pair (f,z) got an edge")
+	}
+}
+
+func TestPairKeyCanonical(t *testing.T) {
+	if PairKey("b", "a") != PairKey("a", "b") {
+		t.Fatal("PairKey not canonical")
+	}
+	if PairKey("a", "b") == PairKey("a", "c") {
+		t.Fatal("PairKey collides")
+	}
+}
+
+func TestQuantifyAllConflicting(t *testing.T) {
+	m := configmodel.NewModel([]configmodel.Entity{
+		{Name: "p", Default: "1", Values: []string{"1"}},
+		{Name: "q", Default: "1", Values: []string{"1"}},
+	})
+	res := Quantify(m, func(configmodel.Assignment) int { return 0 }, Options{})
+	if res.Graph.EdgeCount() != 0 {
+		t.Fatal("all-zero probe produced edges")
+	}
+	if len(res.Best) != 0 {
+		t.Fatal("all-zero probe recorded best combos")
+	}
+	// Nodes still exist so the scheduler can distribute them.
+	if res.Graph.NodeCount() != 2 {
+		t.Fatalf("node count = %d", res.Graph.NodeCount())
+	}
+}
+
+func TestQuantifyDeterministic(t *testing.T) {
+	m := testModel()
+	r1 := Quantify(m, testProbe, Options{})
+	r2 := Quantify(m, testProbe, Options{})
+	e1, e2 := r1.Graph.Edges(), r2.Graph.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package fuzz is the generation-based protocol fuzzing engine CMFuzz
+// builds on — a Go equivalent of the Peach fuzzing platform's layer the
+// paper extends. It provides the two traditional protocol-fuzzing models
+// (paper §II-B): the data model, describing packet structure (fields,
+// types, length relations, choices), and the state model, describing the
+// protocol's interaction sequences. A Pit-style XML loader, a mutator
+// suite, and the feedback-driven engine loop complete the platform.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ElementKind is the type of a data model element.
+type ElementKind int
+
+// The element kinds supported by the data model, mirroring Peach's core
+// element vocabulary.
+const (
+	KindNumber ElementKind = iota
+	KindString
+	KindBlob
+	KindBlock
+	KindChoice
+)
+
+var kindNames = [...]string{
+	KindNumber: "Number",
+	KindString: "String",
+	KindBlob:   "Blob",
+	KindBlock:  "Block",
+	KindChoice: "Choice",
+}
+
+// String names the kind.
+func (k ElementKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("ElementKind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Endian selects a number field's byte order.
+type Endian int
+
+// Byte orders.
+const (
+	BigEndian Endian = iota
+	LittleEndian
+)
+
+// An Element is one node of a data model tree and, after instantiation,
+// one concrete field of a message.
+type Element struct {
+	Kind ElementKind
+	Name string
+
+	// Number fields.
+	Bits   int // 8, 16, 24, 32 or 64
+	Endian Endian
+	Value  uint64
+
+	// String and Blob fields.
+	Data []byte
+
+	// Block and Choice children. For an instantiated Choice, Selected
+	// indexes the child in effect.
+	Children []*Element
+	Selected int
+
+	// Token marks protocol framing bytes the mutators must not touch
+	// (magic numbers, fixed headers).
+	Token bool
+
+	// SizeOf names another element whose serialized byte length this
+	// number field carries; CountOf names an element whose child count it
+	// carries. SizeBroken suppresses the automatic fix-up after a mutator
+	// deliberately corrupts the relation.
+	SizeOf     string
+	CountOf    string
+	SizeBroken bool
+
+	// Varint encodes this number as an MQTT-style variable-byte integer
+	// instead of a fixed-width field.
+	Varint bool
+}
+
+// Clone deep-copies the element tree.
+func (e *Element) Clone() *Element {
+	c := *e
+	if e.Data != nil {
+		c.Data = append([]byte(nil), e.Data...)
+	}
+	if e.Children != nil {
+		c.Children = make([]*Element, len(e.Children))
+		for i, ch := range e.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return &c
+}
+
+// A DataModel describes one packet type.
+type DataModel struct {
+	Name string
+	Root *Element
+}
+
+// NewMessage instantiates the model into a concrete message: choices are
+// resolved (uniformly at random) and default values copied, ready for
+// mutation and serialization.
+func (m *DataModel) NewMessage(r *rand.Rand) *Message {
+	root := m.Root.Clone()
+	resolveChoices(root, r)
+	return &Message{Model: m, Root: root}
+}
+
+func resolveChoices(e *Element, r *rand.Rand) {
+	if e.Kind == KindChoice && len(e.Children) > 0 {
+		e.Selected = r.Intn(len(e.Children))
+	}
+	for _, ch := range e.Children {
+		resolveChoices(ch, r)
+	}
+}
+
+// A Message is one instantiated, mutable packet.
+type Message struct {
+	Model *DataModel
+	Root  *Element
+}
+
+// Clone deep-copies the message.
+func (msg *Message) Clone() *Message {
+	return &Message{Model: msg.Model, Root: msg.Root.Clone()}
+}
+
+// Leaves returns the message's active leaf fields (numbers, strings,
+// blobs), honoring choice selections, in serialization order.
+func (msg *Message) Leaves() []*Element {
+	var out []*Element
+	collectLeaves(msg.Root, &out)
+	return out
+}
+
+func collectLeaves(e *Element, out *[]*Element) {
+	switch e.Kind {
+	case KindBlock:
+		for _, ch := range e.Children {
+			collectLeaves(ch, out)
+		}
+	case KindChoice:
+		if len(e.Children) > 0 {
+			sel := e.Selected
+			if sel < 0 || sel >= len(e.Children) {
+				sel = 0
+			}
+			collectLeaves(e.Children[sel], out)
+		}
+	default:
+		*out = append(*out, e)
+	}
+}
+
+// Find returns the active element with the given name, if any.
+func (msg *Message) Find(name string) *Element {
+	return findElement(msg.Root, name)
+}
+
+func findElement(e *Element, name string) *Element {
+	if e.Name == name {
+		return e
+	}
+	switch e.Kind {
+	case KindBlock:
+		for _, ch := range e.Children {
+			if f := findElement(ch, name); f != nil {
+				return f
+			}
+		}
+	case KindChoice:
+		if len(e.Children) > 0 {
+			sel := e.Selected
+			if sel < 0 || sel >= len(e.Children) {
+				sel = 0
+			}
+			return findElement(e.Children[sel], name)
+		}
+	}
+	return nil
+}
+
+// Serialize renders the message to wire bytes, resolving size and count
+// relations first (unless a mutator broke them on purpose).
+func (msg *Message) Serialize() []byte {
+	msg.fixRelations()
+	var buf []byte
+	serialize(msg.Root, &buf)
+	return buf
+}
+
+func (msg *Message) fixRelations() {
+	for _, leaf := range msg.Leaves() {
+		if leaf.Kind != KindNumber || leaf.SizeBroken {
+			continue
+		}
+		if leaf.SizeOf != "" {
+			if target := msg.Find(leaf.SizeOf); target != nil {
+				var buf []byte
+				serialize(target, &buf)
+				leaf.Value = uint64(len(buf))
+			}
+		}
+		if leaf.CountOf != "" {
+			if target := msg.Find(leaf.CountOf); target != nil {
+				leaf.Value = uint64(len(target.Children))
+			}
+		}
+	}
+}
+
+func serialize(e *Element, buf *[]byte) {
+	switch e.Kind {
+	case KindNumber:
+		serializeNumber(e, buf)
+	case KindString, KindBlob:
+		*buf = append(*buf, e.Data...)
+	case KindBlock:
+		for _, ch := range e.Children {
+			serialize(ch, buf)
+		}
+	case KindChoice:
+		if len(e.Children) > 0 {
+			sel := e.Selected
+			if sel < 0 || sel >= len(e.Children) {
+				sel = 0
+			}
+			serialize(e.Children[sel], buf)
+		}
+	}
+}
+
+func serializeNumber(e *Element, buf *[]byte) {
+	if e.Varint {
+		v := e.Value
+		const max = 268435455
+		if v > max {
+			v = max
+		}
+		for {
+			b := byte(v & 0x7f)
+			v >>= 7
+			if v > 0 {
+				*buf = append(*buf, b|0x80)
+			} else {
+				*buf = append(*buf, b)
+				return
+			}
+		}
+	}
+	bytes := e.Bits / 8
+	if bytes == 0 {
+		bytes = 1
+	}
+	for i := 0; i < bytes; i++ {
+		var shift uint
+		if e.Endian == BigEndian {
+			shift = uint(8 * (bytes - 1 - i))
+		} else {
+			shift = uint(8 * i)
+		}
+		*buf = append(*buf, byte(e.Value>>shift))
+	}
+}
+
+// Convenience constructors for building data models in Go code.
+
+// Num returns a fixed-width big-endian number field.
+func Num(name string, bits int, value uint64) *Element {
+	return &Element{Kind: KindNumber, Name: name, Bits: bits, Value: value}
+}
+
+// NumLE returns a little-endian number field.
+func NumLE(name string, bits int, value uint64) *Element {
+	return &Element{Kind: KindNumber, Name: name, Bits: bits, Value: value, Endian: LittleEndian}
+}
+
+// Token returns a number field the mutators must preserve.
+func Token(name string, bits int, value uint64) *Element {
+	e := Num(name, bits, value)
+	e.Token = true
+	return e
+}
+
+// Str returns a string field with a default value.
+func Str(name, value string) *Element {
+	return &Element{Kind: KindString, Name: name, Data: []byte(value)}
+}
+
+// Blob returns a raw bytes field.
+func Blob(name string, data []byte) *Element {
+	return &Element{Kind: KindBlob, Name: name, Data: data}
+}
+
+// Block groups child elements.
+func Block(name string, children ...*Element) *Element {
+	return &Element{Kind: KindBlock, Name: name, Children: children}
+}
+
+// Choice selects exactly one of its children per message.
+func Choice(name string, children ...*Element) *Element {
+	return &Element{Kind: KindChoice, Name: name, Children: children}
+}
+
+// SizeOf returns a number field carrying the serialized length of the
+// named element.
+func SizeOf(name string, bits int, target string) *Element {
+	e := Num(name, bits, 0)
+	e.SizeOf = target
+	return e
+}
+
+// VarintOf returns a variable-byte-integer field carrying the serialized
+// length of the named element (the MQTT remaining-length idiom).
+func VarintOf(name, target string) *Element {
+	return &Element{Kind: KindNumber, Name: name, Varint: true, SizeOf: target}
+}

@@ -1,0 +1,327 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+)
+
+// A Target is the system under test as the engine sees it: one call runs
+// a full message sequence against a fresh protocol session, records branch
+// coverage into tr, and reports a crash if a seeded defect fired.
+type Target interface {
+	Run(seq [][]byte, tr *coverage.Trace) *bugs.Crash
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(seq [][]byte, tr *coverage.Trace) *bugs.Crash
+
+// Run calls f.
+func (f TargetFunc) Run(seq [][]byte, tr *coverage.Trace) *bugs.Crash {
+	return f(seq, tr)
+}
+
+// Config parameterizes an engine instance.
+type Config struct {
+	// Models indexes the data models by name.
+	Models map[string]*DataModel
+	// StateModel drives message sequencing.
+	StateModel *StateModel
+	// Mutators is the mutation suite (DefaultMutators if nil).
+	Mutators []Mutator
+	// Seed makes the instance deterministic.
+	Seed int64
+	// MaxOps bounds structural mutations per message (default 3).
+	MaxOps int
+	// GenProb is the probability of structured generation from the models
+	// versus byte-level havoc of a corpus seed (default 0.5).
+	GenProb float64
+	// MutateProb is the probability that a freshly generated message gets
+	// structural mutations at all (default 0.8); the remainder are sent
+	// valid to drive the state machine deep.
+	MutateProb float64
+	// MaxWalkSteps bounds state model traversal (default 8).
+	MaxWalkSteps int
+	// FixedPaths, when non-empty, restricts generation to these state
+	// model paths (SPFuzz assigns each instance a disjoint path subset).
+	FixedPaths []Path
+	// MaxCorpus bounds the seed pool (default 256).
+	MaxCorpus int
+}
+
+func (c *Config) setDefaults() {
+	if c.Mutators == nil {
+		c.Mutators = DefaultMutators()
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 3
+	}
+	if c.GenProb == 0 {
+		c.GenProb = 0.5
+	}
+	if c.MutateProb == 0 {
+		c.MutateProb = 0.8
+	}
+	if c.MaxWalkSteps == 0 {
+		c.MaxWalkSteps = 8
+	}
+	if c.MaxCorpus == 0 {
+		c.MaxCorpus = 256
+	}
+}
+
+// A Seed is one message sequence that produced new coverage.
+type Seed struct {
+	Msgs [][]byte
+	Gain int // edges it discovered when first executed
+}
+
+// Stats aggregates an engine's activity.
+type Stats struct {
+	Execs      int
+	Crashes    int
+	CorpusSize int
+	BytesSent  int64
+}
+
+// StepResult reports one fuzzing iteration.
+type StepResult struct {
+	NewEdges int
+	Crash    *bugs.Crash
+	Bytes    int
+	Messages int
+}
+
+// An Engine is one fuzzing instance's generation/mutation loop with
+// coverage feedback — the Peach execution core.
+type Engine struct {
+	cfg    Config
+	target Target
+	rng    *rand.Rand
+	trace  *coverage.Trace
+	global *coverage.Map
+	corpus []Seed
+	stats  Stats
+}
+
+// NewEngine returns an engine fuzzing target under cfg.
+func NewEngine(cfg Config, target Target) *Engine {
+	cfg.setDefaults()
+	return &Engine{
+		cfg:    cfg,
+		target: target,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		trace:  coverage.NewTrace(),
+		global: coverage.NewMap(),
+	}
+}
+
+// Coverage returns the instance's cumulative covered-branch count.
+func (e *Engine) Coverage() int { return e.global.Count() }
+
+// CoverageMap returns the instance's cumulative coverage map (live; do
+// not modify).
+func (e *Engine) CoverageMap() *coverage.Map { return e.global }
+
+// Absorb folds an externally produced coverage map (typically startup
+// coverage from booting the instance) into the cumulative instance map
+// and returns how many edges were new.
+func (e *Engine) Absorb(m *coverage.Map) int { return e.global.Union(m) }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.CorpusSize = len(e.corpus)
+	return s
+}
+
+// Step executes one fuzzing iteration: build a message sequence
+// (structured generation or corpus havoc), run it, fold its coverage into
+// the instance map, and keep it as a seed if it found new edges.
+func (e *Engine) Step() StepResult {
+	var seq [][]byte
+	switch {
+	case len(e.corpus) == 0 || e.rng.Float64() < e.cfg.GenProb:
+		seq = e.generate()
+	case len(e.corpus) >= 2 && e.rng.Float64() < 0.2:
+		// Splice two corpus seeds: the head of one sequence followed by
+		// the tail of another, recombining progress from synchronized
+		// siblings.
+		seq = e.splice(e.corpus[e.rng.Intn(len(e.corpus))], e.corpus[e.rng.Intn(len(e.corpus))])
+	default:
+		seq = e.havoc(e.corpus[e.rng.Intn(len(e.corpus))])
+	}
+
+	e.trace.Reset()
+	crash := e.target.Run(seq, e.trace)
+	newEdges := e.global.Union(e.trace.Map())
+
+	e.stats.Execs++
+	res := StepResult{NewEdges: newEdges, Crash: crash, Messages: len(seq)}
+	for _, m := range seq {
+		res.Bytes += len(m)
+		e.stats.BytesSent += int64(len(m))
+	}
+	if crash != nil {
+		e.stats.Crashes++
+	}
+	if newEdges > 0 {
+		e.addSeed(Seed{Msgs: seq, Gain: newEdges})
+	}
+	return res
+}
+
+// generate walks the state model (or a fixed assigned path) and
+// instantiates each output's data model, optionally mutating fields.
+func (e *Engine) generate() [][]byte {
+	var modelNames []string
+	if len(e.cfg.FixedPaths) > 0 {
+		modelNames = e.cfg.FixedPaths[e.rng.Intn(len(e.cfg.FixedPaths))].Models
+	} else if e.cfg.StateModel != nil {
+		modelNames = e.cfg.StateModel.Walk(e.rng, e.cfg.MaxWalkSteps)
+	}
+	if len(modelNames) == 0 {
+		// No state model: fuzz each data model as a standalone packet.
+		for name := range e.cfg.Models {
+			modelNames = append(modelNames, name)
+			break
+		}
+	}
+	seq := make([][]byte, 0, len(modelNames))
+	for _, name := range modelNames {
+		dm, ok := e.cfg.Models[name]
+		if !ok {
+			continue
+		}
+		msg := dm.NewMessage(e.rng)
+		if e.rng.Float64() < e.cfg.MutateProb {
+			MutateMessage(msg, e.cfg.Mutators, e.rng, e.cfg.MaxOps)
+		}
+		seq = append(seq, msg.Serialize())
+	}
+	return seq
+}
+
+// havoc applies byte-level transformations to a corpus seed: flips,
+// random bytes, truncation, duplication of whole messages.
+func (e *Engine) havoc(s Seed) [][]byte {
+	seq := make([][]byte, 0, len(s.Msgs)+1)
+	for _, m := range s.Msgs {
+		seq = append(seq, append([]byte(nil), m...))
+	}
+	if len(seq) == 0 {
+		return seq
+	}
+	ops := 1 + e.rng.Intn(4)
+	for i := 0; i < ops; i++ {
+		mi := e.rng.Intn(len(seq))
+		m := seq[mi]
+		switch e.rng.Intn(5) {
+		case 0: // bit flip
+			if len(m) > 0 {
+				bit := e.rng.Intn(len(m) * 8)
+				m[bit/8] ^= 1 << uint(bit%8)
+			}
+		case 1: // random byte
+			if len(m) > 0 {
+				m[e.rng.Intn(len(m))] = byte(e.rng.Intn(256))
+			}
+		case 2: // truncate
+			if len(m) > 1 {
+				seq[mi] = m[:1+e.rng.Intn(len(m)-1)]
+			}
+		case 3: // duplicate a message in the sequence
+			if len(seq) < 16 {
+				seq = append(seq, nil)
+				copy(seq[mi+1:], seq[mi:])
+				seq[mi] = append([]byte(nil), m...)
+			}
+		case 4: // append random tail
+			tail := make([]byte, 1+e.rng.Intn(8))
+			for j := range tail {
+				tail[j] = byte(e.rng.Intn(256))
+			}
+			seq[mi] = append(m, tail...)
+		}
+	}
+	return seq
+}
+
+// splice builds a sequence from a prefix of one seed and a suffix of
+// another, then applies light havoc.
+func (e *Engine) splice(a, b Seed) [][]byte {
+	cut1 := 0
+	if len(a.Msgs) > 0 {
+		cut1 = 1 + e.rng.Intn(len(a.Msgs))
+	}
+	cut2 := 0
+	if len(b.Msgs) > 0 {
+		cut2 = e.rng.Intn(len(b.Msgs))
+	}
+	seq := make([][]byte, 0, cut1+len(b.Msgs)-cut2)
+	for _, m := range a.Msgs[:cut1] {
+		seq = append(seq, append([]byte(nil), m...))
+	}
+	for _, m := range b.Msgs[cut2:] {
+		seq = append(seq, append([]byte(nil), m...))
+	}
+	if len(seq) > 16 {
+		seq = seq[:16]
+	}
+	return e.havoc(Seed{Msgs: seq})
+}
+
+func (e *Engine) addSeed(s Seed) {
+	if len(e.corpus) >= e.cfg.MaxCorpus {
+		// Evict the weakest seed (smallest discovery gain).
+		weakest := 0
+		for i, c := range e.corpus {
+			if c.Gain < e.corpus[weakest].Gain {
+				weakest = i
+			}
+		}
+		e.corpus[weakest] = s
+		return
+	}
+	e.corpus = append(e.corpus, s)
+}
+
+// ExportSeeds returns up to max of the engine's highest-gain seeds for
+// synchronization with sibling instances (the AFL/Peach parallel-mode
+// mechanism the baselines use).
+func (e *Engine) ExportSeeds(max int) []Seed {
+	if max <= 0 || len(e.corpus) == 0 {
+		return nil
+	}
+	idx := make([]int, len(e.corpus))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: top-gain seeds first.
+	for i := 0; i < len(idx) && i < max; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if e.corpus[idx[j]].Gain > e.corpus[idx[best]].Gain {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if len(idx) > max {
+		idx = idx[:max]
+	}
+	out := make([]Seed, len(idx))
+	for i, j := range idx {
+		out[i] = e.corpus[j]
+	}
+	return out
+}
+
+// ImportSeeds folds synchronized seeds from a sibling instance into the
+// corpus.
+func (e *Engine) ImportSeeds(seeds []Seed) {
+	for _, s := range seeds {
+		e.addSeed(s)
+	}
+}

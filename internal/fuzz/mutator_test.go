@@ -1,0 +1,191 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMutatorsNeverTouchTokens(t *testing.T) {
+	r := testRand()
+	for _, m := range DefaultMutators() {
+		tok := Token("magic", 8, 0x7f)
+		if m.Applicable(tok) {
+			t.Errorf("%s applicable to token number", m.Name())
+		}
+		tokStr := Str("fixed", "MAGIC")
+		tokStr.Token = true
+		if m.Applicable(tokStr) {
+			t.Errorf("%s applicable to token string", m.Name())
+		}
+	}
+	_ = r
+}
+
+func TestNumberBoundaryStaysInWidth(t *testing.T) {
+	r := testRand()
+	e := Num("n", 8, 5)
+	for i := 0; i < 100; i++ {
+		(numberBoundary{}).Mutate(e, r)
+		// Boundary values may exceed the width on purpose (over-wide
+		// constants get truncated at serialization); serialization must
+		// still produce exactly one byte.
+		var buf []byte
+		serializeNumber(e, &buf)
+		if len(buf) != 1 {
+			t.Fatalf("8-bit number serialized to %d bytes", len(buf))
+		}
+	}
+}
+
+func TestNumberRandomMasksWidth(t *testing.T) {
+	r := testRand()
+	e := Num("n", 16, 0)
+	for i := 0; i < 100; i++ {
+		(numberRandom{}).Mutate(e, r)
+		if e.Value > 0xffff {
+			t.Fatalf("16-bit random value %#x exceeds width", e.Value)
+		}
+	}
+}
+
+func TestSizeBreakerOnlyAppliesToRelations(t *testing.T) {
+	sb := sizeBreaker{}
+	if sb.Applicable(Num("plain", 8, 0)) {
+		t.Fatal("sizeBreaker applicable to plain number")
+	}
+	rel := SizeOf("len", 16, "body")
+	if !sb.Applicable(rel) {
+		t.Fatal("sizeBreaker not applicable to size field")
+	}
+	sb.Mutate(rel, testRand())
+	if !rel.SizeBroken {
+		t.Fatal("sizeBreaker did not mark relation broken")
+	}
+}
+
+func TestStringMutators(t *testing.T) {
+	r := testRand()
+
+	e := Str("s", "ab")
+	(stringRepeat{}).Mutate(e, r)
+	if len(e.Data) < 4 || len(e.Data)%2 != 0 {
+		t.Fatalf("StringRepeat produced %d bytes", len(e.Data))
+	}
+
+	e = Str("s", "ab")
+	(stringEmpty{}).Mutate(e, r)
+	if len(e.Data) != 0 {
+		t.Fatal("StringEmpty left data")
+	}
+	if (stringEmpty{}).Applicable(e) {
+		t.Fatal("StringEmpty applicable to already-empty string")
+	}
+
+	e = Str("s", "ab")
+	(stringSpecial{}).Mutate(e, r)
+	found := false
+	for _, sp := range specialStrings {
+		if string(e.Data) == string(sp) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("StringSpecial produced unexpected %q", e.Data)
+	}
+}
+
+func TestBlobMutators(t *testing.T) {
+	r := testRand()
+
+	e := Blob("b", []byte{0, 0, 0, 0})
+	(blobBitFlip{}).Mutate(e, r)
+	nonzero := false
+	for _, b := range e.Data {
+		if b != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("BlobBitFlip changed nothing")
+	}
+
+	e = Blob("b", []byte{1, 2, 3, 4})
+	(blobTruncate{}).Mutate(e, r)
+	if len(e.Data) >= 4 {
+		t.Fatalf("BlobTruncate len = %d", len(e.Data))
+	}
+
+	e = Blob("b", []byte{1, 2})
+	(blobDuplicate{}).Mutate(e, r)
+	if len(e.Data) < 4 || len(e.Data)%2 != 0 {
+		t.Fatalf("BlobDuplicate len = %d", len(e.Data))
+	}
+
+	e = Blob("b", nil)
+	(blobInsert{}).Mutate(e, r)
+	if len(e.Data) == 0 {
+		t.Fatal("BlobInsert into empty blob added nothing")
+	}
+}
+
+func TestMutateMessageAppliesAtLeastOne(t *testing.T) {
+	m := &DataModel{Name: "m", Root: Block("root",
+		Token("type", 8, 0x10),
+		Num("flags", 8, 0),
+		Str("id", "client"),
+	)}
+	r := testRand()
+	changed := 0
+	for i := 0; i < 50; i++ {
+		msg := m.NewMessage(r)
+		before := append([]byte(nil), msg.Serialize()...)
+		if MutateMessage(msg, DefaultMutators(), r, 3) == 0 {
+			continue
+		}
+		after := msg.Serialize()
+		if string(before) != string(after) {
+			changed++
+		}
+		// The token byte must always survive.
+		if after[0] != 0x10 {
+			t.Fatalf("token byte mutated: %x", after)
+		}
+	}
+	if changed < 25 {
+		t.Fatalf("mutation changed output only %d/50 times", changed)
+	}
+}
+
+func TestMutateMessageTokenOnlyModel(t *testing.T) {
+	m := &DataModel{Name: "m", Root: Block("root", Token("t", 8, 1))}
+	msg := m.NewMessage(testRand())
+	if got := MutateMessage(msg, DefaultMutators(), testRand(), 3); got != 0 {
+		t.Fatalf("applied %d mutations to token-only message", got)
+	}
+}
+
+func TestMutatorNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range DefaultMutators() {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Fatalf("duplicate or empty mutator name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func TestMutatorsDeterministicPerSeed(t *testing.T) {
+	build := func() []byte {
+		m := &DataModel{Name: "m", Root: Block("root",
+			Num("a", 16, 7), Str("s", "xyz"), Blob("b", []byte{9, 9, 9}),
+		)}
+		r := rand.New(rand.NewSource(99))
+		msg := m.NewMessage(r)
+		MutateMessage(msg, DefaultMutators(), r, 4)
+		return msg.Serialize()
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Fatal("mutation not deterministic for fixed seed")
+	}
+}

@@ -1,0 +1,267 @@
+package fuzz
+
+import (
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A Pit holds the data and state models loaded from one Pit-style XML
+// document — the declarative format Peach uses and the paper reuses
+// ("we use the same Pit files that specify the data and state models for
+// each protocol").
+type Pit struct {
+	DataModels  map[string]*DataModel
+	StateModels map[string]*StateModel
+}
+
+// ParsePit parses the supported Pit XML subset:
+//
+//	<Peach>
+//	  <DataModel name="M">
+//	    <Number name="n" bits="8" value="16" token="true" endian="big"
+//	            sizeOf="payload" countOf="" varint="false"/>
+//	    <String name="s" value="text"/>
+//	    <Blob name="b" valueHex="0a0b" length="4"/>
+//	    <Block name="grp"> ...nested elements... </Block>
+//	    <Choice name="alt"> ...nested elements... </Choice>
+//	  </DataModel>
+//	  <StateModel name="SM" initialState="s0">
+//	    <State name="s0">
+//	      <Action type="output" dataModel="M"/>
+//	      <Action type="changeState" to="s1"/>
+//	    </State>
+//	  </StateModel>
+//	</Peach>
+func ParsePit(content string) (*Pit, error) {
+	dec := xml.NewDecoder(strings.NewReader(content))
+	pit := &Pit{
+		DataModels:  make(map[string]*DataModel),
+		StateModels: make(map[string]*StateModel),
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: pit parse: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case "Peach":
+			// container: descend
+		case "DataModel":
+			dm, err := parseDataModel(dec, start)
+			if err != nil {
+				return nil, err
+			}
+			pit.DataModels[dm.Name] = dm
+		case "StateModel":
+			sm, err := parseStateModel(dec, start)
+			if err != nil {
+				return nil, err
+			}
+			pit.StateModels[sm.Name] = sm
+		default:
+			if err := dec.Skip(); err != nil {
+				return nil, fmt.Errorf("fuzz: pit parse: %w", err)
+			}
+		}
+	}
+	for _, sm := range pit.StateModels {
+		if err := sm.Validate(pit.DataModels); err != nil {
+			return nil, err
+		}
+	}
+	return pit, nil
+}
+
+func parseDataModel(dec *xml.Decoder, start xml.StartElement) (*DataModel, error) {
+	name := attr(start, "name")
+	if name == "" {
+		return nil, fmt.Errorf("fuzz: DataModel without name")
+	}
+	children, err := parseElements(dec, start.Name.Local)
+	if err != nil {
+		return nil, err
+	}
+	return &DataModel{Name: name, Root: &Element{Kind: KindBlock, Name: name, Children: children}}, nil
+}
+
+// parseElements consumes child elements until the close tag of the
+// enclosing element named encl.
+func parseElements(dec *xml.Decoder, encl string) ([]*Element, error) {
+	var out []*Element
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: pit parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == encl {
+				return out, nil
+			}
+		case xml.StartElement:
+			el, err := parseElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, el)
+		}
+	}
+}
+
+func parseElement(dec *xml.Decoder, start xml.StartElement) (*Element, error) {
+	e := &Element{Name: attr(start, "name")}
+	switch start.Name.Local {
+	case "Number":
+		e.Kind = KindNumber
+		e.Bits = attrInt(start, "bits", 8)
+		e.Value = uint64(attrInt(start, "value", 0))
+		if attr(start, "endian") == "little" {
+			e.Endian = LittleEndian
+		}
+		e.Token = attr(start, "token") == "true"
+		e.SizeOf = attr(start, "sizeOf")
+		e.CountOf = attr(start, "countOf")
+		e.Varint = attr(start, "varint") == "true"
+		if err := dec.Skip(); err != nil {
+			return nil, err
+		}
+	case "String":
+		e.Kind = KindString
+		e.Data = []byte(attr(start, "value"))
+		e.Token = attr(start, "token") == "true"
+		if err := dec.Skip(); err != nil {
+			return nil, err
+		}
+	case "Blob":
+		e.Kind = KindBlob
+		if hx := attr(start, "valueHex"); hx != "" {
+			data, err := hex.DecodeString(hx)
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: Blob %q valueHex: %w", e.Name, err)
+			}
+			e.Data = data
+		} else if n := attrInt(start, "length", 0); n > 0 {
+			e.Data = make([]byte, n)
+		}
+		e.Token = attr(start, "token") == "true"
+		if err := dec.Skip(); err != nil {
+			return nil, err
+		}
+	case "Block", "Choice":
+		if start.Name.Local == "Block" {
+			e.Kind = KindBlock
+		} else {
+			e.Kind = KindChoice
+		}
+		children, err := parseElements(dec, start.Name.Local)
+		if err != nil {
+			return nil, err
+		}
+		e.Children = children
+	default:
+		return nil, fmt.Errorf("fuzz: unsupported pit element <%s>", start.Name.Local)
+	}
+	return e, nil
+}
+
+func parseStateModel(dec *xml.Decoder, start xml.StartElement) (*StateModel, error) {
+	sm := &StateModel{
+		Name:    attr(start, "name"),
+		Initial: attr(start, "initialState"),
+		States:  make(map[string]*State),
+	}
+	if sm.Name == "" {
+		return nil, fmt.Errorf("fuzz: StateModel without name")
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: pit parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == "StateModel" {
+				return sm, nil
+			}
+		case xml.StartElement:
+			if t.Name.Local != "State" {
+				return nil, fmt.Errorf("fuzz: unexpected <%s> in StateModel", t.Name.Local)
+			}
+			st, err := parseState(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			sm.States[st.Name] = st
+		}
+	}
+}
+
+func parseState(dec *xml.Decoder, start xml.StartElement) (*State, error) {
+	st := &State{Name: attr(start, "name")}
+	if st.Name == "" {
+		return nil, fmt.Errorf("fuzz: State without name")
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: pit parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			if t.Name.Local == "State" {
+				return st, nil
+			}
+		case xml.StartElement:
+			if t.Name.Local != "Action" {
+				return nil, fmt.Errorf("fuzz: unexpected <%s> in State", t.Name.Local)
+			}
+			var a Action
+			switch attr(t, "type") {
+			case "output":
+				a = Action{Kind: ActionOutput, DataModel: attr(t, "dataModel")}
+			case "input":
+				a = Action{Kind: ActionInput}
+			case "changeState":
+				a = Action{Kind: ActionChangeState, To: attr(t, "to")}
+			default:
+				return nil, fmt.Errorf("fuzz: unsupported action type %q", attr(t, "type"))
+			}
+			st.Actions = append(st.Actions, a)
+			if err := dec.Skip(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func attr(e xml.StartElement, name string) string {
+	for _, a := range e.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func attrInt(e xml.StartElement, name string, def int) int {
+	s := attr(e, name)
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

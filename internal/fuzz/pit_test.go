@@ -1,0 +1,133 @@
+package fuzz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const samplePit = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="Connect">
+    <Number name="type" bits="8" value="16" token="true"/>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <String name="proto" value="MQTT"/>
+      <Number name="level" bits="8" value="4"/>
+      <Choice name="auth">
+        <Block name="anon">
+          <Number name="flags" bits="8" value="2"/>
+        </Block>
+        <Block name="pass">
+          <Number name="flags" bits="8" value="194"/>
+          <String name="password" value="secret"/>
+        </Block>
+      </Choice>
+      <Blob name="payload" valueHex="0102"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Ping">
+    <Number name="type" bits="8" value="192" token="true"/>
+    <Blob name="pad" length="2"/>
+  </DataModel>
+  <StateModel name="Session" initialState="init">
+    <State name="init">
+      <Action type="output" dataModel="Connect"/>
+      <Action type="input"/>
+      <Action type="changeState" to="steady"/>
+    </State>
+    <State name="steady">
+      <Action type="output" dataModel="Ping"/>
+    </State>
+  </StateModel>
+</Peach>`
+
+func TestParsePit(t *testing.T) {
+	pit, err := ParsePit(samplePit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pit.DataModels) != 2 || len(pit.StateModels) != 1 {
+		t.Fatalf("models = %d data, %d state", len(pit.DataModels), len(pit.StateModels))
+	}
+
+	conn := pit.DataModels["Connect"]
+	if conn == nil {
+		t.Fatal("Connect model missing")
+	}
+	msg := conn.NewMessage(testRand())
+	typeField := msg.Find("type")
+	if typeField == nil || !typeField.Token || typeField.Value != 16 {
+		t.Fatalf("type field = %+v", typeField)
+	}
+	rem := msg.Find("remlen")
+	if rem == nil || !rem.Varint || rem.SizeOf != "body" {
+		t.Fatalf("remlen field = %+v", rem)
+	}
+	if f := msg.Find("payload"); f == nil || !bytes.Equal(f.Data, []byte{1, 2}) {
+		t.Fatalf("payload = %+v", f)
+	}
+
+	ping := pit.DataModels["Ping"]
+	pmsg := ping.NewMessage(testRand())
+	if f := pmsg.Find("pad"); f == nil || len(f.Data) != 2 {
+		t.Fatalf("pad = %+v", f)
+	}
+
+	// Serialized Connect starts with the token and a correct varint size.
+	out := msg.Serialize()
+	if out[0] != 16 {
+		t.Fatalf("first byte = %d", out[0])
+	}
+
+	sm := pit.StateModels["Session"]
+	if sm.Initial != "init" || len(sm.States) != 2 {
+		t.Fatalf("state model = %+v", sm)
+	}
+	walk := sm.Walk(testRand(), 10)
+	if len(walk) != 2 || walk[0] != "Connect" || walk[1] != "Ping" {
+		t.Fatalf("walk = %v", walk)
+	}
+}
+
+func TestParsePitErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"unnamed data model", `<Peach><DataModel><Number name="n"/></DataModel></Peach>`},
+		{"unsupported element", `<Peach><DataModel name="m"><Widget name="w"/></DataModel></Peach>`},
+		{"bad hex", `<Peach><DataModel name="m"><Blob name="b" valueHex="zz"/></DataModel></Peach>`},
+		{"unnamed state model", `<Peach><StateModel initialState="a"><State name="a"></State></StateModel></Peach>`},
+		{"bad action type", `<Peach><StateModel name="s" initialState="a"><State name="a"><Action type="explode"/></State></StateModel></Peach>`},
+		{"dangling transition", `<Peach><StateModel name="s" initialState="a"><State name="a"><Action type="changeState" to="ghost"/></State></StateModel></Peach>`},
+		{"missing initial", `<Peach><StateModel name="s" initialState="ghost"><State name="a"></State></StateModel></Peach>`},
+		{"malformed xml", `<Peach><DataModel name="m">`},
+	}
+	for _, c := range cases {
+		if _, err := ParsePit(c.xml); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParsePitUnknownTopLevelSkipped(t *testing.T) {
+	pit, err := ParsePit(`<Peach><Include src="x"/><DataModel name="m"><Number name="n" bits="8"/></DataModel></Peach>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pit.DataModels) != 1 {
+		t.Fatalf("models = %d", len(pit.DataModels))
+	}
+}
+
+func TestParsePitStateModelWithoutModelsValidatesOutputs(t *testing.T) {
+	_, err := ParsePit(`<Peach>
+	  <StateModel name="s" initialState="a">
+	    <State name="a"><Action type="output" dataModel="Ghost"/></State>
+	  </StateModel>
+	</Peach>`)
+	if err == nil || !strings.Contains(err.Error(), "Ghost") {
+		t.Fatalf("err = %v, want undefined data model error", err)
+	}
+}

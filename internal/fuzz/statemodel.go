@@ -1,0 +1,164 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ActionKind is the type of a state model action.
+type ActionKind int
+
+// The action kinds supported by the state model.
+const (
+	// ActionOutput sends a message instantiated from a data model.
+	ActionOutput ActionKind = iota
+	// ActionInput consumes the peer's response (a synchronization point;
+	// the synchronous target delivers responses inline, so the action is
+	// a modeling artifact kept for Pit fidelity).
+	ActionInput
+	// ActionChangeState transfers control to another state.
+	ActionChangeState
+)
+
+// An Action is one step inside a state.
+type Action struct {
+	Kind      ActionKind
+	DataModel string // for ActionOutput
+	To        string // for ActionChangeState
+}
+
+// A State is a named sequence of actions. Its output actions run in
+// order; if it holds one or more change-state actions, one is chosen
+// (uniformly, or by an explicit path) and control transfers. A state
+// without change-state actions ends the session.
+type State struct {
+	Name    string
+	Actions []Action
+}
+
+// A StateModel captures a protocol's interaction flow.
+type StateModel struct {
+	Name    string
+	Initial string
+	States  map[string]*State
+}
+
+// Validate checks referential integrity: the initial state exists, every
+// transition targets a known state, and every output names a model in
+// models (skipped when models is nil).
+func (sm *StateModel) Validate(models map[string]*DataModel) error {
+	if _, ok := sm.States[sm.Initial]; !ok {
+		return fmt.Errorf("fuzz: initial state %q undefined", sm.Initial)
+	}
+	for _, st := range sm.States {
+		for _, a := range st.Actions {
+			switch a.Kind {
+			case ActionChangeState:
+				if _, ok := sm.States[a.To]; !ok {
+					return fmt.Errorf("fuzz: state %q transitions to undefined state %q", st.Name, a.To)
+				}
+			case ActionOutput:
+				if models != nil {
+					if _, ok := models[a.DataModel]; !ok {
+						return fmt.Errorf("fuzz: state %q outputs undefined data model %q", st.Name, a.DataModel)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Walk performs one randomized traversal from the initial state and
+// returns the ordered data-model names to send. maxSteps bounds cyclic
+// models.
+func (sm *StateModel) Walk(r *rand.Rand, maxSteps int) []string {
+	var out []string
+	cur := sm.States[sm.Initial]
+	for steps := 0; cur != nil && steps < maxSteps; steps++ {
+		var transitions []string
+		for _, a := range cur.Actions {
+			switch a.Kind {
+			case ActionOutput:
+				out = append(out, a.DataModel)
+			case ActionChangeState:
+				transitions = append(transitions, a.To)
+			}
+		}
+		if len(transitions) == 0 {
+			break
+		}
+		cur = sm.States[transitions[r.Intn(len(transitions))]]
+	}
+	return out
+}
+
+// A Path is one concrete traversal: the states visited and the models
+// output along the way. SPFuzz partitions the path space across parallel
+// instances.
+type Path struct {
+	States []string
+	Models []string
+}
+
+// Paths enumerates distinct traversals by depth-first search over the
+// branching structure, visiting each state at most twice per path (so
+// cyclic models terminate) and returning at most maxPaths paths of at
+// most maxDepth states each.
+func (sm *StateModel) Paths(maxDepth, maxPaths int) []Path {
+	var out []Path
+	var dfs func(stateName string, visits map[string]int, states, models []string)
+	dfs = func(stateName string, visits map[string]int, states, models []string) {
+		if len(out) >= maxPaths || len(states) >= maxDepth {
+			if len(states) > 0 && len(out) < maxPaths {
+				out = append(out, Path{States: clip(states), Models: clip(models)})
+			}
+			return
+		}
+		st, ok := sm.States[stateName]
+		if !ok || visits[stateName] >= 2 {
+			out = append(out, Path{States: clip(states), Models: clip(models)})
+			return
+		}
+		visits[stateName]++
+		defer func() { visits[stateName]-- }()
+		states = append(states, stateName)
+		var transitions []string
+		for _, a := range st.Actions {
+			switch a.Kind {
+			case ActionOutput:
+				models = append(models, a.DataModel)
+			case ActionChangeState:
+				transitions = append(transitions, a.To)
+			}
+		}
+		if len(transitions) == 0 {
+			out = append(out, Path{States: clip(states), Models: clip(models)})
+			return
+		}
+		for _, to := range transitions {
+			if len(out) >= maxPaths {
+				return
+			}
+			dfs(to, visits, states, models)
+		}
+	}
+	dfs(sm.Initial, map[string]int{}, nil, nil)
+	return dedupPaths(out)
+}
+
+func clip(s []string) []string { return append([]string(nil), s...) }
+
+func dedupPaths(in []Path) []Path {
+	seen := make(map[string]bool, len(in))
+	var out []Path
+	for _, p := range in {
+		key := fmt.Sprint(p.Models)
+		if seen[key] || len(p.Models) == 0 {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func echoHandler() DatagramHandler {
+	return DatagramHandlerFunc(func(src Addr, payload []byte) [][]byte {
+		out := append([]byte("echo:"), payload...)
+		return [][]byte{out}
+	})
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	f := NewFabric()
+	ns := f.Namespace("inst0")
+	if err := ns.BindDatagram(5683, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ns.SendDatagram(Addr{Host: "c", Port: 9999}, Addr{Host: "inst0", Port: 5683}, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 1 || !bytes.Equal(resp[0], []byte("echo:hi")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	st := ns.Stats()
+	if st.DatagramsSent != 1 || st.DatagramsDelivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDatagramPortConflictAndUnbind(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	if err := ns.BindDatagram(53, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.BindDatagram(53, echoHandler()); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("rebind err = %v, want ErrPortInUse", err)
+	}
+	ns.UnbindDatagram(53)
+	if err := ns.BindDatagram(53, echoHandler()); err != nil {
+		t.Fatalf("bind after unbind: %v", err)
+	}
+}
+
+func TestDatagramUnroutable(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	_, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, nil)
+	if !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("err = %v, want ErrUnroutable", err)
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	f := NewFabric()
+	a := f.Namespace("inst0")
+	b := f.Namespace("inst1")
+	if err := b.BindDatagram(5683, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	// inst0 cannot reach inst1's endpoint, even though the fabric knows it.
+	if err := a.SendAcross("inst1", Addr{Host: "inst1", Port: 5683}, []byte("x")); !errors.Is(err, ErrIsolated) {
+		t.Fatalf("cross-namespace err = %v, want ErrIsolated", err)
+	}
+	// Same-name SendAcross routes locally.
+	if err := b.SendAcross("inst1", Addr{Host: "inst1", Port: 5683}, []byte("x")); err != nil {
+		t.Fatalf("local SendAcross err = %v", err)
+	}
+}
+
+func TestNamespaceIdentity(t *testing.T) {
+	f := NewFabric()
+	if f.Namespace("x") != f.Namespace("x") {
+		t.Fatal("same name returned different namespaces")
+	}
+	if f.Namespace("x") == f.Namespace("y") {
+		t.Fatal("different names returned same namespace")
+	}
+	if len(f.Names()) != 2 {
+		t.Fatalf("Names = %v", f.Names())
+	}
+}
+
+func TestDatagramLossDeterministic(t *testing.T) {
+	run := func() (delivered int) {
+		ns := NewFabric().Namespace("lossy")
+		ns.SetLoss(0.5, 42)
+		if err := ns.BindDatagram(1, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			resp, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp != nil {
+				delivered++
+			}
+		}
+		return delivered
+	}
+	d1, d2 := run(), run()
+	if d1 != d2 {
+		t.Fatalf("loss not deterministic: %d vs %d", d1, d2)
+	}
+	if d1 == 0 || d1 == 200 {
+		t.Fatalf("loss=0.5 delivered %d/200", d1)
+	}
+}
+
+type recordingStream struct {
+	connects int
+	closes   int
+	data     [][]byte
+}
+
+func (r *recordingStream) OnConnect(c *Conn) {
+	r.connects++
+	c.SetState("session")
+}
+func (r *recordingStream) OnData(c *Conn, data []byte) [][]byte {
+	r.data = append(r.data, data)
+	return [][]byte{[]byte("ack")}
+}
+func (r *recordingStream) OnClose(c *Conn) { r.closes++ }
+
+func TestStreamLifecycle(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	h := &recordingStream{}
+	if err := ns.Listen(1883, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Listen(1883, h); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("double listen err = %v", err)
+	}
+	c, err := ns.Dial(1883)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.connects != 1 {
+		t.Fatalf("connects = %d", h.connects)
+	}
+	if c.State() != "session" {
+		t.Fatalf("state = %v", c.State())
+	}
+	resp, err := c.Send([]byte("CONNECT"))
+	if err != nil || len(resp) != 1 || string(resp[0]) != "ack" {
+		t.Fatalf("send = %q, %v", resp, err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if h.closes != 1 {
+		t.Fatalf("closes = %d", h.closes)
+	}
+	if !c.Closed() {
+		t.Fatal("conn not marked closed")
+	}
+	if _, err := c.Send(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close err = %v", err)
+	}
+}
+
+func TestStreamDialUnroutable(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	if _, err := ns.Dial(1); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConnIDsUnique(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	h := &recordingStream{}
+	if err := ns.Listen(1, h); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := ns.Dial(1)
+	c2, _ := ns.Dial(1)
+	if c1.ID() == c2.ID() {
+		t.Fatal("conn ids collide")
+	}
+	if c1.RemoteAddr().Port != 1 {
+		t.Fatalf("remote = %v", c1.RemoteAddr())
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := (Addr{Host: "h", Port: 53}).String(); got != "h:53" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCloseListenerUnroutes(t *testing.T) {
+	ns := NewFabric().Namespace("a")
+	if err := ns.Listen(2, &recordingStream{}); err != nil {
+		t.Fatal(err)
+	}
+	ns.CloseListener(2)
+	if _, err := ns.Dial(2); !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("dial after close err = %v", err)
+	}
+}

@@ -1,0 +1,503 @@
+// Package parallel orchestrates parallel fuzzing campaigns over the
+// protocol subjects. It implements the three fuzzers the paper compares:
+//
+//   - CMFuzz: configuration model identification + relation-aware
+//     scheduling (one cohesive configuration group per instance), with
+//     adaptive mutation of MUTABLE configuration values on coverage
+//     saturation (paper §III-B2);
+//   - Peach parallel mode: N identical default-configuration instances
+//     with periodic seed synchronization;
+//   - SPFuzz: default configuration, state-model path space partitioned
+//     across instances (stateful-path-based parallelism).
+//
+// Campaigns run on a virtual clock: each engine step models a batch of
+// protocol executions and advances the owning instance's clock by a cost
+// derived from the bytes sent, so 24 simulated hours replay in seconds
+// and deterministically for a fixed seed. Every instance runs inside its
+// own netsim namespace, reproducing the paper's network-namespace
+// isolation.
+package parallel
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/core/relation"
+	"cmfuzz/internal/core/schedule"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/fuzz"
+	"cmfuzz/internal/netsim"
+	"cmfuzz/internal/subject"
+)
+
+// Mode selects the parallel fuzzer.
+type Mode int
+
+// The fuzzers compared in Table I.
+const (
+	ModeCMFuzz Mode = iota
+	ModePeach
+	ModeSPFuzz
+)
+
+var modeNames = [...]string{ModeCMFuzz: "CMFuzz", ModePeach: "Peach", ModeSPFuzz: "SPFuzz"}
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return "unknown"
+	}
+	return modeNames[m]
+}
+
+// Allocator is the grouping strategy CMFuzz uses; alternatives exist for
+// the ablation experiments.
+type Allocator int
+
+// Grouping strategies.
+const (
+	AllocCohesive Allocator = iota // Algorithm 2 (the paper's)
+	AllocRandom
+	AllocRoundRobin
+)
+
+// Options parameterizes a campaign.
+type Options struct {
+	// Mode selects the fuzzer (default CMFuzz).
+	Mode Mode
+	// Instances is the parallel instance count (default 4, as in §IV).
+	Instances int
+	// VirtualHours is the campaign length in simulated hours (default 24).
+	VirtualHours float64
+	// Seed drives all randomness.
+	Seed int64
+	// StepCost is the virtual seconds one engine step (a batch of
+	// executions) costs before the per-byte term (default 2.0).
+	StepCost float64
+	// ByteCost is the additional virtual seconds per payload byte
+	// (default 0.00002).
+	ByteCost float64
+	// SyncInterval is the seed-synchronization period in virtual seconds
+	// (default 600).
+	SyncInterval float64
+	// SaturationWindow is how long coverage must stay flat before a
+	// CMFuzz instance mutates a configuration value (default 1800).
+	SaturationWindow float64
+	// SaturationMinGain is the per-window coverage growth below which an
+	// instance counts as saturated (default 8 edges) — wide hash-family
+	// instrumentation trickles a few edges long after a configuration is
+	// effectively exhausted.
+	SaturationMinGain int
+	// MaxValues caps per-entity values during relation probing
+	// (default 4).
+	MaxValues int
+	// Allocator selects the grouping strategy (CMFuzz mode only).
+	Allocator Allocator
+	// DisableConfigMutation turns off adaptive configuration-value
+	// mutation (ablation).
+	DisableConfigMutation bool
+	// SampleEvery records a coverage sample at least this often in
+	// virtual seconds (default 300), bounding Figure 4 resolution.
+	SampleEvery float64
+	// RawRelationWeighting uses the paper-literal raw-coverage relation
+	// weights instead of interaction gains (an ablation; see the relation
+	// package).
+	RawRelationWeighting bool
+	// PeachSharedSchedules makes Peach-mode workers share generation
+	// schedules pairwise, modeling a parallel mode that replicates one
+	// deterministic strategy without task division (an ablation
+	// quantifying the redundancy critique from the parallel-fuzzing
+	// literature). Off by default: the Table I baseline runs independent
+	// workers.
+	PeachSharedSchedules bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Instances == 0 {
+		o.Instances = 4
+	}
+	if o.VirtualHours == 0 {
+		o.VirtualHours = 24
+	}
+	if o.StepCost == 0 {
+		o.StepCost = 2.0
+	}
+	if o.ByteCost == 0 {
+		o.ByteCost = 0.00002
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 600
+	}
+	if o.SaturationWindow == 0 {
+		o.SaturationWindow = 1800
+	}
+	if o.SaturationMinGain == 0 {
+		o.SaturationMinGain = 8
+	}
+	if o.MaxValues == 0 {
+		o.MaxValues = 4
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 300
+	}
+}
+
+// InstanceResult summarizes one parallel instance.
+type InstanceResult struct {
+	Index           int
+	Config          string
+	Group           []string
+	FinalBranches   int
+	Execs           int
+	Crashes         int
+	ConfigMutations int
+}
+
+// Result is one campaign's outcome.
+type Result struct {
+	Mode          Mode
+	Subject       subject.Info
+	Series        *coverage.Series // union branch coverage over time
+	FinalBranches int
+	Instances     []InstanceResult
+	Bugs          *bugs.Ledger
+	TotalExecs    int
+	// CMFuzz internals, for inspection and the ablations.
+	ModelEntities int
+	RelationEdges int
+	Probes        int
+	Groups        []schedule.Group
+}
+
+// instance is one running parallel fuzzing instance.
+type instance struct {
+	index    int
+	clock    float64
+	nextSync float64
+	engine   *fuzz.Engine
+	target   *netTarget
+	cfg      configmodel.Assignment
+	group    schedule.Group
+	sat      *coverage.Saturation
+	rng      *rand.Rand
+	muts     int
+	crashes  int
+}
+
+// instanceHeap orders instances by virtual clock (ties on index), so the
+// interleaving is deterministic.
+type instanceHeap []*instance
+
+func (h instanceHeap) Len() int { return len(h) }
+func (h instanceHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].index < h[j].index
+}
+func (h instanceHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *instanceHeap) Push(x any)   { *h = append(*h, x.(*instance)) }
+func (h *instanceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Run executes one parallel fuzzing campaign of sub under opts.
+func Run(sub subject.Subject, opts Options) (*Result, error) {
+	opts.setDefaults()
+	info := sub.Info()
+
+	pit, err := fuzz.ParsePit(sub.PitXML())
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %s pit: %w", info.Protocol, err)
+	}
+	var sm *fuzz.StateModel
+	for _, m := range pit.StateModels {
+		sm = m
+	}
+
+	// Configuration model identification (CMFuzz) / defaults (baselines).
+	items := configspec.Extract(sub.ConfigInput())
+	model := configmodel.Build(items)
+	defaults := model.Defaults()
+
+	res := &Result{
+		Mode:          opts.Mode,
+		Subject:       info,
+		Series:        &coverage.Series{},
+		Bugs:          bugs.NewLedger(),
+		ModelEntities: model.Len(),
+	}
+
+	// Per-instance configurations and path restrictions by mode.
+	configs := make([]configmodel.Assignment, opts.Instances)
+	groups := make([]schedule.Group, opts.Instances)
+	paths := make([][]fuzz.Path, opts.Instances)
+	switch opts.Mode {
+	case ModeCMFuzz:
+		weighting := relation.WeightInteraction
+		if opts.RawRelationWeighting {
+			weighting = relation.WeightRawCoverage
+		}
+		rel := relation.Quantify(model, func(cfg configmodel.Assignment) int {
+			return subject.Probe(sub, map[string]string(cfg))
+		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting})
+		res.RelationEdges = rel.Graph.EdgeCount()
+		res.Probes = rel.Probes
+		var alloc []schedule.Group
+		switch opts.Allocator {
+		case AllocRandom:
+			alloc = schedule.RandomAllocate(rel.Graph, opts.Instances, opts.Seed)
+		case AllocRoundRobin:
+			alloc = schedule.RoundRobinAllocate(rel.Graph, opts.Instances)
+		default:
+			alloc = schedule.Allocate(rel.Graph, opts.Instances)
+		}
+		res.Groups = alloc
+		for i := range configs {
+			if i < len(alloc) {
+				groups[i] = alloc[i]
+				configs[i] = schedule.GroupAssignment(model, rel, alloc[i])
+			} else {
+				configs[i] = defaults.Clone()
+			}
+		}
+	case ModeSPFuzz:
+		var all []fuzz.Path
+		if sm != nil {
+			all = sm.Paths(12, 64)
+		}
+		for i := range configs {
+			configs[i] = defaults.Clone()
+			for j := i; j < len(all); j += opts.Instances {
+				paths[i] = append(paths[i], all[j])
+			}
+		}
+	default: // Peach
+		for i := range configs {
+			configs[i] = defaults.Clone()
+		}
+	}
+
+	// Boot instances, each in its own namespace.
+	fabric := netsim.NewFabric()
+	insts := make([]*instance, 0, opts.Instances)
+	for i := 0; i < opts.Instances; i++ {
+		ns := fabric.Namespace(fmt.Sprintf("inst%d", i))
+		configs[i] = repairConfig(sub, configs[i], defaults)
+		target, startCov, err := bootTarget(sub, ns, configs[i], res.Bugs, i)
+		if err != nil {
+			// Still conflicting after repair: last-resort defaults.
+			configs[i] = defaults.Clone()
+			target, startCov, err = bootTarget(sub, ns, configs[i], res.Bugs, i)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
+			}
+		}
+		engineSeed := opts.Seed*7919 + int64(i)
+		if opts.Mode == ModePeach && opts.PeachSharedSchedules {
+			engineSeed = opts.Seed*7919 + int64(i/2)
+		}
+		eng := fuzz.NewEngine(fuzz.Config{
+			Models:     pit.DataModels,
+			StateModel: sm,
+			Seed:       engineSeed,
+			FixedPaths: paths[i],
+		}, target)
+		eng.Absorb(startCov)
+		insts = append(insts, &instance{
+			index:    i,
+			nextSync: opts.SyncInterval,
+			engine:   eng,
+			target:   target,
+			cfg:      configs[i],
+			group:    groups[i],
+			sat:      &coverage.Saturation{Window: opts.SaturationWindow, MinGain: opts.SaturationMinGain, MinGainFrac: 0.01},
+			rng:      rand.New(rand.NewSource(opts.Seed*104729 + int64(i))),
+		})
+	}
+
+	// The virtual-time event loop.
+	horizon := opts.VirtualHours * 3600
+	global := coverage.NewMap()
+	for _, in := range insts {
+		global.Union(in.engine.CoverageMap())
+	}
+	res.Series.Observe(0, global.Count())
+	lastSample := 0.0
+	watermark := 0.0 // monotone observation clock across instances
+
+	h := make(instanceHeap, len(insts))
+	copy(h, insts)
+	heap.Init(&h)
+	for h[0].clock < horizon {
+		in := h[0]
+		step := in.engine.Step()
+		in.clock += opts.StepCost + opts.ByteCost*float64(step.Bytes)
+
+		if step.Crash != nil {
+			in.crashes++
+			res.Bugs.Record(step.Crash, in.index, in.clock, in.cfg.String())
+		}
+		if step.NewEdges > 0 {
+			global.Union(in.engine.CoverageMap())
+		}
+		if in.clock > watermark {
+			watermark = in.clock
+		}
+		if watermark-lastSample >= opts.SampleEvery || step.NewEdges > 0 {
+			res.Series.Observe(watermark, global.Count())
+			lastSample = watermark
+		}
+
+		// Seed synchronization.
+		if in.clock >= in.nextSync {
+			in.nextSync += opts.SyncInterval
+			for _, other := range insts {
+				if other != in {
+					in.engine.ImportSeeds(other.engine.ExportSeeds(4))
+				}
+			}
+		}
+
+		// CMFuzz adaptive configuration mutation on saturation.
+		if opts.Mode == ModeCMFuzz && !opts.DisableConfigMutation {
+			in.sat.Observe(in.clock, in.engine.Coverage())
+			if in.sat.Saturated(in.clock) {
+				if mutateConfig(sub, model, in, res.Bugs) {
+					in.engine.Absorb(in.target.startup)
+				}
+				in.sat.Reset(in.clock)
+			}
+		}
+		heap.Fix(&h, 0)
+	}
+
+	// Finalize.
+	res.Series.Observe(horizon, global.Count())
+	res.FinalBranches = global.Count()
+	for _, in := range insts {
+		st := in.engine.Stats()
+		res.TotalExecs += st.Execs
+		res.Instances = append(res.Instances, InstanceResult{
+			Index:           in.index,
+			Config:          in.cfg.String(),
+			Group:           in.group.Members,
+			FinalBranches:   in.engine.Coverage(),
+			Execs:           st.Execs,
+			Crashes:         in.crashes,
+			ConfigMutations: in.muts,
+		})
+	}
+	return res, nil
+}
+
+// mutateConfig applies the paper's Values-guided configuration mutation:
+// pick a MUTABLE entity (preferring the instance's assigned group), set a
+// different typical value, and restart the instance under the new
+// configuration. Returns whether a restart happened. A mutation that
+// produces a conflicting configuration (or crashes during startup — a
+// config-parsing defect) is reverted.
+func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, ledger *bugs.Ledger) bool {
+	candidates := mutableIn(model, in.group.Members)
+	if len(candidates) == 0 {
+		candidates = model.Mutable()
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	e := candidates[in.rng.Intn(len(candidates))]
+	if len(e.Values) == 0 {
+		return false
+	}
+	newVal := e.Values[in.rng.Intn(len(e.Values))]
+	if in.cfg[e.Name] == newVal {
+		return false
+	}
+	old, had := in.cfg[e.Name]
+	in.cfg[e.Name] = newVal
+
+	if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
+		// Conflicting mutation: revert and restart under the old config.
+		if had {
+			in.cfg[e.Name] = old
+		} else {
+			delete(in.cfg, e.Name)
+		}
+		if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
+			return false
+		}
+		return true
+	}
+	in.muts++
+	return true
+}
+
+// repairConfig makes a jointly conflicting group assignment bootable by
+// greedily reverting non-default bindings (in sorted key order for
+// determinism) until startup succeeds. Each reverted binding is kept
+// reverted only if reverting it actually helps, so the configuration
+// keeps as much of its scheduled character as possible.
+func repairConfig(sub subject.Subject, cfg, defaults configmodel.Assignment) configmodel.Assignment {
+	boots := func(c configmodel.Assignment) bool {
+		ok := false
+		bugs.Capture(func() { ok = subject.Probe(sub, map[string]string(c)) > 0 })
+		return ok
+	}
+	if boots(cfg) {
+		return cfg
+	}
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		if cfg[k] != defaults[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	// First try reverting each non-default binding alone, restoring it
+	// when that does not fix startup, so pairs like (feature,
+	// its-dependency) survive together when they are not the culprit.
+	for _, k := range keys {
+		old := cfg[k]
+		if def, ok := defaults[k]; ok {
+			cfg[k] = def
+		} else {
+			delete(cfg, k)
+		}
+		if boots(cfg) {
+			return cfg
+		}
+		cfg[k] = old
+	}
+	// Pairwise reversion did not help; strip all non-default bindings
+	// one by one cumulatively.
+	for _, k := range keys {
+		if def, ok := defaults[k]; ok {
+			cfg[k] = def
+		} else {
+			delete(cfg, k)
+		}
+		if boots(cfg) {
+			return cfg
+		}
+	}
+	return defaults.Clone()
+}
+
+func mutableIn(model *configmodel.Model, members []string) []configmodel.Entity {
+	var out []configmodel.Entity
+	for _, name := range members {
+		if e, ok := model.Get(name); ok && e.Flag == configmodel.Mutable && len(e.Values) > 1 {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package parallel
+
+import (
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/netsim"
+	"cmfuzz/internal/subject"
+)
+
+// netTarget adapts a subject instance into a fuzz.Target, routing every
+// message through the instance's isolated netsim namespace (datagram or
+// stream, per the subject's transport) so cross-instance contamination is
+// structurally impossible.
+type netTarget struct {
+	ns      *netsim.Namespace
+	info    subject.Info
+	inst    subject.Instance
+	startup *coverage.Map
+	conn    *netsim.Conn
+}
+
+// bootTarget starts a fresh subject instance under cfg inside ns and
+// wires it to the namespace. It returns the target and the startup
+// coverage map. A crash during startup (a configuration-parsing defect)
+// is recorded in the ledger and reported as an error.
+func bootTarget(sub subject.Subject, ns *netsim.Namespace, cfg configmodel.Assignment, ledger *bugs.Ledger, index int) (*netTarget, *coverage.Map, error) {
+	t := &netTarget{ns: ns, info: sub.Info()}
+	if err := t.boot(sub, cfg, ledger, index, 0); err != nil {
+		return nil, nil, err
+	}
+	// Namespace wiring: handlers read t.inst through the pointer, so a
+	// restart transparently swaps the backing instance.
+	if t.info.Transport == subject.Datagram {
+		if err := ns.BindDatagram(t.info.Port, netsim.DatagramHandlerFunc(
+			func(src netsim.Addr, payload []byte) [][]byte {
+				return t.inst.Message(payload)
+			})); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if err := ns.Listen(t.info.Port, streamAdapter{t}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t, t.startup, nil
+}
+
+// boot starts (or re-starts) the backing instance under cfg.
+func (t *netTarget) boot(sub subject.Subject, cfg configmodel.Assignment, ledger *bugs.Ledger, index int, now float64) error {
+	inst := sub.NewInstance()
+	tr := coverage.NewTrace()
+	var startErr error
+	crash := bugs.Capture(func() {
+		startErr = inst.Start(map[string]string(cfg), tr)
+	})
+	if crash != nil {
+		ledger.Record(crash, index, now, cfg.String())
+		return crash
+	}
+	if startErr != nil {
+		return startErr
+	}
+	if t.inst != nil {
+		t.inst.Close()
+	}
+	t.inst = inst
+	t.startup = tr.Map()
+	return nil
+}
+
+// restart reboots the instance under a mutated configuration, keeping
+// the namespace wiring.
+func (t *netTarget) restart(sub subject.Subject, cfg configmodel.Assignment, ledger *bugs.Ledger, index int, now float64) error {
+	return t.boot(sub, cfg, ledger, index, now)
+}
+
+// streamAdapter exposes the target's instance as a netsim stream server.
+type streamAdapter struct{ t *netTarget }
+
+func (a streamAdapter) OnConnect(c *netsim.Conn) {}
+func (a streamAdapter) OnData(c *netsim.Conn, data []byte) [][]byte {
+	return a.t.inst.Message(data)
+}
+func (a streamAdapter) OnClose(c *netsim.Conn) {}
+
+// Run implements fuzz.Target: one execution = one fresh protocol session
+// carrying the whole message sequence through the namespace.
+func (t *netTarget) Run(seq [][]byte, tr *coverage.Trace) (crash *bugs.Crash) {
+	t.inst.SetTrace(tr)
+	t.inst.NewSession()
+	client := netsim.Addr{Host: "fuzzer", Port: 49152}
+	dst := netsim.Addr{Host: t.ns.Name(), Port: t.info.Port}
+
+	if t.info.Transport == subject.Stream {
+		crash = bugs.Capture(func() {
+			conn, err := t.ns.Dial(t.info.Port)
+			if err != nil {
+				return
+			}
+			t.conn = conn
+			defer conn.Close()
+			for _, msg := range seq {
+				if _, err := conn.Send(msg); err != nil {
+					return
+				}
+			}
+		})
+		return crash
+	}
+	crash = bugs.Capture(func() {
+		for _, msg := range seq {
+			if _, err := t.ns.SendDatagram(client, dst, msg); err != nil {
+				return
+			}
+		}
+	})
+	return crash
+}

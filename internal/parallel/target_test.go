@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/netsim"
+	"cmfuzz/internal/protocols"
+)
+
+func TestBootTargetDatagramRouting(t *testing.T) {
+	sub, _ := protocols.ByName("DNS")
+	ns := netsim.NewFabric().Namespace("t0")
+	cfg := configmodel.Assignment(map[string]string{"server": "8.8.8.8"})
+	target, startCov, err := bootTarget(sub, ns, cfg, bugs.NewLedger(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startCov.Count() == 0 {
+		t.Fatal("no startup coverage")
+	}
+	tr := coverage.NewTrace()
+	if crash := target.Run([][]byte{{0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}, tr); crash != nil {
+		t.Fatalf("unexpected crash: %v", crash)
+	}
+	if tr.Count() == 0 {
+		t.Fatal("datagram did not reach the instance through the namespace")
+	}
+	if ns.Stats().DatagramsDelivered == 0 {
+		t.Fatal("fabric did not route the datagram")
+	}
+}
+
+func TestBootTargetStreamRouting(t *testing.T) {
+	sub, _ := protocols.ByName("MQTT")
+	ns := netsim.NewFabric().Namespace("t1")
+	target, _, err := bootTarget(sub, ns, configmodel.Assignment(nil), bugs.NewLedger(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := coverage.NewTrace()
+	target.Run([][]byte{{0xc0, 0x00}}, tr) // PINGREQ
+	if ns.Stats().ConnsOpened == 0 || ns.Stats().SegmentsDelivered == 0 {
+		t.Fatalf("stream path unused: %+v", ns.Stats())
+	}
+}
+
+func TestBootTargetCrashPropagation(t *testing.T) {
+	sub, _ := protocols.ByName("DNS")
+	ns := netsim.NewFabric().Namespace("t2")
+	cfg := configmodel.Assignment(map[string]string{"server": "8.8.8.8", "log-queries": "true"})
+	target, _, err := bootTarget(sub, ns, cfg, bugs.NewLedger(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query containing a '%' label triggers bug #13 under log-queries.
+	q := buildDNSQuery("p%n.example.com")
+	crash := target.Run([][]byte{q}, coverage.NewTrace())
+	if crash == nil || crash.Function != "printf_common" {
+		t.Fatalf("crash = %v, want bug #13 through the namespace", crash)
+	}
+}
+
+func TestBootTargetRejectsConflict(t *testing.T) {
+	sub, _ := protocols.ByName("DNS")
+	ns := netsim.NewFabric().Namespace("t3")
+	cfg := configmodel.Assignment(map[string]string{"dnssec": "true"}) // missing trust-anchor
+	if _, _, err := bootTarget(sub, ns, cfg, bugs.NewLedger(), 0); err == nil {
+		t.Fatal("conflicting configuration booted")
+	}
+}
+
+func TestRestartSwapsInstance(t *testing.T) {
+	sub, _ := protocols.ByName("DNS")
+	ns := netsim.NewFabric().Namespace("t4")
+	ledger := bugs.NewLedger()
+	target, _, err := bootTarget(sub, ns, configmodel.Assignment(map[string]string{"server": "8.8.8.8"}), ledger, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before restart: no crash on '%' names.
+	q := buildDNSQuery("p%n.example.com")
+	if crash := target.Run([][]byte{q}, coverage.NewTrace()); crash != nil {
+		t.Fatalf("premature crash: %v", crash)
+	}
+	// Restart with log-queries enabled: same wiring, new behavior.
+	if err := target.restart(sub, configmodel.Assignment(map[string]string{"server": "8.8.8.8", "log-queries": "true"}), ledger, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if crash := target.Run([][]byte{q}, coverage.NewTrace()); crash == nil {
+		t.Fatal("restarted instance does not show new configuration behavior")
+	}
+}
+
+// buildDNSQuery assembles a minimal A query without importing the dns
+// internals.
+func buildDNSQuery(name string) []byte {
+	q := []byte{0x12, 0x34, 0x01, 0x00, 0x00, 0x01, 0, 0, 0, 0, 0, 0}
+	for _, label := range strings.Split(name, ".") {
+		q = append(q, byte(len(label)))
+		q = append(q, label...)
+	}
+	q = append(q, 0x00, 0x00, 0x01, 0x00, 0x01)
+	return q
+}

@@ -1,0 +1,175 @@
+package amqp
+
+// pitXML is the AMQP Pit document: the protocol header, then the
+// performative ladder (open, begin, attach, flow, transfer, disposition,
+// detach/end/close). Frames are modeled with size relations over the
+// frame body, and attach's link name is a mutable string (the field that
+// matters for Table II bug #9).
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="ProtoHeader">
+    <String name="magic" value="AMQP" token="true"/>
+    <Choice name="variant">
+      <Blob name="amqp" valueHex="00010000"/>
+      <Blob name="sasl" valueHex="03010000"/>
+    </Choice>
+  </DataModel>
+  <DataModel name="Open">
+    <Number name="size" bits="32" sizeOf="Open"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="0"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="16" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="2"/>
+      <Number name="cidc" bits="8" value="161" token="true"/>
+      <Number name="cidlen" bits="8" sizeOf="cid"/>
+      <String name="cid" value="client-0"/>
+      <Number name="mfc" bits="8" value="112" token="true"/>
+      <Number name="maxframe" bits="32" value="65536"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Begin">
+    <Number name="size" bits="32" sizeOf="Begin"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="17" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="2"/>
+      <Number name="rc" bits="8" value="64" token="true"/>
+      <Number name="wc" bits="8" value="82" token="true"/>
+      <Number name="window" bits="8" value="100"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Attach">
+    <Number name="size" bits="32" sizeOf="Attach"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="18" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="3"/>
+      <Number name="namec" bits="8" value="161" token="true"/>
+      <Number name="namelen" bits="8" sizeOf="name"/>
+      <Choice name="name">
+        <String name="telemetry" value="telemetry-link"/>
+        <String name="mgmt" value="$management"/>
+        <String name="fed" value="@site-b-events"/>
+        <String name="plain" value="orders"/>
+      </Choice>
+      <Number name="handlec" bits="8" value="82" token="true"/>
+      <Number name="handle" bits="8" value="0"/>
+      <Number name="rolec" bits="8" value="82" token="true"/>
+      <Number name="role" bits="8" value="0"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Flow">
+    <Number name="size" bits="32" sizeOf="Flow"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="19" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="3"/>
+      <Number name="inc" bits="8" value="82" token="true"/>
+      <Number name="incoming" bits="8" value="0"/>
+      <Number name="nextc" bits="8" value="82" token="true"/>
+      <Number name="next" bits="8" value="1"/>
+      <Number name="credc" bits="8" value="82" token="true"/>
+      <Number name="credit" bits="8" value="50"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Transfer">
+    <Number name="size" bits="32" sizeOf="Transfer"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="20" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="2"/>
+      <Number name="hc" bits="8" value="82" token="true"/>
+      <Number name="handle" bits="8" value="0"/>
+      <Number name="dc" bits="8" value="82" token="true"/>
+      <Number name="did" bits="8" value="1"/>
+    </Block>
+    <Blob name="body" valueHex="005377a10b68656c6c6f20776f726c64"/>
+  </DataModel>
+  <DataModel name="Disposition">
+    <Number name="size" bits="32" sizeOf="Disposition"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Number name="desccode" bits="8" value="21" token="true"/>
+    <Number name="listc" bits="8" value="192" token="true"/>
+    <Number name="listsize" bits="8" sizeOf="fields"/>
+    <Block name="fields">
+      <Number name="count" bits="8" value="2"/>
+      <Number name="rc" bits="8" value="65" token="true"/>
+      <Number name="fc" bits="8" value="82" token="true"/>
+      <Number name="first" bits="8" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Teardown">
+    <Number name="size" bits="32" sizeOf="Teardown"/>
+    <Number name="doff" bits="8" value="2" token="true"/>
+    <Number name="type" bits="8" value="0" token="true"/>
+    <Number name="channel" bits="16" value="1"/>
+    <Number name="descmark" bits="8" value="0" token="true"/>
+    <Number name="desctype" bits="8" value="83" token="true"/>
+    <Choice name="kind">
+      <Number name="detach" bits="8" value="22"/>
+      <Number name="end" bits="8" value="23"/>
+      <Number name="close" bits="8" value="24"/>
+    </Choice>
+    <Number name="listc" bits="8" value="69" token="true"/>
+  </DataModel>
+  <StateModel name="AMQPConnection" initialState="greet">
+    <State name="greet">
+      <Action type="output" dataModel="ProtoHeader"/>
+      <Action type="output" dataModel="Open"/>
+      <Action type="changeState" to="session"/>
+    </State>
+    <State name="session">
+      <Action type="output" dataModel="Begin"/>
+      <Action type="output" dataModel="Attach"/>
+      <Action type="changeState" to="flowing"/>
+      <Action type="changeState" to="transferring"/>
+    </State>
+    <State name="flowing">
+      <Action type="output" dataModel="Flow"/>
+      <Action type="changeState" to="transferring"/>
+    </State>
+    <State name="transferring">
+      <Action type="output" dataModel="Transfer"/>
+      <Action type="output" dataModel="Disposition"/>
+      <Action type="changeState" to="transferring"/>
+      <Action type="changeState" to="closing"/>
+    </State>
+    <State name="closing">
+      <Action type="output" dataModel="Teardown"/>
+    </State>
+  </StateModel>
+</Peach>`

@@ -1,0 +1,261 @@
+// Package coap implements a libcoap-like CoAP server (RFC 7252 with
+// RFC 7959 Block1/Block2 and RFC 9177 Q-Block1 blockwise transfers) used
+// as the CoAP subject. Three seeded configuration-gated defects reproduce
+// Table II rows 6–8; row 8 is the paper's Figure 5 case study — a NULL
+// body_data dereference in the Q-Block1 reassembly path that is
+// unreachable under the default configuration.
+package coap
+
+import (
+	"errors"
+
+	"cmfuzz/internal/wire"
+)
+
+// Message types (RFC 7252 §3).
+const (
+	typeCON = 0
+	typeNON = 1
+	typeACK = 2
+	typeRST = 3
+)
+
+// Request method codes.
+const (
+	codeEmpty  = 0
+	codeGET    = 1
+	codePOST   = 2
+	codePUT    = 3
+	codeDELETE = 4
+	codeFETCH  = 5
+)
+
+// Response codes (class<<5 | detail).
+const (
+	codeCreated    = 2<<5 | 1
+	codeDeleted    = 2<<5 | 2
+	codeContent    = 2<<5 | 5
+	codeContinue   = 2<<5 | 31
+	codeBadRequest = 4 << 5
+	codeNotFound   = 4<<5 | 4
+	codeBadOption  = 4<<5 | 2
+	codeTooLarge   = 4<<5 | 13
+	codeServerErr  = 5 << 5
+)
+
+// Option numbers.
+const (
+	optObserve       = 6
+	optUriPath       = 11
+	optContentFormat = 12
+	optUriQuery      = 15
+	optAccept        = 17
+	optQBlock1       = 19
+	optBlock2        = 23
+	optBlock1        = 27
+	optQBlock2       = 31
+	optSize1         = 60
+)
+
+var errMalformed = errors.New("coap: malformed message")
+var errBadOption = errors.New("coap: bad option encoding")
+
+// errTruncatedExt marks an extended option nibble whose extension bytes
+// run past the end of the datagram — the shape that overreads the stack
+// buffer in CoapPDU::getOptionDelta (Table II bug #7).
+var errTruncatedExt = errors.New("coap: truncated extended option field")
+
+// option is one decoded CoAP option.
+type option struct {
+	Number int
+	Value  []byte
+}
+
+// message is one decoded CoAP message.
+type message struct {
+	Type      byte
+	Code      byte
+	MessageID uint16
+	Token     []byte
+	Options   []option
+	Payload   []byte
+}
+
+// decode parses a CoAP datagram.
+func decode(data []byte) (message, error) {
+	r := wire.NewReader(data)
+	var m message
+	first := r.U8()
+	if r.Err() != nil {
+		return m, errMalformed
+	}
+	if first>>6 != 1 { // version must be 1
+		return m, errMalformed
+	}
+	m.Type = (first >> 4) & 0x03
+	tkl := int(first & 0x0f)
+	m.Code = r.U8()
+	m.MessageID = r.U16()
+	if tkl > 8 {
+		return m, errMalformed
+	}
+	m.Token = r.Bytes(tkl)
+	if r.Err() != nil {
+		return m, errMalformed
+	}
+
+	// Option parsing (delta encoding).
+	number := 0
+	for !r.Empty() {
+		b := r.U8()
+		if b == 0xff { // payload marker
+			m.Payload = r.Rest()
+			if len(m.Payload) == 0 {
+				return m, errMalformed // marker with empty payload is invalid
+			}
+			break
+		}
+		delta := int(b >> 4)
+		length := int(b & 0x0f)
+		var err error
+		delta, err = extendField(r, delta)
+		if err != nil {
+			return m, err
+		}
+		length, err = extendField(r, length)
+		if err != nil {
+			return m, err
+		}
+		number += delta
+		val := r.Bytes(length)
+		if r.Err() != nil {
+			return m, errBadOption
+		}
+		m.Options = append(m.Options, option{Number: number, Value: val})
+		if len(m.Options) > 32 {
+			return m, errBadOption
+		}
+	}
+	if r.Err() != nil {
+		return m, errMalformed
+	}
+	return m, nil
+}
+
+// extendField resolves the 13/14/15 extended nibble encodings
+// (RFC 7252 §3.1).
+func extendField(r *wire.Reader, v int) (int, error) {
+	switch v {
+	case 13:
+		if r.Remaining() < 1 {
+			return 0, errTruncatedExt
+		}
+		return 13 + int(r.U8()), nil
+	case 14:
+		if r.Remaining() < 2 {
+			return 0, errTruncatedExt
+		}
+		return 269 + int(r.U16()), nil
+	case 15:
+		return 0, errBadOption // reserved
+	default:
+		return v, nil
+	}
+}
+
+// encode renders a CoAP message.
+func encodeMessage(m message) []byte {
+	w := wire.NewWriter(8 + len(m.Payload))
+	w.U8(1<<6 | m.Type<<4 | byte(len(m.Token)&0x0f))
+	w.U8(m.Code)
+	w.U16(m.MessageID)
+	w.Raw(m.Token)
+	prev := 0
+	for _, o := range m.Options {
+		writeOption(w, o.Number-prev, o.Value)
+		prev = o.Number
+	}
+	if len(m.Payload) > 0 {
+		w.U8(0xff)
+		w.Raw(m.Payload)
+	}
+	return w.Bytes()
+}
+
+func writeOption(w *wire.Writer, delta int, val []byte) {
+	dn, de := nibble(delta)
+	ln, le := nibble(len(val))
+	w.U8(byte(dn)<<4 | byte(ln))
+	w.Raw(de)
+	w.Raw(le)
+	w.Raw(val)
+}
+
+func nibble(v int) (int, []byte) {
+	switch {
+	case v < 13:
+		return v, nil
+	case v < 269:
+		return 13, []byte{byte(v - 13)}
+	default:
+		return 14, []byte{byte((v - 269) >> 8), byte(v - 269)}
+	}
+}
+
+// blockOpt decodes a Block1/Block2/Q-Block option value (RFC 7959 §2.2):
+// NUM (4..20 bits), M flag, SZX exponent.
+type blockOpt struct {
+	Num  int
+	More bool
+	SZX  int
+}
+
+func decodeBlockOpt(val []byte) (blockOpt, bool) {
+	if len(val) > 3 {
+		return blockOpt{}, false
+	}
+	v := 0
+	for _, b := range val {
+		v = v<<8 | int(b)
+	}
+	return blockOpt{Num: v >> 4, More: v&0x08 != 0, SZX: v & 0x07}, true
+}
+
+func encodeBlockOpt(b blockOpt) []byte {
+	v := b.Num<<4 | b.SZX
+	if b.More {
+		v |= 0x08
+	}
+	switch {
+	case v < 1<<8:
+		return []byte{byte(v)}
+	case v < 1<<16:
+		return []byte{byte(v >> 8), byte(v)}
+	default:
+		return []byte{byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+}
+
+// findOption returns the first option with the given number.
+func (m *message) findOption(number int) ([]byte, bool) {
+	for _, o := range m.Options {
+		if o.Number == number {
+			return o.Value, true
+		}
+	}
+	return nil, false
+}
+
+// uriPath joins Uri-Path options into a path string.
+func (m *message) uriPath() string {
+	path := ""
+	for _, o := range m.Options {
+		if o.Number == optUriPath {
+			if path != "" {
+				path += "/"
+			}
+			path += string(o.Value)
+		}
+	}
+	return path
+}

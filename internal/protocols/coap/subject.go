@@ -1,0 +1,193 @@
+package coap
+
+import (
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/subject"
+)
+
+// pitXML is the CoAP Pit document: GET (plain, observe, Block2), PUT
+// (plain, Block1, Q-Block1), POST and DELETE requests plus a ping, with a
+// state model exercising upload and download sequences.
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="Get">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="1"/>
+    <Number name="mid" bits="16" value="256"/>
+    <Blob name="tok" valueHex="c0ffee01"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="183" token="true"/>
+      <String name="seg1" value="sensors"/>
+      <Number name="uripath2" bits="8" value="4" token="true"/>
+      <String name="seg2" value="temp"/>
+    </Block>
+  </DataModel>
+  <DataModel name="GetObserve">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="1"/>
+    <Number name="mid" bits="16" value="257"/>
+    <Blob name="tok" valueHex="c0ffee02"/>
+    <Block name="opts">
+      <Number name="obs" bits="8" value="96" token="true"/>
+      <Number name="uripath1" bits="8" value="87" token="true"/>
+      <String name="seg1" value="sensors"/>
+      <Number name="uripath2" bits="8" value="4" token="true"/>
+      <String name="seg2" value="temp"/>
+    </Block>
+  </DataModel>
+  <DataModel name="GetBlock2">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="1"/>
+    <Number name="mid" bits="16" value="258"/>
+    <Blob name="tok" valueHex="c0ffee03"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="183" token="true"/>
+      <String name="seg1" value="sensors"/>
+      <Number name="uripath2" bits="8" value="4" token="true"/>
+      <String name="seg2" value="temp"/>
+      <Number name="block2hdr" bits="8" value="193" token="true"/>
+      <Number name="block2val" bits="8" value="2"/>
+    </Block>
+  </DataModel>
+  <DataModel name="PutPlain">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="3"/>
+    <Number name="mid" bits="16" value="300"/>
+    <Blob name="tok" valueHex="ba5eba11"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="184" token="true"/>
+      <String name="seg1" value="actuator"/>
+      <Number name="uripath2" bits="8" value="4" token="true"/>
+      <String name="seg2" value="mode"/>
+    </Block>
+    <Number name="marker" bits="8" value="255" token="true"/>
+    <Blob name="payload" valueHex="6f6e"/>
+  </DataModel>
+  <DataModel name="PutBlock1">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="3"/>
+    <Number name="mid" bits="16" value="301"/>
+    <Blob name="tok" valueHex="ba5eba12"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="184" token="true"/>
+      <String name="seg1" value="firmware"/>
+      <Number name="block1hdr" bits="8" value="209" token="true"/>
+      <Number name="block1ext" bits="8" value="3" token="true"/>
+      <Choice name="blockval">
+        <Number name="first-more" bits="8" value="10"/>
+        <Number name="first-last" bits="8" value="2"/>
+        <Number name="mid-block" bits="8" value="26"/>
+        <Number name="tail-block" bits="8" value="18"/>
+      </Choice>
+    </Block>
+    <Number name="marker" bits="8" value="255" token="true"/>
+    <Blob name="payload" valueHex="deadbeefdeadbeef"/>
+  </DataModel>
+  <DataModel name="PutQBlock1">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="3"/>
+    <Number name="mid" bits="16" value="302"/>
+    <Blob name="tok" valueHex="ba5eba13"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="184" token="true"/>
+      <String name="seg1" value="firmware"/>
+      <Number name="qblockhdr" bits="8" value="129" token="true"/>
+      <Choice name="blockval">
+        <Number name="first-more" bits="8" value="10"/>
+        <Number name="first-last" bits="8" value="2"/>
+        <Number name="tail-only" bits="8" value="18"/>
+        <Number name="tail-far" bits="8" value="50"/>
+      </Choice>
+    </Block>
+    <Number name="marker" bits="8" value="255" token="true"/>
+    <Blob name="payload" valueHex="cafebabecafebabe"/>
+  </DataModel>
+  <DataModel name="Post">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="2"/>
+    <Number name="mid" bits="16" value="400"/>
+    <Blob name="tok" valueHex="0b5e55ed"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="181" token="true"/>
+      <String name="seg1" value="queue"/>
+      <Number name="cfhdr" bits="8" value="17" token="true"/>
+      <Number name="cf" bits="8" value="50"/>
+    </Block>
+    <Number name="marker" bits="8" value="255" token="true"/>
+    <Blob name="payload" valueHex="7b7d"/>
+  </DataModel>
+  <DataModel name="Delete">
+    <Number name="verhdr" bits="8" value="68" token="true"/>
+    <Number name="code" bits="8" value="4"/>
+    <Number name="mid" bits="16" value="500"/>
+    <Blob name="tok" valueHex="de1e7e00"/>
+    <Block name="opts">
+      <Number name="uripath1" bits="8" value="184" token="true"/>
+      <String name="seg1" value="actuator"/>
+      <Number name="uripath2" bits="8" value="4" token="true"/>
+      <String name="seg2" value="mode"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Ping">
+    <Number name="verhdr" bits="8" value="64" token="true"/>
+    <Number name="code" bits="8" value="0" token="true"/>
+    <Number name="mid" bits="16" value="999"/>
+  </DataModel>
+  <StateModel name="CoAPExchange" initialState="start">
+    <State name="start">
+      <Action type="output" dataModel="Get"/>
+      <Action type="changeState" to="reading"/>
+      <Action type="changeState" to="writing"/>
+      <Action type="changeState" to="observing"/>
+    </State>
+    <State name="reading">
+      <Action type="output" dataModel="GetBlock2"/>
+      <Action type="output" dataModel="GetBlock2"/>
+      <Action type="changeState" to="writing"/>
+      <Action type="changeState" to="done"/>
+    </State>
+    <State name="writing">
+      <Action type="output" dataModel="PutPlain"/>
+      <Action type="output" dataModel="PutBlock1"/>
+      <Action type="output" dataModel="PutQBlock1"/>
+      <Action type="changeState" to="mutating"/>
+      <Action type="changeState" to="done"/>
+    </State>
+    <State name="observing">
+      <Action type="output" dataModel="GetObserve"/>
+      <Action type="output" dataModel="GetObserve"/>
+      <Action type="changeState" to="done"/>
+    </State>
+    <State name="mutating">
+      <Action type="output" dataModel="Post"/>
+      <Action type="output" dataModel="Delete"/>
+      <Action type="changeState" to="done"/>
+    </State>
+    <State name="done">
+      <Action type="output" dataModel="Ping"/>
+    </State>
+  </StateModel>
+</Peach>`
+
+// coapSubject implements subject.Subject for the libcoap-like server.
+type coapSubject struct{}
+
+// Subject returns the CoAP evaluation subject.
+func Subject() subject.Subject { return coapSubject{} }
+
+func (coapSubject) Info() subject.Info {
+	return subject.Info{
+		Protocol:       "CoAP",
+		Implementation: "libcoap",
+		Transport:      subject.Datagram,
+		Port:           5683,
+	}
+}
+
+func (coapSubject) ConfigInput() configspec.Input {
+	return configspec.Input{CLIHelp: []string{cliHelp}}
+}
+
+func (coapSubject) PitXML() string { return pitXML }
+
+func (coapSubject) NewInstance() subject.Instance { return NewServer() }

@@ -1,0 +1,34 @@
+package protocols
+
+import (
+	"testing"
+
+	"cmfuzz/internal/subject/subjecttest"
+)
+
+// TestSubjectConformance runs the full subject conformance suite against
+// every evaluation subject: contract checks, parser robustness against
+// garbage and mutated pit traffic, and the configuration-gating property
+// of the seeded Table II bugs.
+func TestSubjectConformance(t *testing.T) {
+	for _, sub := range All() {
+		sub := sub
+		t.Run(sub.Info().Protocol, func(t *testing.T) {
+			subjecttest.Run(t, sub)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, query := range []string{"MQTT", "Mosquitto", "DNS", "Dnsmasq", "CycloneDDS"} {
+		if _, err := ByName(query); err != nil {
+			t.Errorf("ByName(%q): %v", query, err)
+		}
+	}
+	if _, err := ByName("HTTP"); err == nil {
+		t.Error("ByName(HTTP) should fail")
+	}
+	if len(All()) != 6 {
+		t.Errorf("All() = %d subjects, want 6", len(All()))
+	}
+}

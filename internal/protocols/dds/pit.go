@@ -1,0 +1,191 @@
+package dds
+
+// pitXML is the DDS/RTPS Pit document: SPDP discovery DATA, user DATA
+// (with and without inline QoS), HEARTBEAT, ACKNACK, DATA_FRAG, GAP and
+// INFO_TS submessages, each wrapped in an RTPS header, plus a discovery →
+// publish → reliability-handshake state model.
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="SPDPAnnounce">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="21" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="extra" bits="16" value="0"/>
+      <Number name="qosoff" bits="16" value="0"/>
+      <Number name="reader" bits="32" value="0"/>
+      <Number name="writer" bits="32" value="65730" token="true"/>
+      <Number name="seqhi" bits="32" value="0"/>
+      <Number name="seqlo" bits="32" value="1"/>
+      <Blob name="pdata" valueHex="500015000c000102030405060708090a0b0c01000000"/>
+    </Block>
+  </DataModel>
+  <DataModel name="UserData">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="21" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="extra" bits="16" value="0"/>
+      <Number name="qosoff" bits="16" value="0"/>
+      <Number name="reader" bits="32" value="1"/>
+      <Choice name="writer">
+        <Number name="w7" bits="32" value="7"/>
+        <Number name="w9" bits="32" value="9"/>
+        <Number name="w11" bits="32" value="11"/>
+        <Number name="sedppub" bits="32" value="962"/>
+        <Number name="sedpsub" bits="32" value="1218"/>
+      </Choice>
+      <Number name="seqhi" bits="32" value="0"/>
+      <Number name="seqlo" bits="32" value="2"/>
+      <Blob name="sample" valueHex="0003000074656d703a32312e35"/>
+    </Block>
+  </DataModel>
+  <DataModel name="UserDataQos">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="21" token="true"/>
+    <Number name="smflags" bits="8" value="2"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="extra" bits="16" value="0"/>
+      <Number name="qosoff" bits="16" value="16"/>
+      <Number name="reader" bits="32" value="1"/>
+      <Number name="writer" bits="32" value="7"/>
+      <Number name="seqhi" bits="32" value="0"/>
+      <Number name="seqlo" bits="32" value="3"/>
+      <Block name="qos">
+        <Choice name="pid1">
+          <Number name="durability" bits="16" value="29"/>
+          <Number name="reliability" bits="16" value="26"/>
+          <Number name="history" bits="16" value="64"/>
+          <Number name="deadline" bits="16" value="35"/>
+        </Choice>
+        <Number name="plen1" bits="16" value="4"/>
+        <Number name="pval1" bits="32" value="1"/>
+        <Number name="sentinel" bits="16" value="1" token="true"/>
+        <Number name="slen" bits="16" value="0" token="true"/>
+      </Block>
+      <Blob name="sample" valueHex="00030000"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Heartbeat">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="7" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="reader" bits="32" value="1"/>
+      <Number name="writer" bits="32" value="7"/>
+      <Number name="firsthi" bits="32" value="0"/>
+      <Number name="firstlo" bits="32" value="1"/>
+      <Number name="lasthi" bits="32" value="0"/>
+      <Number name="lastlo" bits="32" value="9"/>
+      <Number name="count" bits="32" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="AckNack">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="6" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="reader" bits="32" value="1"/>
+      <Number name="writer" bits="32" value="7"/>
+      <Number name="basehi" bits="32" value="0"/>
+      <Number name="baselo" bits="32" value="4"/>
+      <Number name="numbits" bits="32" value="8"/>
+      <Number name="bitmap" bits="32" value="4278190080"/>
+      <Number name="count" bits="32" value="2"/>
+    </Block>
+  </DataModel>
+  <DataModel name="DataFrag">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="22" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="smbody"/>
+    <Block name="smbody">
+      <Number name="extra" bits="16" value="0"/>
+      <Number name="qosoff" bits="16" value="0"/>
+      <Number name="reader" bits="32" value="1"/>
+      <Number name="writer" bits="32" value="7"/>
+      <Number name="seqhi" bits="32" value="0"/>
+      <Number name="seqlo" bits="32" value="5"/>
+      <Choice name="fragnum">
+        <Number name="f1" bits="32" value="1"/>
+        <Number name="f2" bits="32" value="2"/>
+        <Number name="f9" bits="32" value="9"/>
+      </Choice>
+      <Number name="frags" bits="16" value="1"/>
+      <Number name="fragsize" bits="16" value="1024"/>
+      <Blob name="fragment" valueHex="aabbccddeeff"/>
+    </Block>
+  </DataModel>
+  <DataModel name="InfoTS">
+    <String name="magic" value="RTPS" token="true"/>
+    <Number name="pmaj" bits="8" value="2"/>
+    <Number name="pmin" bits="8" value="2"/>
+    <Number name="vendor" bits="16" value="257"/>
+    <Blob name="guid" valueHex="0102030405060708090a0b0c"/>
+    <Number name="smid" bits="8" value="9" token="true"/>
+    <Number name="smflags" bits="8" value="0"/>
+    <Number name="smlen" bits="16" sizeOf="ts"/>
+    <Blob name="ts" valueHex="0011223344556677"/>
+    <Number name="smid2" bits="8" value="8" token="true"/>
+    <Number name="smflags2" bits="8" value="0"/>
+    <Number name="smlen2" bits="16" sizeOf="gap"/>
+    <Blob name="gap" valueHex="000000010000000700000000000000030000000000000004"/>
+  </DataModel>
+  <StateModel name="DDSDiscovery" initialState="discover">
+    <State name="discover">
+      <Action type="output" dataModel="SPDPAnnounce"/>
+      <Action type="input"/>
+      <Action type="changeState" to="publishing"/>
+      <Action type="changeState" to="reliable"/>
+    </State>
+    <State name="publishing">
+      <Action type="output" dataModel="UserData"/>
+      <Action type="output" dataModel="UserDataQos"/>
+      <Action type="changeState" to="reliable"/>
+      <Action type="changeState" to="fragmented"/>
+    </State>
+    <State name="reliable">
+      <Action type="output" dataModel="Heartbeat"/>
+      <Action type="output" dataModel="AckNack"/>
+      <Action type="changeState" to="publishing"/>
+      <Action type="changeState" to="timestamps"/>
+    </State>
+    <State name="fragmented">
+      <Action type="output" dataModel="DataFrag"/>
+      <Action type="output" dataModel="DataFrag"/>
+      <Action type="changeState" to="timestamps"/>
+    </State>
+    <State name="timestamps">
+      <Action type="output" dataModel="InfoTS"/>
+    </State>
+  </StateModel>
+</Peach>`

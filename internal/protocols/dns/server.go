@@ -1,0 +1,467 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/protocols/probes"
+)
+
+// confFile is the shipped dnsmasq.conf-style configuration: a custom
+// format mixing bare feature toggles with key=value options, which
+// exercises Algorithm 1's heuristic extraction arm.
+const confFile = `# Dnsmasq-style configuration
+port=53
+cache-size=150
+neg-ttl=60
+edns-packet-max=4096
+server=8.8.8.8
+# domain-needed
+# bogus-priv
+# expand-hosts
+# filterwin2k
+# stop-dns-rebind
+# log-queries
+# no-resolv
+# dnssec
+# trust-anchor=.,20326,8,2,E06D44B8
+# domain=lan
+# local=/lan/
+# address=/blocked.example/127.0.0.1
+# addn-hosts=/etc/hosts.extra
+# dhcp-range=192.168.0.50,192.168.0.150,12h
+# tftp-root=/srv/tftp
+# auth-zone=example.org
+`
+
+// settings is the forwarder's typed configuration.
+type settings struct {
+	port       int
+	cacheSize  int
+	negTTL     int
+	ednsMax    int
+	upstream   string
+	domainNeed bool
+	bogusPriv  bool
+	expandHost bool
+	filterW2K  bool
+	rebindStop bool
+	logQueries bool
+	noResolv   bool
+	dnssec     bool
+	anchor     string
+	domain     string
+	localZone  string
+	address    string
+	addnHosts  string
+	dhcpRange  string
+	tftpRoot   string
+	authZone   string
+}
+
+func parseSettings(cfg map[string]string) settings {
+	return settings{
+		port:       probes.Int(cfg, "port", 53),
+		cacheSize:  probes.Int(cfg, "cache-size", 150),
+		negTTL:     probes.Int(cfg, "neg-ttl", 60),
+		ednsMax:    probes.Int(cfg, "edns-packet-max", 4096),
+		upstream:   probes.Str(cfg, "server", ""),
+		domainNeed: probes.Bool(cfg, "domain-needed", false),
+		bogusPriv:  probes.Bool(cfg, "bogus-priv", false),
+		expandHost: probes.Bool(cfg, "expand-hosts", false),
+		filterW2K:  probes.Bool(cfg, "filterwin2k", false),
+		rebindStop: probes.Bool(cfg, "stop-dns-rebind", false),
+		logQueries: probes.Bool(cfg, "log-queries", false),
+		noResolv:   probes.Bool(cfg, "no-resolv", false),
+		dnssec:     probes.Bool(cfg, "dnssec", false),
+		anchor:     probes.Str(cfg, "trust-anchor", ""),
+		domain:     probes.Str(cfg, "domain", ""),
+		localZone:  probes.Str(cfg, "local", ""),
+		address:    probes.Str(cfg, "address", ""),
+		addnHosts:  probes.Str(cfg, "addn-hosts", ""),
+		dhcpRange:  probes.Str(cfg, "dhcp-range", ""),
+		tftpRoot:   probes.Str(cfg, "tftp-root", ""),
+		authZone:   probes.Str(cfg, "auth-zone", ""),
+	}
+}
+
+func (s settings) validate() error {
+	if s.dnssec && s.anchor == "" {
+		return fmt.Errorf("dns: dnssec requires a trust-anchor")
+	}
+	if s.noResolv && s.upstream == "" {
+		return fmt.Errorf("dns: no-resolv with no server leaves nowhere to forward")
+	}
+	if s.authZone != "" && s.rebindStop {
+		return fmt.Errorf("dns: auth-zone conflicts with stop-dns-rebind")
+	}
+	if s.expandHost && s.domain == "" {
+		return fmt.Errorf("dns: expand-hosts requires a domain")
+	}
+	if s.cacheSize < 0 {
+		return fmt.Errorf("dns: cache-size must be non-negative")
+	}
+	return nil
+}
+
+// Startup coverage sites.
+const (
+	sBoot      = 100
+	sCacheInit = 101
+	sUpstream  = 102
+	sDNSSEC    = 103
+	sDHCP      = 104
+	sTFTP      = 105
+	sAuth      = 106
+	sHosts     = 107
+	sFilters   = 108
+	sSynDHCPd  = 110
+	sSynSECca  = 111
+	sSynTFTPdh = 112
+	sSynHostEx = 113
+)
+
+func (s settings) startupCoverage(tr *coverage.Trace) {
+	for i := uint64(0); i < 9; i++ {
+		tr.Edge(sBoot, i)
+	}
+	tr.Edge(sBoot, 16+probes.Bucket(s.port))
+	tr.Edge(sCacheInit, probes.Bucket(s.cacheSize))
+	tr.Edge(sCacheInit, 64+probes.Bucket(s.negTTL))
+	tr.Edge(sUpstream, probes.Hash(s.upstream)%16)
+	tr.Edge(sBoot, 32+probes.Bucket(s.ednsMax))
+
+	for _, f := range []struct {
+		on  bool
+		bit uint64
+	}{
+		{s.domainNeed, 0}, {s.bogusPriv, 1}, {s.filterW2K, 2},
+		{s.rebindStop, 3}, {s.logQueries, 4}, {s.noResolv, 5},
+	} {
+		if f.on {
+			tr.Edge(sFilters, f.bit)
+			tr.Edge(sFilters, 8+f.bit*2)
+		}
+	}
+	if s.dnssec {
+		for i := uint64(0); i < 9; i++ {
+			tr.Edge(sDNSSEC, i)
+		}
+		tr.Edge(sSynSECca, probes.Bucket(s.cacheSize)) // validation cache
+	}
+	if s.dhcpRange != "" {
+		for i := uint64(0); i < 11; i++ {
+			tr.Edge(sDHCP, i)
+		}
+		if s.domain != "" {
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynDHCPd, i) // lease hostname qualification
+			}
+		}
+	}
+	if s.tftpRoot != "" {
+		for i := uint64(0); i < 6; i++ {
+			tr.Edge(sTFTP, i)
+		}
+		if s.dhcpRange != "" {
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynTFTPdh, i) // PXE boot chaining
+			}
+		}
+	}
+	if s.authZone != "" {
+		for i := uint64(0); i < 7; i++ {
+			tr.Edge(sAuth, i)
+		}
+	}
+	if s.addnHosts != "" {
+		for i := uint64(0); i < 5; i++ {
+			tr.Edge(sHosts, i)
+		}
+		if s.expandHost {
+			for i := uint64(0); i < 4; i++ {
+				tr.Edge(sSynHostEx, i)
+			}
+		}
+	}
+	if s.localZone != "" {
+		tr.Edge(sUpstream, 32+probes.Hash(s.localZone)%8)
+	}
+	if s.address != "" {
+		tr.Edge(sUpstream, 64+probes.Hash(s.address)%8)
+	}
+	if s.domain != "" {
+		tr.Edge(sBoot, 64+probes.Hash(s.domain)%8)
+	}
+}
+
+// Message-handling coverage sites.
+const (
+	mParseErr = 200
+	mHeader   = 201
+	mQuestion = 210
+	mNameHash = 215
+	mQType    = 220
+	mCache    = 230
+	mLocal    = 240
+	mForward  = 250
+	mEDNS     = 260
+	mSECValid = 270
+	mDHCPLk   = 280
+	mAuthZone = 290
+	mFilter   = 300
+	mLog      = 310
+	mHostsLk  = 320
+)
+
+const hashSpace = 640
+
+// Server is the Dnsmasq-like DNS subject instance.
+type Server struct {
+	cfg   settings
+	tr    *coverage.Trace
+	cache map[string]record
+	hosts map[string][4]byte
+}
+
+// NewServer returns an unstarted DNS forwarder.
+func NewServer() *Server {
+	return &Server{
+		cache: make(map[string]record),
+		hosts: map[string][4]byte{
+			"router.lan":  {192, 168, 0, 1},
+			"printer.lan": {192, 168, 0, 9},
+		},
+	}
+}
+
+// Start implements subject.Instance.
+func (s *Server) Start(cfg map[string]string, tr *coverage.Trace) error {
+	st := parseSettings(cfg)
+	if err := st.validate(); err != nil {
+		return err
+	}
+	s.cfg = st
+	s.tr = tr
+	st.startupCoverage(tr)
+	return nil
+}
+
+// SetTrace implements subject.Instance.
+func (s *Server) SetTrace(tr *coverage.Trace) { s.tr = tr }
+
+// NewSession implements subject.Instance (DNS is stateless per query).
+func (s *Server) NewSession() {}
+
+// Close implements subject.Instance.
+func (s *Server) Close() {}
+
+// Message handles one DNS query datagram.
+func (s *Server) Message(data []byte) [][]byte {
+	q, err := decodeQuery(data)
+	if err != nil {
+		s.tr.Edge(mParseErr, probes.Bucket(len(data)))
+		switch {
+		case errors.Is(err, errTruncated16):
+			s.tr.Edge(mParseErr, 64)
+			// Bug #10: the DNSSEC validation path re-reads the truncated
+			// additional section with raw get16bits and walks off the
+			// stack buffer.
+			if s.cfg.dnssec && len(data) >= 12 {
+				ar := int(data[10])<<8 | int(data[11])
+				if ar > 0 {
+					bugs.Trigger("DNS", bugs.StackBufferOverflow, "get16bits",
+						"truncated additional section overreads under dnssec validation")
+				}
+			}
+		case errors.Is(err, errPointerOut):
+			s.tr.Edge(mParseErr, 65)
+			// Bug #11: with rebind protection on, the answer-sanitizing
+			// pass re-parses the question through the out-of-range
+			// compression pointer.
+			if s.cfg.rebindStop {
+				bugs.Trigger("DNS", bugs.HeapBufferOverflow, "dns_question_parse, dns_request_parse",
+					"compression pointer past packet end re-read during rebind check")
+			}
+		case errors.Is(err, errPointerLoop):
+			s.tr.Edge(mParseErr, 66)
+		}
+		if len(data) >= 12 {
+			// FORMERR response for parseable headers.
+			id := uint16(data[0])<<8 | uint16(data[1])
+			return [][]byte{encodeResponse(id, rcodeFormErr, nil, nil)}
+		}
+		return nil
+	}
+
+	h := q.Header
+	s.tr.Edge(mHeader, uint64(h.Flags>>11&0x0f)) // opcode
+	s.tr.Edge(mHeader, 16+probes.B(h.Flags&flagRD != 0)<<1|probes.B(h.Flags&flagCD != 0))
+	s.tr.Edge(mHeader, 32+uint64(h.QDCount%16))
+	if h.Flags&flagQR != 0 {
+		s.tr.Edge(mHeader, 64) // unsolicited response
+		return nil
+	}
+
+	// EDNS OPT processing.
+	for _, rec := range q.Additional {
+		if rec.Type != typeOPT {
+			s.tr.Edge(mEDNS, 128+uint64(rec.Type%64))
+			continue
+		}
+		s.tr.Edge(mEDNS, probes.Bucket(int(rec.Class)))
+		// Bug #12: with edns-packet-max=0 (unlimited) the advertised
+		// payload size is used verbatim to size the response buffer.
+		if s.cfg.ednsMax == 0 && rec.Class > 0x4000 {
+			bugs.Trigger("DNS", bugs.AllocationSizeTooBig, "dns_request_parse",
+				fmt.Sprintf("attacker-advertised EDNS size %d allocated verbatim", rec.Class))
+		}
+		if s.cfg.ednsMax > 0 && int(rec.Class) > s.cfg.ednsMax {
+			s.tr.Edge(mEDNS, 64)
+		}
+	}
+
+	var answers []record
+	rcode := uint16(rcodeOK)
+	for _, qu := range q.Questions {
+		answers = append(answers, s.answer(qu, &rcode)...)
+	}
+	flags := rcode | flagRA | (h.Flags & flagRD)
+	return [][]byte{encodeResponse(h.ID, flags, q.Questions, answers)}
+}
+
+// answer resolves one question through the dnsmasq pipeline: logging,
+// filters, local data, hosts, cache, auth zone, DHCP leases, upstream.
+func (s *Server) answer(qu question, rcode *uint16) []record {
+	name := strings.ToLower(qu.Name)
+	s.tr.Edge(mQuestion, probes.Bucket(len(name)))
+	s.tr.Edge(mQuestion, 64+uint64(strings.Count(name, ".")%32))
+	s.tr.Edge(mNameHash, probes.Hash(name)%hashSpace)
+	s.tr.Edge(mQType, uint64(qu.Type%256))
+	s.tr.Edge(mQType, 256+uint64(qu.Class%8))
+
+	if s.cfg.logQueries {
+		s.tr.Edge(mLog, probes.Hash(name)%128)
+		// Bug #13: the query log formats the name with printf-style
+		// expansion; '%' directives in a label overflow the log buffer.
+		if strings.Contains(name, "%") {
+			bugs.Trigger("DNS", bugs.HeapBufferOverflow, "printf_common",
+				"format directives in logged query name")
+		}
+	}
+
+	// Filters.
+	if s.cfg.domainNeed && !strings.Contains(name, ".") {
+		s.tr.Edge(mFilter, 0)
+		*rcode = rcodeRefused
+		return nil
+	}
+	if s.cfg.filterW2K && (qu.Type == typeSRV || qu.Type == typeSOA) && strings.Contains(name, "_") {
+		s.tr.Edge(mFilter, 1+uint64(qu.Type%8))
+		*rcode = rcodeNXDomain
+		return nil
+	}
+	if s.cfg.bogusPriv && qu.Type == typePTR && strings.HasSuffix(name, ".in-addr.arpa") {
+		s.tr.Edge(mFilter, 16+probes.Hash(name)%16)
+		*rcode = rcodeNXDomain
+		return nil
+	}
+
+	// address=/domain/IP interception.
+	if s.cfg.address != "" {
+		parts := strings.Split(s.cfg.address, "/")
+		if len(parts) >= 2 && parts[1] != "" && strings.HasSuffix(name, parts[1]) {
+			s.tr.Edge(mLocal, probes.Hash(name)%64)
+			return []record{{Name: qu.Name, Type: typeA, Class: 1, TTL: 0, Data: []byte{127, 0, 0, 1}}}
+		}
+	}
+
+	// addn-hosts lazy load: qualification through config_parse.
+	if s.cfg.addnHosts != "" {
+		s.tr.Edge(mHostsLk, probes.Hash(name)%128)
+		// Bug #14: re-qualifying an overlong name against the additional
+		// hosts file overruns the config parser's line buffer.
+		if len(name) > 64 {
+			bugs.Trigger("DNS", bugs.HeapBufferOverflow, "config_parse",
+				"overlong name overflows hosts-file line buffer during lazy reload")
+		}
+	}
+
+	// Local hosts answers.
+	if ip, ok := s.hosts[name]; ok && (qu.Type == typeA || qu.Type == typeANY) {
+		s.tr.Edge(mLocal, 128+probes.Hash(name)%32)
+		return []record{{Name: qu.Name, Type: typeA, Class: 1, TTL: 60, Data: ip[:]}}
+	}
+	if s.cfg.expandHost && s.cfg.domain != "" && !strings.Contains(name, ".") {
+		fq := name + "." + s.cfg.domain
+		if ip, ok := s.hosts[fq]; ok {
+			s.tr.Edge(mLocal, 192+probes.Hash(fq)%16)
+			return []record{{Name: qu.Name, Type: typeA, Class: 1, TTL: 60, Data: ip[:]}}
+		}
+	}
+
+	// local=/zone/ answers authoritatively (NXDOMAIN when unknown).
+	if s.cfg.localZone != "" {
+		zone := strings.Trim(s.cfg.localZone, "/")
+		if zone != "" && strings.HasSuffix(name, zone) {
+			s.tr.Edge(mLocal, 256+probes.Hash(name)%32)
+			*rcode = rcodeNXDomain
+			return nil
+		}
+	}
+
+	// Authoritative zone.
+	if s.cfg.authZone != "" && strings.HasSuffix(name, s.cfg.authZone) {
+		s.tr.Edge(mAuthZone, probes.Hash(name)%128)
+		s.tr.Edge(mAuthZone, 128+uint64(qu.Type%16))
+		return []record{{Name: qu.Name, Type: typeSOA, Class: 1, TTL: 3600,
+			Data: []byte("primary.example.org")}}
+	}
+
+	// DHCP lease lookups for the local domain.
+	if s.cfg.dhcpRange != "" {
+		if qu.Type == typePTR || (s.cfg.domain != "" && strings.HasSuffix(name, s.cfg.domain)) {
+			s.tr.Edge(mDHCPLk, probes.Hash(name)%192)
+			s.tr.Edge(mDHCPLk, 192+uint64(qu.Type%8))
+		}
+	}
+
+	// Cache.
+	if s.cfg.cacheSize > 0 {
+		key := fmt.Sprintf("%s/%d", name, qu.Type)
+		if rec, ok := s.cache[key]; ok {
+			s.tr.Edge(mCache, probes.Hash(key)%128)
+			return []record{rec}
+		}
+		s.tr.Edge(mCache, 128+probes.Hash(key)%64)
+	}
+
+	// Upstream forward (simulated: deterministic synthetic answer).
+	if s.cfg.upstream == "" {
+		s.tr.Edge(mForward, 0)
+		*rcode = rcodeServFail
+		return nil
+	}
+	s.tr.Edge(mForward, 1+probes.Hash(name)%128)
+	s.tr.Edge(mForward, 192+uint64(qu.Type%32))
+	if s.cfg.dnssec {
+		// Validation region: per-name signature checks.
+		s.tr.Edge(mSECValid, probes.Hash(name)%256)
+		s.tr.Edge(mSECValid, 256+uint64(qu.Type%16))
+	}
+	h := probes.Hash(name)
+	rec := record{Name: qu.Name, Type: typeA, Class: 1, TTL: 300,
+		Data: []byte{10, byte(h >> 16), byte(h >> 8), byte(h)}}
+	if qu.Type == typeAAAA {
+		rec.Type = typeAAAA
+		rec.Data = append([]byte{0x20, 0x01, 0x0d, 0xb8}, rec.Data...)
+		rec.Data = append(rec.Data, make([]byte, 16-len(rec.Data))...)
+	}
+	if s.cfg.cacheSize > 0 && len(s.cache) < s.cfg.cacheSize {
+		s.cache[fmt.Sprintf("%s/%d", name, qu.Type)] = rec
+	}
+	return []record{rec}
+}

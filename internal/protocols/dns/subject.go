@@ -1,0 +1,191 @@
+package dns
+
+import (
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/subject"
+)
+
+// pitXML is the DNS Pit document: standard queries of several types, an
+// EDNS query, a compressed-name query, and a reverse lookup. DNS is a
+// one-shot exchange, so the state model is a short branch.
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="QueryA">
+    <Number name="id" bits="16" value="4660"/>
+    <Number name="flags" bits="16" value="256"/>
+    <Number name="qd" bits="16" value="1" token="true"/>
+    <Number name="an" bits="16" value="0"/>
+    <Number name="ns" bits="16" value="0"/>
+    <Number name="ar" bits="16" value="0"/>
+    <Block name="q1">
+      <Number name="l1" bits="8" sizeOf="n1"/>
+      <Choice name="n1">
+        <String name="www" value="www"/>
+        <String name="mail" value="mail"/>
+        <String name="iot" value="iot-device"/>
+        <String name="pct" value="p%srinter"/>
+      </Choice>
+      <Number name="l2" bits="8" sizeOf="n2"/>
+      <String name="n2" value="example"/>
+      <Number name="l3" bits="8" sizeOf="n3"/>
+      <String name="n3" value="com"/>
+      <Number name="root" bits="8" value="0" token="true"/>
+      <Choice name="qtype">
+        <Number name="a" bits="16" value="1"/>
+        <Number name="aaaa" bits="16" value="28"/>
+        <Number name="mx" bits="16" value="15"/>
+        <Number name="txt" bits="16" value="16"/>
+        <Number name="srv" bits="16" value="33"/>
+        <Number name="any" bits="16" value="255"/>
+      </Choice>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="QueryLocal">
+    <Number name="id" bits="16" value="4661"/>
+    <Number name="flags" bits="16" value="256"/>
+    <Number name="qd" bits="16" value="1" token="true"/>
+    <Number name="an" bits="16" value="0"/>
+    <Number name="ns" bits="16" value="0"/>
+    <Number name="ar" bits="16" value="0"/>
+    <Block name="q1">
+      <Number name="l1" bits="8" sizeOf="n1"/>
+      <Choice name="n1">
+        <String name="router" value="router"/>
+        <String name="printer" value="printer"/>
+        <String name="host" value="somehost"/>
+      </Choice>
+      <Number name="l2" bits="8" sizeOf="n2"/>
+      <String name="n2" value="lan"/>
+      <Number name="root" bits="8" value="0" token="true"/>
+      <Number name="qtype" bits="16" value="1"/>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="QueryPTR">
+    <Number name="id" bits="16" value="4662"/>
+    <Number name="flags" bits="16" value="256"/>
+    <Number name="qd" bits="16" value="1" token="true"/>
+    <Number name="an" bits="16" value="0"/>
+    <Number name="ns" bits="16" value="0"/>
+    <Number name="ar" bits="16" value="0"/>
+    <Block name="q1">
+      <Number name="l1" bits="8" sizeOf="n1"/>
+      <String name="n1" value="9"/>
+      <Number name="l2" bits="8" sizeOf="n2"/>
+      <String name="n2" value="0"/>
+      <Number name="l3" bits="8" sizeOf="n3"/>
+      <String name="n3" value="168"/>
+      <Number name="l4" bits="8" sizeOf="n4"/>
+      <String name="n4" value="192"/>
+      <Number name="l5" bits="8" sizeOf="n5"/>
+      <String name="n5" value="in-addr"/>
+      <Number name="l6" bits="8" sizeOf="n6"/>
+      <String name="n6" value="arpa"/>
+      <Number name="root" bits="8" value="0" token="true"/>
+      <Number name="qtype" bits="16" value="12"/>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="QueryEDNS">
+    <Number name="id" bits="16" value="4663"/>
+    <Number name="flags" bits="16" value="256"/>
+    <Number name="qd" bits="16" value="1" token="true"/>
+    <Number name="an" bits="16" value="0"/>
+    <Number name="ns" bits="16" value="0"/>
+    <Number name="ar" bits="16" value="1" token="true"/>
+    <Block name="q1">
+      <Number name="l1" bits="8" sizeOf="n1"/>
+      <String name="n1" value="edns"/>
+      <Number name="l2" bits="8" sizeOf="n2"/>
+      <String name="n2" value="test"/>
+      <Number name="root" bits="8" value="0" token="true"/>
+      <Number name="qtype" bits="16" value="1"/>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+    <Block name="opt">
+      <Number name="optroot" bits="8" value="0" token="true"/>
+      <Number name="opttype" bits="16" value="41" token="true"/>
+      <Choice name="udpsize">
+        <Number name="standard" bits="16" value="4096"/>
+        <Number name="big" bits="16" value="16400"/>
+        <Number name="huge" bits="16" value="65535"/>
+      </Choice>
+      <Number name="ttl" bits="32" value="0"/>
+      <Number name="rdlen" bits="16" value="0"/>
+    </Block>
+  </DataModel>
+  <DataModel name="QueryCompressed">
+    <Number name="id" bits="16" value="4664"/>
+    <Number name="flags" bits="16" value="256"/>
+    <Number name="qd" bits="16" value="2" token="true"/>
+    <Number name="an" bits="16" value="0"/>
+    <Number name="ns" bits="16" value="0"/>
+    <Number name="ar" bits="16" value="0"/>
+    <Block name="q1">
+      <Number name="l1" bits="8" sizeOf="n1"/>
+      <String name="n1" value="compress"/>
+      <Number name="l2" bits="8" sizeOf="n2"/>
+      <String name="n2" value="me"/>
+      <Number name="root" bits="8" value="0" token="true"/>
+      <Number name="qtype" bits="16" value="1"/>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+    <Block name="q2">
+      <Choice name="ptr">
+        <Number name="backref" bits="16" value="49164"/>
+        <Number name="far" bits="16" value="49663"/>
+      </Choice>
+      <Number name="qtype" bits="16" value="1"/>
+      <Number name="qclass" bits="16" value="1"/>
+    </Block>
+  </DataModel>
+  <StateModel name="DNSExchange" initialState="ask">
+    <State name="ask">
+      <Action type="output" dataModel="QueryA"/>
+      <Action type="changeState" to="again"/>
+      <Action type="changeState" to="localnet"/>
+      <Action type="changeState" to="extended"/>
+    </State>
+    <State name="again">
+      <Action type="output" dataModel="QueryA"/>
+      <Action type="changeState" to="reverse"/>
+    </State>
+    <State name="localnet">
+      <Action type="output" dataModel="QueryLocal"/>
+      <Action type="changeState" to="reverse"/>
+    </State>
+    <State name="extended">
+      <Action type="output" dataModel="QueryEDNS"/>
+      <Action type="output" dataModel="QueryCompressed"/>
+    </State>
+    <State name="reverse">
+      <Action type="output" dataModel="QueryPTR"/>
+    </State>
+  </StateModel>
+</Peach>`
+
+// dnsSubject implements subject.Subject for the Dnsmasq-like forwarder.
+type dnsSubject struct{}
+
+// Subject returns the DNS evaluation subject.
+func Subject() subject.Subject { return dnsSubject{} }
+
+func (dnsSubject) Info() subject.Info {
+	return subject.Info{
+		Protocol:       "DNS",
+		Implementation: "Dnsmasq",
+		Transport:      subject.Datagram,
+		Port:           53,
+	}
+}
+
+func (dnsSubject) ConfigInput() configspec.Input {
+	return configspec.Input{
+		Files: []configspec.File{{Name: "dnsmasq.conf", Content: confFile}},
+	}
+}
+
+func (dnsSubject) PitXML() string { return pitXML }
+
+func (dnsSubject) NewInstance() subject.Instance { return NewServer() }

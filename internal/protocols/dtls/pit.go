@@ -1,0 +1,148 @@
+package dtls
+
+// pitXML is the DTLS Pit document. ClientHello carries a 1-byte cookie
+// guess (the server's stateless cookie is config-derived, so reaching the
+// post-cookie states requires either mutation luck or the non-default
+// --no-cookie configuration — a deliberately configuration-gated depth).
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="ClientHello">
+    <Number name="ct" bits="8" value="22" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="0"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="1"/>
+    <Number name="reclen" bits="16" sizeOf="hs"/>
+    <Block name="hs">
+      <Number name="msgtype" bits="8" value="1" token="true"/>
+      <Number name="lenhi" bits="8" value="0"/>
+      <Number name="len" bits="16" sizeOf="chbody"/>
+      <Number name="msgseq" bits="16" value="0"/>
+      <Number name="fraghi" bits="8" value="0"/>
+      <Number name="fragoff" bits="16" value="0"/>
+      <Number name="flenhi" bits="8" value="0"/>
+      <Number name="flen" bits="16" sizeOf="chbody"/>
+      <Block name="chbody">
+        <Number name="chver" bits="16" value="65277"/>
+        <Blob name="random" valueHex="000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"/>
+        <Number name="sidlen" bits="8" value="0" token="true"/>
+        <Number name="cookielen" bits="8" value="1" token="true"/>
+        <Choice name="cookie">
+          <Number name="c0" bits="8" value="0"/>
+          <Number name="c1" bits="8" value="77"/>
+          <Number name="c2" bits="8" value="133"/>
+          <Number name="c3" bits="8" value="201"/>
+        </Choice>
+        <Number name="cslen" bits="16" sizeOf="suites"/>
+        <Blob name="suites" valueHex="002f009dcca8008c"/>
+        <Number name="cmlen" bits="8" value="1" token="true"/>
+        <Number name="cm" bits="8" value="0"/>
+        <Block name="ext">
+          <Number name="exttype" bits="16" value="10"/>
+          <Number name="extlen" bits="16" sizeOf="extbody"/>
+          <Blob name="extbody" valueHex="00170018"/>
+        </Block>
+      </Block>
+    </Block>
+  </DataModel>
+  <DataModel name="ClientKeyExchange">
+    <Number name="ct" bits="8" value="22" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="0"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="2"/>
+    <Number name="reclen" bits="16" sizeOf="hs"/>
+    <Block name="hs">
+      <Number name="msgtype" bits="8" value="16" token="true"/>
+      <Number name="lenhi" bits="8" value="0"/>
+      <Number name="len" bits="16" sizeOf="keydata"/>
+      <Number name="msgseq" bits="16" value="1"/>
+      <Number name="fraghi" bits="8" value="0"/>
+      <Number name="fragoff" bits="16" value="0"/>
+      <Number name="flenhi" bits="8" value="0"/>
+      <Number name="flen" bits="16" sizeOf="keydata"/>
+      <Blob name="keydata" valueHex="a1b2c3d4e5f60718"/>
+    </Block>
+  </DataModel>
+  <DataModel name="ChangeCipherSpec">
+    <Number name="ct" bits="8" value="20" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="0"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="3"/>
+    <Number name="reclen" bits="16" sizeOf="ccs"/>
+    <Blob name="ccs" valueHex="01"/>
+  </DataModel>
+  <DataModel name="Finished">
+    <Number name="ct" bits="8" value="22" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="1"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="4"/>
+    <Number name="reclen" bits="16" sizeOf="hs"/>
+    <Block name="hs">
+      <Number name="msgtype" bits="8" value="20" token="true"/>
+      <Number name="lenhi" bits="8" value="0"/>
+      <Number name="len" bits="16" sizeOf="verify"/>
+      <Number name="msgseq" bits="16" value="2"/>
+      <Number name="fraghi" bits="8" value="0"/>
+      <Number name="fragoff" bits="16" value="0"/>
+      <Number name="flenhi" bits="8" value="0"/>
+      <Number name="flen" bits="16" sizeOf="verify"/>
+      <Blob name="verify" valueHex="f00dfeedf00dfeedf00dfeed"/>
+    </Block>
+  </DataModel>
+  <DataModel name="AppData">
+    <Number name="ct" bits="8" value="23" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="1"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="5"/>
+    <Number name="reclen" bits="16" sizeOf="payload"/>
+    <Blob name="payload" valueHex="6465764d6573736167"/>
+  </DataModel>
+  <DataModel name="Alert">
+    <Number name="ct" bits="8" value="21" token="true"/>
+    <Number name="ver" bits="16" value="65277" token="true"/>
+    <Number name="epoch" bits="16" value="0"/>
+    <Number name="seqhi" bits="32" value="0"/>
+    <Number name="seqlo" bits="16" value="6"/>
+    <Number name="reclen" bits="16" sizeOf="alert"/>
+    <Blob name="alert" valueHex="0100"/>
+  </DataModel>
+  <StateModel name="DTLSHandshake" initialState="hello">
+    <State name="hello">
+      <Action type="output" dataModel="ClientHello"/>
+      <Action type="input"/>
+      <Action type="changeState" to="retryhello"/>
+      <Action type="changeState" to="keyexchange"/>
+    </State>
+    <State name="retryhello">
+      <Action type="output" dataModel="ClientHello"/>
+      <Action type="changeState" to="keyexchange"/>
+    </State>
+    <State name="keyexchange">
+      <Action type="output" dataModel="ClientKeyExchange"/>
+      <Action type="output" dataModel="ChangeCipherSpec"/>
+      <Action type="changeState" to="finish"/>
+    </State>
+    <State name="finish">
+      <Action type="output" dataModel="Finished"/>
+      <Action type="changeState" to="appdata"/>
+      <Action type="changeState" to="teardown"/>
+    </State>
+    <State name="appdata">
+      <Action type="output" dataModel="AppData"/>
+      <Action type="output" dataModel="AppData"/>
+      <Action type="changeState" to="teardown"/>
+      <Action type="changeState" to="renegotiate"/>
+    </State>
+    <State name="renegotiate">
+      <Action type="output" dataModel="ClientHello"/>
+      <Action type="changeState" to="teardown"/>
+    </State>
+    <State name="teardown">
+      <Action type="output" dataModel="Alert"/>
+    </State>
+  </StateModel>
+</Peach>`

@@ -1,0 +1,183 @@
+package mqtt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/wire"
+)
+
+func TestWillRegistrationAndCleanDisconnect(t *testing.T) {
+	b, _ := startBroker(t, nil)
+	// Connect with a will (flags: will=0x04, qos1=0x08, retain=0x20, clean=0x02).
+	w := wire.NewWriter(64)
+	w.String16("MQTT")
+	w.U8(4)
+	w.U8(0x2E)
+	w.U16(30)
+	w.String16("willful")
+	w.String16("state/offline")
+	w.Bytes16([]byte("gone"))
+	resp := b.Message(encode(typeConnect, 0, w.Bytes()))
+	if len(resp) != 1 || resp[0][3] != 0 {
+		t.Fatalf("will connect refused: %x", resp)
+	}
+	if b.cur.will == nil || b.cur.will.topic != "state/offline" || b.cur.will.qos != 1 || !b.cur.will.retain {
+		t.Fatalf("will = %+v", b.cur.will)
+	}
+	// Clean DISCONNECT discards the will.
+	b.Message(encode(typeDisconnect, 0, nil))
+	if b.cur.will != nil {
+		t.Fatal("will survived clean disconnect")
+	}
+}
+
+func TestMaxQoSDowngrade(t *testing.T) {
+	b, _ := startBroker(t, map[string]string{"max-qos": "1"})
+	connect(t, b)
+	// A QoS2 publish is downgraded to QoS1: PUBACK, not PUBREC.
+	resp := b.Message(publishBytes("a/b", 2, false, false, 5, []byte("x")))
+	if len(resp) != 1 || resp[0][0]>>4 != typePuback {
+		t.Fatalf("downgraded publish ack = %x", resp)
+	}
+	// Subscription grants are capped too.
+	resp = b.Message(subscribeBytes(6, "a/#", 2))
+	if resp[0][4] != 1 {
+		t.Fatalf("granted qos = %d, want capped 1", resp[0][4])
+	}
+}
+
+func TestMessageSizeLimitRejects(t *testing.T) {
+	b, _ := startBroker(t, map[string]string{"message-size-limit": "4"})
+	connect(t, b)
+	if resp := b.Message(publishBytes("t", 0, false, false, 0, []byte("too large"))); resp != nil {
+		t.Fatalf("oversized payload accepted: %x", resp)
+	}
+	// Within the limit passes.
+	b2, _ := startBroker(t, map[string]string{"message-size-limit": "100"})
+	connect(t, b2)
+	b2.Message(subscribeBytes(1, "t", 0))
+	if resp := b2.Message(publishBytes("t", 0, false, false, 0, []byte("ok"))); len(resp) != 1 {
+		t.Fatal("in-limit payload dropped")
+	}
+}
+
+func TestSubscriptionQuota(t *testing.T) {
+	b, _ := startBroker(t, nil)
+	connect(t, b)
+	refused := false
+	for i := 0; i < 200; i++ {
+		resp := b.Message(subscribeBytes(uint16(i+1), "topic/"+string(rune('a'+i%26))+string(rune('0'+i/26)), 0))
+		if len(resp) > 0 && resp[0][0]>>4 == typeSuback && resp[0][4] == 0x80 {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("per-session subscription quota never enforced")
+	}
+}
+
+func TestOutboundAckFlow(t *testing.T) {
+	b, _ := startBroker(t, nil)
+	connect(t, b)
+	// PUBREC for an unknown outbound id is tolerated without a PUBREL.
+	if resp := b.Message(encodeAck(typePubrec, 77)); resp != nil {
+		t.Fatalf("unknown pubrec answered: %x", resp)
+	}
+	// Track an outbound message, then complete the flow.
+	b.cur.inflightOut[77] = 1
+	resp := b.Message(encodeAck(typePubrec, 77))
+	if len(resp) != 1 || resp[0][0]>>4 != typePubrel {
+		t.Fatalf("pubrec ack = %x", resp)
+	}
+	b.cur.inflightOut[78] = 1
+	b.Message(encodeAck(typePubcomp, 78))
+	if _, ok := b.cur.inflightOut[78]; ok {
+		t.Fatal("pubcomp did not clear inflight")
+	}
+}
+
+func TestRetainDisabled(t *testing.T) {
+	b, _ := startBroker(t, map[string]string{"retain-available": "false"})
+	connect(t, b)
+	b.Message(publishBytes("state/x", 0, true, false, 0, []byte("v")))
+	if len(b.retained) != 0 {
+		t.Fatal("retained message stored despite retain-available=false")
+	}
+}
+
+func TestEmptyRetainedPayloadDeletes(t *testing.T) {
+	b, _ := startBroker(t, nil)
+	connect(t, b)
+	b.Message(publishBytes("state/x", 0, true, false, 0, []byte("v")))
+	if len(b.retained) != 1 {
+		t.Fatal("retained not stored")
+	}
+	b.Message(publishBytes("state/x", 0, true, false, 0, nil))
+	if len(b.retained) != 0 {
+		t.Fatal("empty retained publish did not delete")
+	}
+}
+
+func TestConnectionLimitConnack(t *testing.T) {
+	b, _ := startBroker(t, map[string]string{"max-connections": "2"})
+	for i, id := range []string{"c1", "c2"} {
+		b.NewSession()
+		resp := b.Message(connectPacketBytes(id, 0x02))
+		if resp[0][3] != 0 {
+			t.Fatalf("client %d refused early", i)
+		}
+	}
+	b.NewSession()
+	resp := b.Message(connectPacketBytes("c3", 0x02))
+	if resp[0][3] != 3 {
+		t.Fatalf("over-limit connack code = %d, want 3 (server unavailable)", resp[0][3])
+	}
+}
+
+func TestUnsubscribeStopsRouting(t *testing.T) {
+	b, _ := startBroker(t, nil)
+	connect(t, b)
+	b.Message(subscribeBytes(1, "a/#", 0))
+	w := wire.NewWriter(16)
+	w.U16(2)
+	w.String16("a/#")
+	b.Message(encode(typeUnsubscribe, 2, w.Bytes()))
+	if resp := b.Message(publishBytes("a/b", 0, false, false, 0, []byte("x"))); resp != nil {
+		t.Fatalf("unsubscribed filter still routed: %x", resp)
+	}
+}
+
+// Property: any CONNECT the encoder can produce round-trips through the
+// broker without untyped panics, and the broker always answers with a
+// single CONNACK or nothing.
+func TestQuickConnectTotal(t *testing.T) {
+	f := func(proto string, level, flags byte, keepalive uint16, cid string) bool {
+		if len(proto) > 100 || len(cid) > 100 {
+			return true
+		}
+		b := NewBroker()
+		if err := b.Start(nil, newTrace()); err != nil {
+			return false
+		}
+		b.NewSession()
+		w := wire.NewWriter(64)
+		w.String16(proto)
+		w.U8(level)
+		w.U8(flags &^ 0xC4) // avoid will/user/pass so the body stays valid
+		w.U16(keepalive)
+		w.String16(cid)
+		resp := b.Message(encode(typeConnect, 0, w.Bytes()))
+		if resp == nil {
+			return true
+		}
+		return len(resp) == 1 && resp[0][0]>>4 == typeConnack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTrace() *coverage.Trace { return coverage.NewTrace() }

@@ -1,0 +1,215 @@
+// Package mqtt implements a Mosquitto-like MQTT 3.1.1 broker used as the
+// MQTT subject in the CMFuzz evaluation. The broker parses the real MQTT
+// wire format, maintains sessions, subscriptions, retained messages, QoS
+// 1/2 flows and optional bridge/persistence/websocket/TLS/auth features,
+// all gated by a Mosquitto-style configuration surface. Five seeded,
+// configuration-gated defects reproduce Table II rows 1–5.
+package mqtt
+
+import (
+	"errors"
+
+	"cmfuzz/internal/wire"
+)
+
+// Control packet types (MQTT 3.1.1 §2.2.1).
+const (
+	typeConnect     = 1
+	typeConnack     = 2
+	typePublish     = 3
+	typePuback      = 4
+	typePubrec      = 5
+	typePubrel      = 6
+	typePubcomp     = 7
+	typeSubscribe   = 8
+	typeSuback      = 9
+	typeUnsubscribe = 10
+	typeUnsuback    = 11
+	typePingreq     = 12
+	typePingresp    = 13
+	typeDisconnect  = 14
+)
+
+var errMalformed = errors.New("mqtt: malformed packet")
+
+// packet is one decoded control packet.
+type packet struct {
+	Type  byte
+	Flags byte // lower nibble of the fixed header
+	Body  []byte
+}
+
+// decodePacket splits the fixed header from the body.
+func decodePacket(data []byte) (packet, error) {
+	r := wire.NewReader(data)
+	first := r.U8()
+	remlen := r.Varint()
+	body := r.Bytes(int(remlen))
+	if r.Err() != nil {
+		return packet{}, errMalformed
+	}
+	return packet{Type: first >> 4, Flags: first & 0x0f, Body: body}, nil
+}
+
+// connectPacket is a decoded CONNECT.
+type connectPacket struct {
+	ProtoName    string
+	ProtoLevel   byte
+	Flags        byte
+	KeepAlive    uint16
+	ClientID     string
+	WillTopic    string
+	WillMessage  []byte
+	Username     string
+	Password     []byte
+	CleanSession bool
+	WillQoS      byte
+	WillRetain   bool
+}
+
+func decodeConnect(body []byte) (connectPacket, error) {
+	r := wire.NewReader(body)
+	var c connectPacket
+	c.ProtoName = r.String16()
+	c.ProtoLevel = r.U8()
+	c.Flags = r.U8()
+	c.KeepAlive = r.U16()
+	c.ClientID = r.String16()
+	c.CleanSession = c.Flags&0x02 != 0
+	c.WillQoS = (c.Flags >> 3) & 0x03
+	c.WillRetain = c.Flags&0x20 != 0
+	if c.Flags&0x04 != 0 { // will flag
+		c.WillTopic = r.String16()
+		c.WillMessage = r.Bytes16()
+	}
+	if c.Flags&0x80 != 0 { // username
+		c.Username = r.String16()
+	}
+	if c.Flags&0x40 != 0 { // password
+		c.Password = r.Bytes16()
+	}
+	if r.Err() != nil {
+		return c, errMalformed
+	}
+	return c, nil
+}
+
+// publishPacket is a decoded PUBLISH.
+type publishPacket struct {
+	Topic    string
+	PacketID uint16
+	Payload  []byte
+	QoS      byte
+	Retain   bool
+	Dup      bool
+}
+
+func decodePublish(flags byte, body []byte) (publishPacket, error) {
+	r := wire.NewReader(body)
+	var p publishPacket
+	p.QoS = (flags >> 1) & 0x03
+	p.Retain = flags&0x01 != 0
+	p.Dup = flags&0x08 != 0
+	p.Topic = r.String16()
+	if p.QoS > 0 {
+		p.PacketID = r.U16()
+	}
+	p.Payload = r.Rest()
+	if r.Err() != nil || p.QoS == 3 {
+		return p, errMalformed
+	}
+	return p, nil
+}
+
+// subscription is one topic filter request inside SUBSCRIBE.
+type subscription struct {
+	Filter string
+	QoS    byte
+}
+
+func decodeSubscribe(body []byte) (uint16, []subscription, error) {
+	r := wire.NewReader(body)
+	id := r.U16()
+	var subs []subscription
+	for !r.Empty() {
+		f := r.String16()
+		q := r.U8()
+		if r.Err() != nil {
+			return id, subs, errMalformed
+		}
+		subs = append(subs, subscription{Filter: f, QoS: q})
+	}
+	if r.Err() != nil || len(subs) == 0 {
+		return id, subs, errMalformed
+	}
+	return id, subs, nil
+}
+
+func decodeUnsubscribe(body []byte) (uint16, []string, error) {
+	r := wire.NewReader(body)
+	id := r.U16()
+	var filters []string
+	for !r.Empty() {
+		filters = append(filters, r.String16())
+	}
+	if r.Err() != nil || len(filters) == 0 {
+		return id, filters, errMalformed
+	}
+	return id, filters, nil
+}
+
+func decodePacketID(body []byte) (uint16, error) {
+	r := wire.NewReader(body)
+	id := r.U16()
+	if r.Err() != nil {
+		return 0, errMalformed
+	}
+	return id, nil
+}
+
+// encode builds a packet with the given type, flags and body.
+func encode(ptype, flags byte, body []byte) []byte {
+	w := wire.NewWriter(2 + len(body))
+	w.U8(ptype<<4 | flags&0x0f)
+	w.Varint(uint32(len(body)))
+	w.Raw(body)
+	return w.Bytes()
+}
+
+func encodeConnack(sessionPresent bool, code byte) []byte {
+	sp := byte(0)
+	if sessionPresent {
+		sp = 1
+	}
+	return encode(typeConnack, 0, []byte{sp, code})
+}
+
+func encodeAck(ptype byte, id uint16) []byte {
+	flags := byte(0)
+	if ptype == typePubrel {
+		flags = 0x02
+	}
+	return encode(ptype, flags, []byte{byte(id >> 8), byte(id)})
+}
+
+func encodeSuback(id uint16, codes []byte) []byte {
+	body := append([]byte{byte(id >> 8), byte(id)}, codes...)
+	return encode(typeSuback, 0, body)
+}
+
+func encodePublish(p publishPacket) []byte {
+	w := wire.NewWriter(4 + len(p.Topic) + len(p.Payload))
+	w.String16(p.Topic)
+	if p.QoS > 0 {
+		w.U16(p.PacketID)
+	}
+	w.Raw(p.Payload)
+	flags := p.QoS << 1
+	if p.Retain {
+		flags |= 0x01
+	}
+	if p.Dup {
+		flags |= 0x08
+	}
+	return encode(typePublish, flags, w.Bytes())
+}

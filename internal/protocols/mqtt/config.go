@@ -1,0 +1,274 @@
+package mqtt
+
+import (
+	"fmt"
+
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/protocols/probes"
+)
+
+// confFile is the shipped mosquitto.conf-style configuration, the file
+// CMFuzz's extraction mines. Commented-out options are disabled features
+// whose candidate values the extractor records.
+const confFile = `# Mosquitto-style broker configuration
+port 1883
+max_connections 100
+max_inflight_messages 20
+max_queued_messages 1000
+allow_anonymous true
+retain_available true
+max_qos 2
+max_packet_size 268435455
+message_size_limit 0
+keepalive_interval 60
+autosave_interval 1800
+# persistence true
+# persistence_location /var/lib/mosquitto
+# password_file /etc/mosquitto/passwd
+# acl_file /etc/mosquitto/acl
+# bridge true
+# bridge_address 10.0.0.2:1883
+# bridge_protocol_version mqttv311
+# bridge_topic sensors/#
+# websockets true
+# tls true
+# certfile /etc/mosquitto/certs/server.crt
+# keyfile /etc/mosquitto/certs/server.key
+# require_certificate true
+# queue_qos0_messages true
+# upgrade_outgoing_qos true
+`
+
+// cliHelp is the broker's --help output, the CLI source of Algorithm 1.
+const cliHelp = `Usage: broker [options]
+  -c, --config-file FILE    configuration file
+  -p, --port PORT           listen port (default: 1883)
+  --verbose                 verbose logging
+  --log-type TYPE           log categories, one of: none, error, warning, all
+`
+
+// ConfigInput returns the configuration sources Algorithm 1 extracts.
+func ConfigInput() configspec.Input {
+	return configspec.Input{
+		CLIHelp: []string{cliHelp},
+		Files:   []configspec.File{{Name: "mosquitto.conf", Content: confFile}},
+	}
+}
+
+// settings is the broker's typed configuration.
+type settings struct {
+	port           int
+	maxConnections int
+	maxInflight    int
+	maxQueued      int
+	allowAnonymous bool
+	retainOK       bool
+	maxQoS         int
+	maxPacketSize  int
+	msgSizeLimit   int
+	keepalive      int
+	autosave       int
+
+	persistence    bool
+	persistenceLoc string
+	passwordFile   string
+	aclFile        string
+
+	bridge        bool
+	bridgeAddress string
+	bridgeProto   string
+	bridgeTopic   string
+
+	websockets  bool
+	tls         bool
+	certFile    string
+	keyFile     string
+	requireCert bool
+
+	queueQoS0  bool
+	upgradeQoS bool
+}
+
+// parseSettings maps the normalized configuration assignment into typed
+// settings. A missing keyfile is derived from the certfile, as brokers
+// commonly allow.
+func parseSettings(cfg map[string]string) settings {
+	s := settings{
+		port:           probes.Int(cfg, "port", 1883),
+		maxConnections: probes.Int(cfg, "max-connections", 100),
+		maxInflight:    probes.Int(cfg, "max-inflight-messages", 20),
+		maxQueued:      probes.Int(cfg, "max-queued-messages", 1000),
+		allowAnonymous: probes.Bool(cfg, "allow-anonymous", true),
+		retainOK:       probes.Bool(cfg, "retain-available", true),
+		maxQoS:         probes.Int(cfg, "max-qos", 2),
+		maxPacketSize:  probes.Int(cfg, "max-packet-size", 268435455),
+		msgSizeLimit:   probes.Int(cfg, "message-size-limit", 0),
+		keepalive:      probes.Int(cfg, "keepalive-interval", 60),
+		autosave:       probes.Int(cfg, "autosave-interval", 1800),
+		persistence:    probes.Bool(cfg, "persistence", false),
+		persistenceLoc: probes.Str(cfg, "persistence-location", ""),
+		passwordFile:   probes.Str(cfg, "password-file", ""),
+		aclFile:        probes.Str(cfg, "acl-file", ""),
+		bridge:         probes.Bool(cfg, "bridge", false),
+		bridgeAddress:  probes.Str(cfg, "bridge-address", ""),
+		bridgeProto:    probes.Str(cfg, "bridge-protocol-version", "mqttv311"),
+		bridgeTopic:    probes.Str(cfg, "bridge-topic", "sensors/#"),
+		websockets:     probes.Bool(cfg, "websockets", false),
+		tls:            probes.Bool(cfg, "tls", false),
+		certFile:       probes.Str(cfg, "certfile", ""),
+		keyFile:        probes.Str(cfg, "keyfile", ""),
+		requireCert:    probes.Bool(cfg, "require-certificate", false),
+		queueQoS0:      probes.Bool(cfg, "queue-qos0-messages", false),
+		upgradeQoS:     probes.Bool(cfg, "upgrade-outgoing-qos", false),
+	}
+	if s.keyFile == "" && s.certFile != "" {
+		s.keyFile = s.certFile + ".key"
+	}
+	return s
+}
+
+// validate rejects conflicting configurations — the zero-startup-coverage
+// cases the relation model prunes.
+func (s settings) validate() error {
+	if !s.allowAnonymous && s.passwordFile == "" {
+		return fmt.Errorf("mqtt: allow_anonymous false requires a password_file")
+	}
+	if s.bridge && s.bridgeAddress == "" {
+		return fmt.Errorf("mqtt: bridge mode requires bridge_address")
+	}
+	if s.tls && s.certFile == "" {
+		return fmt.Errorf("mqtt: tls requires a certfile")
+	}
+	if s.requireCert && !s.tls {
+		return fmt.Errorf("mqtt: require_certificate without tls listener")
+	}
+	if s.websockets && s.tls {
+		return fmt.Errorf("mqtt: websockets listener does not support tls")
+	}
+	if s.maxPacketSize != 0 && s.msgSizeLimit > s.maxPacketSize {
+		return fmt.Errorf("mqtt: message_size_limit exceeds max_packet_size")
+	}
+	if s.maxQoS < 0 || s.maxQoS > 2 {
+		return fmt.Errorf("mqtt: max_qos must be 0..2")
+	}
+	return nil
+}
+
+// Startup coverage sites.
+const (
+	sBoot         = 100
+	sListener     = 101
+	sLimits       = 102
+	sPersistence  = 110
+	sAuth         = 112
+	sACL          = 113
+	sBridgeInit   = 114
+	sWebsockets   = 115
+	sTLSInit      = 116
+	sQoSPolicy    = 117
+	sQueuePolicy  = 118
+	sSynPersist   = 120
+	sSynBridgeTLS = 121
+	sSynAuthACL   = 122
+	sSynBridgePer = 123
+	sSynQueueQoS  = 124
+	sSynWSLimits  = 125
+)
+
+// startupCoverage reports the initialization branches the configuration
+// exercises. Feature regions unlock only when enabled; synergistic pairs
+// add further edges, which is what the relation quantification measures.
+func (s settings) startupCoverage(tr *coverage.Trace) {
+	// Base boot path, sensitive to core numeric limits.
+	for i := uint64(0); i < 12; i++ {
+		tr.Edge(sBoot, i)
+	}
+	tr.Edge(sListener, probes.Bucket(s.port))
+	tr.Edge(sLimits, probes.Bucket(s.maxConnections))
+	tr.Edge(sLimits, 64+probes.Bucket(s.maxInflight))
+	tr.Edge(sLimits, 128+probes.Bucket(s.maxQueued))
+	tr.Edge(sLimits, 192+probes.Bucket(s.keepalive))
+	tr.Edge(sQoSPolicy, uint64(s.maxQoS))
+	tr.Edge(sQoSPolicy, 8+probes.B(s.retainOK))
+	tr.Edge(sLimits, 256+probes.Bucket(s.maxPacketSize))
+	tr.Edge(sLimits, 320+probes.Bucket(s.msgSizeLimit))
+
+	if s.persistence {
+		for i := uint64(0); i < 10; i++ {
+			tr.Edge(sPersistence, i)
+		}
+		tr.Edge(sPersistence, 16+probes.Hash(s.persistenceLoc)%8)
+		if s.autosave > 0 {
+			tr.Edge(sSynPersist, probes.Bucket(s.autosave)) // autosave scheduler
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynPersist, 64+i)
+			}
+		}
+	}
+	if s.passwordFile != "" {
+		for i := uint64(0); i < 8; i++ {
+			tr.Edge(sAuth, i)
+		}
+		tr.Edge(sAuth, 16+probes.B(!s.allowAnonymous))
+	}
+	if s.aclFile != "" {
+		for i := uint64(0); i < 6; i++ {
+			tr.Edge(sACL, i)
+		}
+		if s.passwordFile != "" {
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynAuthACL, i) // per-user ACL resolution
+			}
+		}
+	}
+	if s.bridge {
+		for i := uint64(0); i < 12; i++ {
+			tr.Edge(sBridgeInit, i)
+		}
+		tr.Edge(sBridgeInit, 16+probes.Hash(s.bridgeProto)%4)
+		tr.Edge(sBridgeInit, 24+probes.Hash(s.bridgeTopic)%8)
+		if s.tls {
+			for i := uint64(0); i < 6; i++ {
+				tr.Edge(sSynBridgeTLS, i) // bridge over TLS
+			}
+		}
+		if s.persistence {
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynBridgePer, i) // bridge state persistence
+			}
+		}
+	}
+	if s.websockets {
+		for i := uint64(0); i < 7; i++ {
+			tr.Edge(sWebsockets, i)
+		}
+		if s.maxConnections > 100 {
+			tr.Edge(sSynWSLimits, probes.Bucket(s.maxConnections))
+		}
+	}
+	if s.tls {
+		for i := uint64(0); i < 9; i++ {
+			tr.Edge(sTLSInit, i)
+		}
+		tr.Edge(sTLSInit, 16+probes.B(s.requireCert))
+	}
+	if s.queueQoS0 {
+		for i := uint64(0); i < 4; i++ {
+			tr.Edge(sQueuePolicy, i)
+		}
+		if s.maxQueued > 0 {
+			for i := uint64(0); i < 4; i++ {
+				tr.Edge(sSynQueueQoS, i) // QoS0 queue bounded by max_queued
+			}
+		}
+		if s.persistence {
+			for i := uint64(0); i < 5; i++ {
+				tr.Edge(sSynQueueQoS, 16+i) // QoS0 queue spills to the store
+			}
+		}
+	}
+	if s.upgradeQoS {
+		tr.Edge(sQueuePolicy, 8+uint64(s.maxQoS))
+	}
+}

@@ -1,0 +1,187 @@
+package mqtt
+
+import (
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/subject"
+)
+
+// pitXML is the MQTT Pit document: data models for the broker-bound
+// control packets and a state model covering connect, publish, QoS 2
+// completion, subscribe and teardown flows. All fuzzers share it, as in
+// the paper's setup.
+const pitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="Connect">
+    <Number name="type" bits="8" value="16" token="true"/>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="protolen" bits="16" sizeOf="proto"/>
+      <String name="proto" value="MQTT"/>
+      <Number name="level" bits="8" value="4"/>
+      <Choice name="variant">
+        <Block name="anon">
+          <Number name="flags" bits="8" value="2"/>
+          <Number name="keepalive" bits="16" value="60"/>
+          <Number name="cidlen" bits="16" sizeOf="cid"/>
+          <String name="cid" value="client-a"/>
+        </Block>
+        <Block name="persistent">
+          <Number name="flags" bits="8" value="0"/>
+          <Number name="keepalive" bits="16" value="30"/>
+          <Number name="cidlen" bits="16" sizeOf="cid"/>
+          <String name="cid" value="client-b"/>
+        </Block>
+        <Block name="willful">
+          <Number name="flags" bits="8" value="46"/>
+          <Number name="keepalive" bits="16" value="10"/>
+          <Number name="cidlen" bits="16" sizeOf="cid"/>
+          <String name="cid" value="client-w"/>
+          <Number name="wtlen" bits="16" sizeOf="wtopic"/>
+          <String name="wtopic" value="state/offline"/>
+          <Number name="wmlen" bits="16" sizeOf="wmsg"/>
+          <String name="wmsg" value="gone"/>
+        </Block>
+        <Block name="credentials">
+          <Number name="flags" bits="8" value="194"/>
+          <Number name="keepalive" bits="16" value="60"/>
+          <Number name="cidlen" bits="16" sizeOf="cid"/>
+          <String name="cid" value="client-c"/>
+          <Number name="userlen" bits="16" sizeOf="user"/>
+          <String name="user" value="alice"/>
+          <Number name="passlen" bits="16" sizeOf="pass"/>
+          <String name="pass" value="wonder"/>
+        </Block>
+      </Choice>
+    </Block>
+  </DataModel>
+  <DataModel name="Publish">
+    <Choice name="first">
+      <Number name="q0" bits="8" value="48"/>
+      <Number name="q1" bits="8" value="50"/>
+      <Number name="q2" bits="8" value="52"/>
+      <Number name="q2dup" bits="8" value="60"/>
+      <Number name="q0retain" bits="8" value="49"/>
+      <Number name="q2retain" bits="8" value="53"/>
+    </Choice>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="topiclen" bits="16" sizeOf="topic"/>
+      <Choice name="topic">
+        <String name="t1" value="sensors/temp"/>
+        <String name="t2" value="home/kitchen/light"/>
+        <String name="t3" value="sensors/hum/1"/>
+        <String name="t4" value="$SYS/broker/load"/>
+        <String name="t5" value="a"/>
+      </Choice>
+      <Number name="pktid" bits="16" value="7"/>
+      <Blob name="payload" valueHex="48692c20627261766f21"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Subscribe">
+    <Number name="type" bits="8" value="130" token="true"/>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="pktid" bits="16" value="11"/>
+      <Number name="flen" bits="16" sizeOf="filter"/>
+      <Choice name="filter">
+        <String name="f1" value="sensors/#"/>
+        <String name="f2" value="+/kitchen/light"/>
+        <String name="f3" value="$share/grp/sensors/#"/>
+        <String name="f4" value="$SYS/#"/>
+        <String name="f5" value="home/kitchen/light"/>
+      </Choice>
+      <Number name="qos" bits="8" value="1"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Unsubscribe">
+    <Number name="type" bits="8" value="162" token="true"/>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="pktid" bits="16" value="12"/>
+      <Number name="flen" bits="16" sizeOf="filter"/>
+      <String name="filter" value="sensors/#"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Pubrel">
+    <Number name="type" bits="8" value="98" token="true"/>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="pktid" bits="16" value="7"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Ack">
+    <Choice name="first">
+      <Number name="puback" bits="8" value="64"/>
+      <Number name="pubrec" bits="8" value="80"/>
+      <Number name="pubcomp" bits="8" value="112"/>
+    </Choice>
+    <Number name="remlen" varint="true" sizeOf="body"/>
+    <Block name="body">
+      <Number name="pktid" bits="16" value="7"/>
+    </Block>
+  </DataModel>
+  <DataModel name="Ping">
+    <Number name="type" bits="8" value="192" token="true"/>
+    <Number name="remlen" bits="8" value="0"/>
+  </DataModel>
+  <DataModel name="Disconnect">
+    <Number name="type" bits="8" value="224" token="true"/>
+    <Number name="remlen" bits="8" value="0"/>
+  </DataModel>
+  <StateModel name="MQTTSession" initialState="init">
+    <State name="init">
+      <Action type="output" dataModel="Connect"/>
+      <Action type="input"/>
+      <Action type="changeState" to="connected"/>
+    </State>
+    <State name="connected">
+      <Action type="output" dataModel="Publish"/>
+      <Action type="changeState" to="qos2flow"/>
+      <Action type="changeState" to="subscribing"/>
+      <Action type="changeState" to="connected"/>
+      <Action type="changeState" to="closing"/>
+    </State>
+    <State name="qos2flow">
+      <Action type="output" dataModel="Publish"/>
+      <Action type="output" dataModel="Pubrel"/>
+      <Action type="output" dataModel="Ack"/>
+      <Action type="changeState" to="connected"/>
+      <Action type="changeState" to="closing"/>
+    </State>
+    <State name="subscribing">
+      <Action type="output" dataModel="Subscribe"/>
+      <Action type="output" dataModel="Publish"/>
+      <Action type="changeState" to="unsubscribing"/>
+      <Action type="changeState" to="connected"/>
+    </State>
+    <State name="unsubscribing">
+      <Action type="output" dataModel="Unsubscribe"/>
+      <Action type="changeState" to="closing"/>
+    </State>
+    <State name="closing">
+      <Action type="output" dataModel="Ping"/>
+      <Action type="output" dataModel="Disconnect"/>
+    </State>
+  </StateModel>
+</Peach>`
+
+// mqttSubject implements subject.Subject for the Mosquitto-like broker.
+type mqttSubject struct{}
+
+// Subject returns the MQTT evaluation subject.
+func Subject() subject.Subject { return mqttSubject{} }
+
+func (mqttSubject) Info() subject.Info {
+	return subject.Info{
+		Protocol:       "MQTT",
+		Implementation: "Mosquitto",
+		Transport:      subject.Stream,
+		Port:           1883,
+	}
+}
+
+func (mqttSubject) ConfigInput() configspec.Input { return ConfigInput() }
+
+func (mqttSubject) PitXML() string { return pitXML }
+
+func (mqttSubject) NewInstance() subject.Instance { return NewBroker() }

@@ -1,0 +1,39 @@
+// Package protocols registers the six IoT protocol subjects of the
+// paper's evaluation (Table I): Mosquitto/MQTT, libcoap/CoAP,
+// CycloneDDS/DDS, OpenSSL/DTLS, Qpid/AMQP and Dnsmasq/DNS.
+package protocols
+
+import (
+	"fmt"
+
+	"cmfuzz/internal/protocols/amqp"
+	"cmfuzz/internal/protocols/coap"
+	"cmfuzz/internal/protocols/dds"
+	"cmfuzz/internal/protocols/dns"
+	"cmfuzz/internal/protocols/dtls"
+	"cmfuzz/internal/protocols/mqtt"
+	"cmfuzz/internal/subject"
+)
+
+// All returns the six evaluation subjects in the paper's Table I order.
+func All() []subject.Subject {
+	return []subject.Subject{
+		mqtt.Subject(),
+		coap.Subject(),
+		dds.Subject(),
+		dtls.Subject(),
+		amqp.Subject(),
+		dns.Subject(),
+	}
+}
+
+// ByName returns the subject whose protocol or implementation name
+// matches (case-sensitive), e.g. "MQTT" or "Mosquitto".
+func ByName(name string) (subject.Subject, error) {
+	for _, s := range All() {
+		if s.Info().Protocol == name || s.Info().Implementation == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("protocols: unknown subject %q", name)
+}

@@ -1,0 +1,118 @@
+// Package subject defines the contract between CMFuzz and the protocol
+// implementations under test. A Subject describes one IoT protocol
+// implementation: where its configuration lives (CLI help, config files),
+// its Pit data/state models, and how to boot instrumented instances.
+//
+// An Instance is one booted server. Start parses and applies a concrete
+// configuration while reporting startup coverage — the lightweight proxy
+// CMFuzz uses to quantify configuration relations (paper §III-B1) — and
+// fails for conflicting configurations. Message feeds one client packet
+// through the implementation, which reports branch coverage through the
+// trace installed with SetTrace and panics with *bugs.Crash when a seeded
+// defect fires.
+package subject
+
+import (
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/coverage"
+)
+
+// Transport is how clients reach the protocol.
+type Transport int
+
+// The transports used by the six subjects.
+const (
+	Stream   Transport = iota // TCP-like (MQTT, AMQP)
+	Datagram                  // UDP-like (CoAP, DTLS, DNS, DDS/RTPS)
+)
+
+// String names the transport.
+func (t Transport) String() string {
+	if t == Datagram {
+		return "datagram"
+	}
+	return "stream"
+}
+
+// Info identifies a subject the way the paper's tables do.
+type Info struct {
+	// Protocol is the protocol name ("MQTT", "CoAP", ...), matching the
+	// bugs.Table2 Protocol column.
+	Protocol string
+	// Implementation is the modeled implementation ("Mosquitto", ...).
+	Implementation string
+	// Transport is the client-facing transport.
+	Transport Transport
+	// Port is the conventional server port.
+	Port uint16
+}
+
+// An Instance is one booted, instrumented protocol server.
+type Instance interface {
+	// Start applies cfg, reporting startup coverage into tr. It returns
+	// an error (with no residual coverage guarantees) for conflicting or
+	// invalid configurations.
+	Start(cfg map[string]string, tr *coverage.Trace) error
+	// SetTrace redirects subsequent message-handling coverage into tr.
+	// The fuzzing loop installs a fresh trace per execution.
+	SetTrace(tr *coverage.Trace)
+	// NewSession begins a fresh client session (new connection/exchange
+	// context), discarding per-session state.
+	NewSession()
+	// Message handles one inbound packet and returns response packets.
+	// Seeded defects panic with *bugs.Crash.
+	Message(payload []byte) [][]byte
+	// Close releases the instance.
+	Close()
+}
+
+// A Subject is one protocol implementation under test.
+type Subject interface {
+	// Info identifies the subject.
+	Info() Info
+	// ConfigInput returns the configuration sources (CLI help text and
+	// configuration files) that Algorithm 1 extracts items from.
+	ConfigInput() configspec.Input
+	// PitXML returns the Pit document with the subject's data and state
+	// models (the same Pit is shared by all fuzzers, as in the paper).
+	PitXML() string
+	// NewInstance returns an unstarted instance.
+	NewInstance() Instance
+}
+
+// Probe boots a throwaway instance under cfg and returns its startup
+// branch coverage — the relation-quantification oracle. Conflicting
+// configurations report 0.
+func Probe(s Subject, cfg map[string]string) int {
+	inst := s.NewInstance()
+	defer inst.Close()
+	tr := coverage.NewTrace()
+	if err := inst.Start(cfg, tr); err != nil {
+		return 0
+	}
+	return tr.Count()
+}
+
+// Target adapts an instance to the fuzzing engine: each Run installs the
+// per-execution trace, opens a fresh session, and converts seeded-defect
+// panics into crash values.
+type Target struct {
+	inst Instance
+}
+
+// NewTarget wraps a started instance.
+func NewTarget(inst Instance) *Target { return &Target{inst: inst} }
+
+// Run implements fuzz.Target.
+func (t *Target) Run(seq [][]byte, tr *coverage.Trace) (crash *bugs.Crash) {
+	t.inst.SetTrace(tr)
+	t.inst.NewSession()
+	for _, msg := range seq {
+		crash = bugs.Capture(func() { t.inst.Message(msg) })
+		if crash != nil {
+			return crash
+		}
+	}
+	return nil
+}
