@@ -34,6 +34,7 @@ func main() {
 	hours := flag.Float64("hours", 24, "virtual hours per campaign (paper: 24)")
 	reps := flag.Int("reps", 5, "repetitions per configuration (paper: 5)")
 	instances := flag.Int("n", 4, "parallel instances (paper: 4)")
+	concurrency := flag.Int("j", 0, "concurrent campaigns and probe workers (0 = GOMAXPROCS); output is identical for any value")
 	subjectName := flag.String("subject", "", "restrict to one subject")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	svgDir := flag.String("svg", "", "also write Figure 4 panels as SVG files into this directory")
@@ -43,7 +44,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances}
+	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances, Concurrency: *concurrency}
 
 	subs := protocols.All()
 	if *subjectName != "" {

@@ -162,7 +162,8 @@ func cmdRelate(args []string) error {
 	plan := pipelineFor(sub, 4).Run(sub.ConfigInput())
 	rel := plan.Relation
 	fmt.Printf("relation-aware configuration model for %s:\n", sub.Info().Implementation)
-	fmt.Printf("  baseline startup coverage: %d branches (%d probes)\n", rel.Baseline, rel.Probes)
+	fmt.Printf("  baseline startup coverage: %d branches (%d startups for %d probe requests, %d values capped)\n",
+		rel.Baseline, rel.Probes, rel.ProbeRequests, rel.DroppedValues)
 	fmt.Printf("  %d relation edges:\n", rel.Graph.EdgeCount())
 	for _, e := range rel.Graph.SortedEdges() {
 		best := rel.Best[relationKey(e.A, e.B)]
@@ -208,6 +209,7 @@ func cmdFuzz(args []string) error {
 	alloc := fs.String("alloc", "cohesive", "CMFuzz allocator: cohesive, random or round-robin (ablation)")
 	noMut := fs.Bool("no-config-mutation", false, "disable adaptive configuration mutation (ablation)")
 	rawWeights := fs.Bool("raw-weights", false, "use raw-coverage relation weights (ablation)")
+	concurrency := fs.Int("j", 0, "relation-probe worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	outDir := fs.String("out", "", "write artifacts (result.json, coverage.csv, crashes/) to this directory")
 	fs.Parse(args)
 	sub, err := getSubject(*name)
@@ -244,6 +246,7 @@ func cmdFuzz(args []string) error {
 		Allocator:             allocator,
 		DisableConfigMutation: *noMut,
 		RawRelationWeighting:  *rawWeights,
+		Concurrency:           *concurrency,
 	})
 	if err != nil {
 		return err

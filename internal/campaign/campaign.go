@@ -8,8 +8,10 @@ package campaign
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/coverage"
@@ -28,6 +30,12 @@ type Config struct {
 	Instances int
 	// BaseSeed offsets the repetition seeds.
 	BaseSeed int64
+	// Concurrency bounds how many campaigns (fuzzer × repetition) run at
+	// once and is passed through to each campaign's probe executor
+	// (0 means GOMAXPROCS). Every campaign is deterministic per seed and
+	// results are aggregated in fixed (fuzzer, repetition) order, so the
+	// outcome is identical for any concurrency level.
+	Concurrency int
 }
 
 func (c *Config) setDefaults() {
@@ -50,6 +58,7 @@ func Run(sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*para
 		Instances:    cfg.Instances,
 		VirtualHours: cfg.Hours,
 		Seed:         seed,
+		Concurrency:  cfg.Concurrency,
 	})
 }
 
@@ -75,18 +84,47 @@ type SubjectResult struct {
 	Hours   float64
 }
 
-// RunSubject runs the three fuzzers × repetitions on one subject.
+// RunSubject runs the three fuzzers × repetitions on one subject. The
+// fuzzer × repetition matrix runs concurrently (bounded by
+// Config.Concurrency); each campaign is deterministic per seed and the
+// results are folded in fixed (fuzzer, repetition) order, so the output
+// is identical to a sequential run.
 func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
 	cfg.setDefaults()
 	res := &SubjectResult{Subject: sub.Info(), Hours: cfg.Hours}
-	for _, mode := range []parallel.Mode{parallel.ModeCMFuzz, parallel.ModePeach, parallel.ModeSPFuzz} {
+	modes := []parallel.Mode{parallel.ModeCMFuzz, parallel.ModePeach, parallel.ModeSPFuzz}
+
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([][]*parallel.Result, len(modes))
+	errs := make([][]error, len(modes))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for mi, mode := range modes {
+		results[mi] = make([]*parallel.Result, cfg.Repetitions)
+		errs[mi] = make([]error, cfg.Repetitions)
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			wg.Add(1)
+			go func(mi, rep int, mode parallel.Mode) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[mi][rep], errs[mi][rep] = Run(sub, mode, cfg.BaseSeed+int64(rep)+1, cfg)
+			}(mi, rep, mode)
+		}
+	}
+	wg.Wait()
+
+	for mi, mode := range modes {
 		stats := FuzzerStats{Mode: mode, Bugs: bugs.NewLedger()}
 		sumBranches, sumExecs := 0, 0
 		for rep := 0; rep < cfg.Repetitions; rep++ {
-			r, err := Run(sub, mode, cfg.BaseSeed+int64(rep)+1, cfg)
-			if err != nil {
+			if err := errs[mi][rep]; err != nil {
 				return nil, fmt.Errorf("campaign: %s/%s rep %d: %w", res.Subject.Protocol, mode, rep, err)
 			}
+			r := results[mi][rep]
 			sumBranches += r.FinalBranches
 			sumExecs += r.TotalExecs
 			stats.Series = append(stats.Series, r.Series)

@@ -166,3 +166,51 @@ func TestRunModesSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSubjectIdenticalAcrossConcurrency asserts the concurrent
+// mode x repetition matrix in RunSubject produces exactly the results
+// of a sequential run: every repetition keeps its own seed, so the
+// per-mode aggregates must not depend on the worker count.
+func TestRunSubjectIdenticalAcrossConcurrency(t *testing.T) {
+	sub := dnsSubject(t)
+	cfg := Config{Hours: 0.5, Repetitions: 2, Instances: 4}
+
+	seq := cfg
+	seq.Concurrency = 1
+	base, err := RunSubject(sub, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := cfg
+	par.Concurrency = 4
+	got, err := RunSubject(sub, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []struct {
+		name       string
+		base, goot FuzzerStats
+	}{
+		{"cmfuzz", base.CMFuzz, got.CMFuzz},
+		{"peach", base.Peach, got.Peach},
+		{"spfuzz", base.SPFuzz, got.SPFuzz},
+	} {
+		if m.base.Branches != m.goot.Branches {
+			t.Fatalf("%s: branches %d vs %d", m.name, m.goot.Branches, m.base.Branches)
+		}
+		if len(m.base.Series) != len(m.goot.Series) {
+			t.Fatalf("%s: series count %d vs %d", m.name, len(m.goot.Series), len(m.base.Series))
+		}
+		for i := range m.base.Series {
+			bp, gp := m.base.Series[i].Points(), m.goot.Series[i].Points()
+			if len(bp) != len(gp) {
+				t.Fatalf("%s rep %d: %d vs %d points", m.name, i, len(gp), len(bp))
+			}
+			for j := range bp {
+				if bp[j] != gp[j] {
+					t.Fatalf("%s rep %d point %d: %+v vs %+v", m.name, i, j, gp[j], bp[j])
+				}
+			}
+		}
+	}
+}

@@ -26,6 +26,9 @@ type Pipeline struct {
 	MaxValues int
 	// Weighting selects relation-weight derivation.
 	Weighting relation.Weighting
+	// Workers bounds the relation-probe worker pool (0 = GOMAXPROCS);
+	// the plan is identical for any worker count.
+	Workers int
 }
 
 // Plan is the pipeline's output: the models built along the way and the
@@ -57,6 +60,7 @@ func (p *Pipeline) Run(input configspec.Input) *Plan {
 	plan.Relation = relation.Quantify(plan.Model, p.Probe, relation.Options{
 		MaxValues: p.MaxValues,
 		Weighting: p.Weighting,
+		Workers:   p.Workers,
 	})
 	plan.Groups = schedule.Allocate(plan.Relation.Graph, n)
 	for _, g := range plan.Groups {

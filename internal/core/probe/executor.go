@@ -1,0 +1,185 @@
+// Package probe provides the parallel startup-probe executor behind
+// relation quantification (paper §III-B1). Each probe boots a throwaway
+// subject instance under one configuration assignment and measures its
+// startup coverage; since every probe is a pure function of its
+// assignment, the probe matrix is embarrassingly parallel and highly
+// redundant (standalone probes reappear inside pair matrices, and pairs
+// whose values match the defaults collapse onto the baseline).
+//
+// The Executor exploits both properties: it fans a batch of assignments
+// across a bounded worker pool and memoizes results in a cache keyed by
+// the canonical rendering of the assignment, so every distinct
+// configuration is booted exactly once per Executor regardless of how
+// many times — or from how many goroutines — it is requested. Results
+// are returned in request order, which lets callers merge them
+// deterministically: the output of a batch is byte-identical for any
+// worker count, including 1.
+package probe
+
+import (
+	"runtime"
+	"sync"
+
+	"cmfuzz/internal/core/configmodel"
+)
+
+// Func measures the startup branch coverage of one configuration
+// assignment. Startup failure (a conflicting configuration) must return
+// 0. The function must be a pure function of the assignment and safe for
+// concurrent calls with distinct throwaway instances.
+type Func func(cfg configmodel.Assignment) int
+
+// Stats summarizes an Executor's activity.
+type Stats struct {
+	// Startups is how many probes actually executed (cache misses) —
+	// the "Probes" count every table reports.
+	Startups int
+	// Hits is how many requests were served from the memo cache.
+	Hits int
+}
+
+// An Executor runs startup probes across a worker pool with
+// memoization. It is safe for concurrent use.
+type Executor struct {
+	fn      Func
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]int
+	stats Stats
+}
+
+// NewExecutor returns an executor over fn with the given worker count.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewExecutor(fn Func, workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{fn: fn, workers: workers, cache: make(map[string]int)}
+}
+
+// Key returns the memoization key of an assignment: its canonical
+// (sorted k=v) rendering, so two assignments binding the same values
+// share one probe no matter how they were built.
+func Key(cfg configmodel.Assignment) string { return cfg.String() }
+
+// Get probes one assignment, memoized. Concurrent Gets of the same
+// assignment may race to execute the probe; the first result wins and
+// duplicates are discarded (the probe is pure, so all results agree).
+func (e *Executor) Get(cfg configmodel.Assignment) int {
+	key := Key(cfg)
+	e.mu.Lock()
+	if cov, ok := e.cache[key]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		return cov
+	}
+	e.mu.Unlock()
+	cov := e.fn(cfg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.cache[key]; ok {
+		e.stats.Hits++
+		return prev
+	}
+	e.cache[key] = cov
+	e.stats.Startups++
+	return cov
+}
+
+// Batch probes every assignment in cfgs and returns their coverages in
+// request order. Duplicate assignments — within the batch or against
+// earlier calls — are probed once; the remaining unique assignments are
+// fanned across the worker pool. A panic inside a probe (a seeded
+// configuration-parsing defect escaping the caller's capture) is
+// re-raised on the calling goroutine, deterministically from the
+// lowest-indexed failing assignment.
+func (e *Executor) Batch(cfgs []configmodel.Assignment) []int {
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = Key(cfg)
+	}
+
+	// Collect the unique assignments this batch still needs to run.
+	type task struct {
+		key string
+		cfg configmodel.Assignment
+	}
+	var pending []task
+	e.mu.Lock()
+	seen := make(map[string]bool, len(cfgs))
+	for i, key := range keys {
+		if _, ok := e.cache[key]; ok || seen[key] {
+			continue
+		}
+		seen[key] = true
+		pending = append(pending, task{key: key, cfg: cfgs[i]})
+	}
+	e.mu.Unlock()
+
+	covs := make([]int, len(pending))
+	panics := make([]any, len(pending))
+	if len(pending) > 0 {
+		workers := e.workers
+		if workers > len(pending) {
+			workers = len(pending)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								panics[i] = r
+							}
+						}()
+						covs[i] = e.fn(pending[i].cfg)
+					}()
+				}
+			}()
+		}
+		for i := range pending {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+
+		e.mu.Lock()
+		for i, t := range pending {
+			if panics[i] != nil {
+				continue
+			}
+			e.cache[t.key] = covs[i]
+			e.stats.Startups++
+		}
+		e.mu.Unlock()
+		for i := range pending {
+			if panics[i] != nil {
+				panic(panics[i])
+			}
+		}
+	}
+
+	// Serve the whole batch from the cache, in request order.
+	out := make([]int, len(cfgs))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, key := range keys {
+		out[i] = e.cache[key]
+	}
+	e.stats.Hits += len(cfgs) - len(pending)
+	return out
+}
+
+// Stats returns a snapshot of the executor's startup and cache-hit
+// counters. Both depend only on the request history, never on the
+// worker count or goroutine scheduling.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,129 @@
+package probe
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cmfuzz/internal/core/configmodel"
+)
+
+func asg(pairs ...string) configmodel.Assignment {
+	a := make(configmodel.Assignment, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		a[pairs[i]] = pairs[i+1]
+	}
+	return a
+}
+
+// countingFunc scores an assignment by its size and counts executions.
+func countingFunc(calls *int64) Func {
+	return func(cfg configmodel.Assignment) int {
+		atomic.AddInt64(calls, 1)
+		return len(cfg) + 1
+	}
+}
+
+func TestBatchMemoizesDuplicates(t *testing.T) {
+	var calls int64
+	ex := NewExecutor(countingFunc(&calls), 4)
+	cfgs := []configmodel.Assignment{
+		asg("a", "1"),
+		asg("b", "2", "a", "1"),
+		asg("a", "1"),           // duplicate of [0]
+		asg("a", "1", "b", "2"), // same bindings as [1], different build order
+	}
+	out := ex.Batch(cfgs)
+	if want := []int{2, 3, 2, 3}; !reflect.DeepEqual(out, want) {
+		t.Fatalf("batch = %v, want %v", out, want)
+	}
+	if calls != 2 {
+		t.Fatalf("probe executed %d times, want 2", calls)
+	}
+	st := ex.Stats()
+	if st.Startups != 2 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 startups / 2 hits", st)
+	}
+
+	// A second batch is served fully from cache.
+	out2 := ex.Batch(cfgs[:2])
+	if !reflect.DeepEqual(out2, []int{2, 3}) || atomic.LoadInt64(&calls) != 2 {
+		t.Fatalf("re-batch reran probes: out=%v calls=%d", out2, calls)
+	}
+}
+
+func TestBatchOrderIndependentOfWorkers(t *testing.T) {
+	var cfgs []configmodel.Assignment
+	for i := 0; i < 50; i++ {
+		cfgs = append(cfgs, asg("k", string(rune('a'+i%26)), "i", string(rune('a'+i/26))))
+	}
+	fn := func(cfg configmodel.Assignment) int { return len(cfg.String()) }
+	base := NewExecutor(fn, 1).Batch(cfgs)
+	for _, workers := range []int{2, 8, 32} {
+		got := NewExecutor(fn, workers).Batch(cfgs)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: batch order diverges", workers)
+		}
+	}
+}
+
+func TestGetMemoizesAcrossGoroutines(t *testing.T) {
+	var calls int64
+	ex := NewExecutor(countingFunc(&calls), 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got := ex.Get(asg("x", "y")); got != 2 {
+					t.Errorf("Get = %d, want 2", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := ex.Stats()
+	if st.Startups+st.Hits != 16*20 {
+		t.Fatalf("stats don't account for all requests: %+v", st)
+	}
+	if st.Startups < 1 || st.Startups > 16 {
+		t.Fatalf("startups = %d, want a handful at most", st.Startups)
+	}
+}
+
+func TestBatchPropagatesPanicDeterministically(t *testing.T) {
+	fn := func(cfg configmodel.Assignment) int {
+		if cfg["boom"] != "" {
+			panic("boom:" + cfg["boom"])
+		}
+		return 1
+	}
+	cfgs := []configmodel.Assignment{
+		asg("ok", "1"),
+		asg("boom", "2"),
+		asg("boom", "1"),
+	}
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				// The lowest-indexed failing assignment wins, for every
+				// worker count.
+				if r != "boom:2" {
+					t.Fatalf("workers=%d: recovered %v, want boom:2", workers, r)
+				}
+			}()
+			NewExecutor(fn, workers).Batch(cfgs)
+			t.Fatalf("workers=%d: batch did not panic", workers)
+		}()
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	ex := NewExecutor(func(configmodel.Assignment) int { return 0 }, 0)
+	if ex.workers < 1 {
+		t.Fatalf("workers = %d", ex.workers)
+	}
+}

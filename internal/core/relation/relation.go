@@ -18,16 +18,27 @@
 // cohesive groups; scoring by raw coverage (WeightRawCoverage, kept as an
 // ablation) makes the graph near-complete — every feature-heavy pair ties
 // at the top — and the grouping degenerates toward a single group.
+//
+// Quantification is probe-bound, so Quantify plans the whole probe matrix
+// up front — baseline, standalone values, pair combinations — and hands it
+// to a memoizing worker-pool executor (package probe). Every distinct
+// assignment boots exactly once (standalone probes are reused by pair
+// scoring; combinations that collapse onto the defaults reuse the
+// baseline), and scoring runs sequentially over the cached coverages in
+// fixed pair order, so the Result is identical for any worker count.
 package relation
 
 import (
 	"cmfuzz/internal/core/configmodel"
 	"cmfuzz/internal/core/graph"
+	"cmfuzz/internal/core/probe"
 )
 
 // A Probe runs one startup of the subject under the given configuration
 // and returns the startup branch coverage. Startup failure (a conflicting
-// configuration) must return 0.
+// configuration) must return 0. The probe must be a pure function of the
+// assignment and safe for concurrent calls (each call boots its own
+// throwaway instance).
 type Probe func(cfg configmodel.Assignment) int
 
 // Weighting selects how a pair's relation weight is derived from its
@@ -76,8 +87,21 @@ type Result struct {
 	BestSingle map[string]SingleValue
 	// Baseline is the startup coverage of the default assignment.
 	Baseline int
-	// Probes counts how many startups were executed.
+	// Probes counts how many startups were actually executed. Duplicate
+	// assignments across the probe matrix (standalone probes recurring
+	// inside pair matrices, combinations collapsing onto the defaults)
+	// are memoized, so Probes is the number of distinct configurations
+	// booted.
 	Probes int
+	// ProbeRequests counts every probe the matrix asked for, including
+	// the ones served from the memo cache; ProbeRequests − Probes is the
+	// startup work memoization saved.
+	ProbeRequests int
+	// DroppedValues counts typical values the MaxValues cap excluded
+	// from probing, summed over entities. The cap always preserves an
+	// entity's default and the boundary values "0"/"1" when present, so
+	// a non-zero count here only drops mid-range candidates.
+	DroppedValues int
 }
 
 // PairKey returns the canonical map key for an unordered entity pair.
@@ -92,18 +116,24 @@ func PairKey(a, b string) string {
 type Options struct {
 	// MaxValues caps how many typical values per entity are probed
 	// (0 means all). The paper explores all combinations; the cap exists
-	// for very large Values sets.
+	// for very large Values sets. The entity default and the boundary
+	// values "0" and "1" survive the cap; Result.DroppedValues counts
+	// what it excluded.
 	MaxValues int
 	// Weighting selects the combination scoring (default
 	// WeightInteraction).
 	Weighting Weighting
+	// Workers bounds the probe worker pool (0 means GOMAXPROCS). The
+	// Result is identical for every worker count, including 1.
+	Workers int
 }
 
 // Quantify builds the relation-aware configuration model for the given
-// generalized model, using probe as the startup-coverage oracle. Every
+// generalized model, using probeFn as the startup-coverage oracle. Every
 // unordered pair of entities is probed across the cross product of their
-// typical values on top of the model's default assignment.
-func Quantify(model *configmodel.Model, probe Probe, opts Options) *Result {
+// typical values on top of the model's default assignment; distinct
+// assignments are probed once, concurrently across Options.Workers.
+func Quantify(model *configmodel.Model, probeFn Probe, opts Options) *Result {
 	res := &Result{
 		Graph:      graph.New(),
 		Best:       make(map[string]PairValues),
@@ -112,21 +142,62 @@ func Quantify(model *configmodel.Model, probe Probe, opts Options) *Result {
 	entities := model.Entities()
 	defaults := model.Defaults()
 
-	res.Probes++
-	res.Baseline = probe(defaults)
+	// Plan the typical-value sets once per entity.
+	vals := make([][]string, len(entities))
+	for i, e := range entities {
+		v, dropped := candidateValues(e, opts)
+		vals[i] = v
+		res.DroppedValues += dropped
+	}
 
-	// Standalone probes: one per (entity, value).
-	singles := make(map[string]map[string]int, len(entities))
-	for _, e := range entities {
-		res.Graph.AddNode(e.Name)
-		vals := candidateValues(e, opts)
-		singles[e.Name] = make(map[string]int, len(vals))
-		best := SingleValue{Gain: -1 << 30}
-		for _, v := range vals {
+	// Plan the full probe matrix in scoring order: baseline, standalone
+	// values, then pair combinations.
+	var cfgs []configmodel.Assignment
+	cfgs = append(cfgs, defaults)
+	for i, e := range entities {
+		for _, v := range vals[i] {
 			cfg := defaults.Clone()
 			cfg[e.Name] = v
-			res.Probes++
-			cov := probe(cfg)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	for i := 0; i < len(entities); i++ {
+		for j := i + 1; j < len(entities); j++ {
+			for _, x := range vals[i] {
+				for _, y := range vals[j] {
+					cfg := defaults.Clone()
+					cfg[entities[i].Name] = x
+					cfg[entities[j].Name] = y
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+	}
+
+	// Execute the matrix across the worker pool, memoized.
+	ex := probe.NewExecutor(probe.Func(probeFn), opts.Workers)
+	covs := ex.Batch(cfgs)
+	res.Probes = ex.Stats().Startups
+	res.ProbeRequests = len(cfgs)
+
+	// Merge sequentially, consuming coverages in planning order, so the
+	// result is the same for any worker count.
+	cursor := 0
+	nextCov := func() int {
+		cov := covs[cursor]
+		cursor++
+		return cov
+	}
+	res.Baseline = nextCov()
+
+	// Standalone scoring: one coverage per (entity, value).
+	singles := make(map[string]map[string]int, len(entities))
+	for i, e := range entities {
+		res.Graph.AddNode(e.Name)
+		singles[e.Name] = make(map[string]int, len(vals[i]))
+		best := SingleValue{Gain: -1 << 30}
+		for _, v := range vals[i] {
+			cov := nextCov()
 			singles[e.Name][v] = cov
 			if gain := cov - res.Baseline; cov > 0 && gain > best.Gain {
 				best = SingleValue{Value: v, Cover: cov, Gain: gain}
@@ -137,11 +208,11 @@ func Quantify(model *configmodel.Model, probe Probe, opts Options) *Result {
 		}
 	}
 
-	// Pairwise combination probes.
+	// Pairwise combination scoring, in fixed pair order.
 	for i := 0; i < len(entities); i++ {
 		for j := i + 1; j < len(entities); j++ {
 			a, b := entities[i], entities[j]
-			best, anyCover := probePair(defaults, a, b, probe, singles, res.Baseline, opts, &res.Probes)
+			best, anyCover := scorePair(a, b, vals[i], vals[j], nextCov, singles, res.Baseline, opts)
 			if !anyCover {
 				// Zero coverage across all combinations: conflicting pair,
 				// no edge (paper §III-B1).
@@ -165,21 +236,15 @@ func Quantify(model *configmodel.Model, probe Probe, opts Options) *Result {
 	return res
 }
 
-// probePair explores all value combinations of entities a and b and
-// returns the best one (by the configured score) plus whether any
-// combination achieved non-zero coverage.
-func probePair(defaults configmodel.Assignment, a, b configmodel.Entity, probe Probe, singles map[string]map[string]int, baseline int, opts Options, probes *int) (PairValues, bool) {
-	va := candidateValues(a, opts)
-	vb := candidateValues(b, opts)
+// scorePair folds the probed coverages of all value combinations of
+// entities a and b into the best one (by the configured score) plus
+// whether any combination achieved non-zero coverage.
+func scorePair(a, b configmodel.Entity, va, vb []string, nextCov func() int, singles map[string]map[string]int, baseline int, opts Options) (PairValues, bool) {
 	best := PairValues{A: a.Name, B: b.Name, Gain: -1 << 30, Cover: -1}
 	anyCover := false
 	for _, x := range va {
 		for _, y := range vb {
-			cfg := defaults.Clone()
-			cfg[a.Name] = x
-			cfg[b.Name] = y
-			*probes++
-			cov := probe(cfg)
+			cov := nextCov()
 			if cov > 0 {
 				anyCover = true
 			} else {
@@ -203,16 +268,63 @@ func probePair(defaults configmodel.Assignment, a, b configmodel.Entity, probe P
 	return best, anyCover
 }
 
-func candidateValues(e configmodel.Entity, opts Options) []string {
-	vals := e.Values
-	if len(vals) == 0 {
+// candidateValues derives the probed value set of one entity: its typical
+// values, deduplicated, capped at Options.MaxValues. The cap keeps the
+// entity's default and the boundary values "0"/"1" (the values Table II's
+// boundary-condition bugs depend on) in preference to mid-range
+// candidates; the second return value counts what was dropped.
+func candidateValues(e configmodel.Entity, opts Options) ([]string, int) {
+	if len(e.Values) == 0 {
 		if e.Default != "" {
-			return []string{e.Default}
+			return []string{e.Default}, 0
 		}
-		return []string{""}
+		return []string{""}, 0
 	}
-	if opts.MaxValues > 0 && len(vals) > opts.MaxValues {
-		vals = vals[:opts.MaxValues]
+	vals := dedupValues(e.Values)
+	if opts.MaxValues <= 0 || len(vals) <= opts.MaxValues {
+		return vals, 0
 	}
-	return vals
+	// Reserve slots for the must-keep values present in the set, then
+	// fill the rest in original order, preserving relative order overall.
+	must := make(map[string]bool, 3)
+	reserved := 0
+	for _, p := range []string{e.Default, "0", "1"} {
+		if p == "" || must[p] || reserved >= opts.MaxValues {
+			continue
+		}
+		for _, v := range vals {
+			if v == p {
+				must[p] = true
+				reserved++
+				break
+			}
+		}
+	}
+	out := make([]string, 0, opts.MaxValues)
+	room := opts.MaxValues - reserved
+	for _, v := range vals {
+		switch {
+		case must[v]:
+			out = append(out, v)
+		case room > 0:
+			out = append(out, v)
+			room--
+		}
+	}
+	return out, len(vals) - len(out)
+}
+
+// dedupValues removes duplicate values, keeping first occurrences in
+// order.
+func dedupValues(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
+	for _, v := range in {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
 }

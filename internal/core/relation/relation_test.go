@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"reflect"
 	"testing"
 
 	"cmfuzz/internal/core/configmodel"
@@ -113,10 +114,30 @@ func TestQuantifyRawCoverageWeighting(t *testing.T) {
 
 func TestQuantifyProbeCount(t *testing.T) {
 	res := Quantify(testModel(), testProbe, Options{})
-	// 1 baseline + singles (2+2+2+1+1 = 8) + pair combos (ab=4, ac=4,
-	// ax=2, ay=2, bc=4, bx=2, by=2, cx=2, cy=2, xy=1 = 25) = 34.
-	if res.Probes != 34 {
-		t.Fatalf("probes = %d, want 34", res.Probes)
+	// The matrix requests 1 baseline + singles (2+2+2+1+1 = 8) + pair
+	// combos (ab=4, ac=4, ax=2, ay=2, bc=4, bx=2, by=2, cx=2, cy=2,
+	// xy=1 = 25) = 34 probes.
+	if res.ProbeRequests != 34 {
+		t.Fatalf("probe requests = %d, want 34", res.ProbeRequests)
+	}
+	// Memoization collapses duplicates (default-valued singles equal the
+	// baseline; pair combos holding one default equal a single) onto 16
+	// distinct startups: baseline, 5 non-default singles, and one novel
+	// combination per pair.
+	if res.Probes != 16 {
+		t.Fatalf("startups = %d, want 16", res.Probes)
+	}
+}
+
+func TestQuantifyProbeCountsActualStartups(t *testing.T) {
+	calls := 0
+	probe := func(cfg configmodel.Assignment) int {
+		calls++
+		return testProbe(cfg)
+	}
+	res := Quantify(testModel(), probe, Options{Workers: 1})
+	if calls != res.Probes {
+		t.Fatalf("Probes = %d but the oracle ran %d times", res.Probes, calls)
 	}
 }
 
@@ -127,9 +148,54 @@ func TestQuantifyMaxValuesCap(t *testing.T) {
 	})
 	probe := func(cfg configmodel.Assignment) int { return 1 }
 	res := Quantify(m, probe, Options{MaxValues: 2})
-	// 1 baseline + 2+2 singles + 4 pair combos = 9.
-	if res.Probes != 9 {
-		t.Fatalf("capped probes = %d, want 9", res.Probes)
+	// 1 baseline + 2+2 singles + 4 pair combos = 9 requests; the
+	// default-valued singles and combos collapse onto earlier probes,
+	// leaving 4 startups (baseline, n=6, m=2, n=6∧m=2).
+	if res.ProbeRequests != 9 {
+		t.Fatalf("capped probe requests = %d, want 9", res.ProbeRequests)
+	}
+	if res.Probes != 4 {
+		t.Fatalf("capped startups = %d, want 4", res.Probes)
+	}
+	// Each entity kept 2 of 4 values.
+	if res.DroppedValues != 4 {
+		t.Fatalf("dropped values = %d, want 4", res.DroppedValues)
+	}
+}
+
+func TestCandidateValuesCapKeepsDefaultAndBoundaries(t *testing.T) {
+	e := configmodel.Entity{
+		Name:    "limit",
+		Default: "64",
+		Values:  []string{"16", "32", "64", "128", "0", "1"},
+	}
+	vals, dropped := candidateValues(e, Options{MaxValues: 4})
+	if len(vals) != 4 || dropped != 2 {
+		t.Fatalf("capped values = %v (dropped %d), want 4 kept / 2 dropped", vals, dropped)
+	}
+	has := map[string]bool{}
+	for _, v := range vals {
+		has[v] = true
+	}
+	// The naive vals[:4] cap would keep 16/32/64/128 and drop the
+	// boundary probes 0 and 1; the cap must prefer the default and the
+	// boundaries over mid-range candidates.
+	for _, want := range []string{"64", "0", "1"} {
+		if !has[want] {
+			t.Fatalf("cap dropped %q: kept %v", want, vals)
+		}
+	}
+	// Kept values preserve the original relative order.
+	if vals[len(vals)-2] != "0" || vals[len(vals)-1] != "1" {
+		t.Fatalf("cap reordered values: %v", vals)
+	}
+}
+
+func TestCandidateValuesDedupes(t *testing.T) {
+	e := configmodel.Entity{Name: "mode", Default: "a", Values: []string{"a", "b", "a", "b", "c"}}
+	vals, dropped := candidateValues(e, Options{})
+	if len(vals) != 3 || dropped != 0 {
+		t.Fatalf("deduped values = %v (dropped %d), want [a b c] / 0", vals, dropped)
 	}
 }
 
@@ -204,6 +270,70 @@ func TestQuantifyDeterministic(t *testing.T) {
 	for i := range e1 {
 		if e1[i] != e2[i] {
 			t.Fatalf("edge %d differs: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+// wideModel is a larger synthetic model whose probe function has
+// synergies, conflicts, and independent contributors across many pairs —
+// enough surface that a scheduling-dependent merge would show up.
+func wideModel() (*configmodel.Model, Probe) {
+	var ents []configmodel.Entity
+	for i := 0; i < 8; i++ {
+		name := string(rune('a' + i))
+		ents = append(ents, configmodel.Entity{
+			Name:    name,
+			Default: "d0",
+			Values:  []string{"d0", "v1", "v2", "v3"},
+		})
+	}
+	m := configmodel.NewModel(ents)
+	probe := func(cfg configmodel.Assignment) int {
+		if cfg["a"] == "v1" && cfg["b"] == "v1" {
+			return 0 // conflicting pair
+		}
+		cov := 100
+		for k, v := range cfg {
+			if v == "d0" {
+				continue
+			}
+			cov += int(k[0]-'a')*3 + len(v)
+		}
+		if cfg["c"] == "v2" && cfg["d"] == "v3" {
+			cov += 40 // synergy
+		}
+		if cfg["e"] == "v1" && cfg["f"] == "v1" {
+			cov += 25 // weaker synergy
+		}
+		return cov
+	}
+	return m, probe
+}
+
+// TestQuantifyIdenticalAcrossWorkerCounts is the determinism guarantee of
+// the parallel probe executor: graph edges, Best, BestSingle, Baseline
+// and the probe counters must be identical for worker counts 1, 2 and 8.
+func TestQuantifyIdenticalAcrossWorkerCounts(t *testing.T) {
+	m, probe := wideModel()
+	for _, weighting := range []Weighting{WeightInteraction, WeightRawCoverage} {
+		base := Quantify(m, probe, Options{Weighting: weighting, Workers: 1})
+		for _, workers := range []int{2, 8} {
+			got := Quantify(m, probe, Options{Weighting: weighting, Workers: workers})
+			if !reflect.DeepEqual(got.Graph.Edges(), base.Graph.Edges()) {
+				t.Fatalf("weighting %d workers %d: edges diverge\n%+v\nvs\n%+v",
+					weighting, workers, got.Graph.Edges(), base.Graph.Edges())
+			}
+			if !reflect.DeepEqual(got.Best, base.Best) {
+				t.Fatalf("weighting %d workers %d: Best diverges", weighting, workers)
+			}
+			if !reflect.DeepEqual(got.BestSingle, base.BestSingle) {
+				t.Fatalf("weighting %d workers %d: BestSingle diverges", weighting, workers)
+			}
+			if got.Baseline != base.Baseline || got.Probes != base.Probes ||
+				got.ProbeRequests != base.ProbeRequests || got.DroppedValues != base.DroppedValues {
+				t.Fatalf("weighting %d workers %d: counters diverge: %+v vs %+v",
+					weighting, workers, got, base)
+			}
 		}
 	}
 }

@@ -115,6 +115,11 @@ type Options struct {
 	// literature). Off by default: the Table I baseline runs independent
 	// workers.
 	PeachSharedSchedules bool
+	// Concurrency bounds the relation-probing worker pool (0 means
+	// GOMAXPROCS). The campaign itself stays on the deterministic
+	// virtual-clock event loop; only the startup probe matrix fans out,
+	// and its result is identical for any worker count.
+	Concurrency int
 }
 
 func (o *Options) setDefaults() {
@@ -156,6 +161,10 @@ type InstanceResult struct {
 	Execs           int
 	Crashes         int
 	ConfigMutations int
+	// RestartFailures counts failed target restarts during configuration
+	// mutation (each failed boot attempt, including a failed revert or
+	// defaults fallback, counts once).
+	RestartFailures int
 }
 
 // Result is one campaign's outcome.
@@ -176,17 +185,18 @@ type Result struct {
 
 // instance is one running parallel fuzzing instance.
 type instance struct {
-	index    int
-	clock    float64
-	nextSync float64
-	engine   *fuzz.Engine
-	target   *netTarget
-	cfg      configmodel.Assignment
-	group    schedule.Group
-	sat      *coverage.Saturation
-	rng      *rand.Rand
-	muts     int
-	crashes  int
+	index        int
+	clock        float64
+	nextSync     float64
+	engine       *fuzz.Engine
+	target       *netTarget
+	cfg          configmodel.Assignment
+	group        schedule.Group
+	sat          *coverage.Saturation
+	rng          *rand.Rand
+	muts         int
+	crashes      int
+	restartFails int
 }
 
 // instanceHeap orders instances by virtual clock (ties on index), so the
@@ -247,9 +257,19 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 		if opts.RawRelationWeighting {
 			weighting = relation.WeightRawCoverage
 		}
+		// The probe closure runs concurrently across the executor's
+		// workers; each call boots its own throwaway instance, and a
+		// startup crash (a configuration-parsing defect hit while
+		// probing) is filed in the concurrency-safe ledger and scored as
+		// a failed startup rather than tearing the campaign down.
 		rel := relation.Quantify(model, func(cfg configmodel.Assignment) int {
-			return subject.Probe(sub, map[string]string(cfg))
-		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting})
+			cov := 0
+			if crash := bugs.Capture(func() { cov = subject.Probe(sub, map[string]string(cfg)) }); crash != nil {
+				res.Bugs.Record(crash, -1, 0, cfg.String())
+				return 0
+			}
+			return cov
+		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency})
 		res.RelationEdges = rel.Graph.EdgeCount()
 		res.Probes = rel.Probes
 		var alloc []schedule.Group
@@ -334,6 +354,12 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	res.Series.Observe(0, global.Count())
 	lastSample := 0.0
 	watermark := 0.0 // monotone observation clock across instances
+	// New-edge samples are coalesced to at most one per minSampleGap of
+	// virtual time; without the floor, the discovery-heavy early campaign
+	// records a point per coverage step and the series grows unbounded
+	// long before the first SampleEvery window elapses. The final point
+	// stays exact (observed at the horizon below).
+	minSampleGap := opts.SampleEvery / 10
 
 	h := make(instanceHeap, len(insts))
 	copy(h, insts)
@@ -353,7 +379,8 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 		if in.clock > watermark {
 			watermark = in.clock
 		}
-		if watermark-lastSample >= opts.SampleEvery || step.NewEdges > 0 {
+		if watermark-lastSample >= opts.SampleEvery ||
+			(step.NewEdges > 0 && watermark-lastSample >= minSampleGap) {
 			res.Series.Observe(watermark, global.Count())
 			lastSample = watermark
 		}
@@ -395,6 +422,7 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			Execs:           st.Execs,
 			Crashes:         in.crashes,
 			ConfigMutations: in.muts,
+			RestartFailures: in.restartFails,
 		})
 	}
 	return res, nil
@@ -426,6 +454,7 @@ func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, l
 	in.cfg[e.Name] = newVal
 
 	if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
+		in.restartFails++
 		// Conflicting mutation: revert and restart under the old config.
 		if had {
 			in.cfg[e.Name] = old
@@ -433,7 +462,17 @@ func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, l
 			delete(in.cfg, e.Name)
 		}
 		if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
-			return false
+			in.restartFails++
+			// Both the mutated and the reverted restart failed; without a
+			// fallback the instance would keep stepping against a dead
+			// target for the rest of the campaign. Boot the defaults,
+			// which every subject's conformance suite guarantees start.
+			in.cfg = model.Defaults()
+			if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
+				in.restartFails++
+				return false
+			}
+			return true
 		}
 		return true
 	}

@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/netsim"
+	"cmfuzz/internal/subject"
+)
+
+// stubSubject is a minimal subject whose bootability is scripted through
+// allow, so restart-failure paths can be forced deterministically.
+type stubSubject struct {
+	allow func(cfg map[string]string) bool
+	boots int
+}
+
+func (s *stubSubject) Info() subject.Info {
+	return subject.Info{Protocol: "STUB", Implementation: "stub", Transport: subject.Datagram, Port: 9999}
+}
+func (s *stubSubject) ConfigInput() configspec.Input { return configspec.Input{} }
+func (s *stubSubject) PitXML() string                { return "" }
+func (s *stubSubject) NewInstance() subject.Instance { return &stubInstance{sub: s} }
+
+type stubInstance struct {
+	sub *stubSubject
+	tr  *coverage.Trace
+}
+
+func (i *stubInstance) Start(cfg map[string]string, tr *coverage.Trace) error {
+	i.sub.boots++
+	if i.sub.allow != nil && !i.sub.allow(cfg) {
+		return errors.New("stub: conflicting configuration")
+	}
+	tr.Hit(1)
+	tr.Hit(2)
+	return nil
+}
+func (i *stubInstance) SetTrace(tr *coverage.Trace) { i.tr = tr }
+func (i *stubInstance) NewSession()                 {}
+func (i *stubInstance) Message(p []byte) [][]byte   { i.tr.Hit(3); return nil }
+func (i *stubInstance) Close()                      {}
+
+// TestMutateConfigFallsBackToDefaults is the regression test for the
+// dead-target restart path: when both the mutated and the reverted
+// restart fail, mutateConfig must boot the defaults instead of leaving
+// the instance stepping against a dead target, and the failures must be
+// surfaced in the restart-failure counter.
+func TestMutateConfigFallsBackToDefaults(t *testing.T) {
+	model := configmodel.NewModel([]configmodel.Entity{
+		{Name: "mode", Type: configmodel.TypeString, Flag: configmodel.Mutable,
+			Default: "v0", Values: []string{"v1", "v2"}},
+	})
+	sub := &stubSubject{allow: func(map[string]string) bool { return true }}
+	ns := netsim.NewFabric().Namespace("dead0")
+	cfg := configmodel.Assignment{"mode": "v1"}
+	target, _, err := bootTarget(sub, ns, cfg, bugs.NewLedger(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The target "dies": from now on only the default configuration
+	// boots, so the mutated config (mode=v2) and the reverted config
+	// (mode=v1) both fail to restart.
+	sub.allow = func(cfg map[string]string) bool { return cfg["mode"] == "v0" }
+	in := &instance{index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
+	ledger := bugs.NewLedger()
+	ok := false
+	for tries := 0; tries < 32 && !ok; tries++ {
+		// Attempts that draw the current value return false without a
+		// restart; keep drawing until the mutation actually fires.
+		ok = mutateConfig(sub, model, in, ledger)
+	}
+	if !ok {
+		t.Fatal("mutateConfig never recovered the instance")
+	}
+	if in.cfg["mode"] != "v0" {
+		t.Fatalf("fallback config = %v, want the defaults", in.cfg)
+	}
+	if in.restartFails != 2 {
+		t.Fatalf("restartFails = %d, want 2 (mutated + reverted)", in.restartFails)
+	}
+	// The swapped-in instance must be live.
+	tr := coverage.NewTrace()
+	if crash := target.Run([][]byte{{1}}, tr); crash != nil || tr.Count() == 0 {
+		t.Fatalf("fallback target not live: crash=%v cov=%d", crash, tr.Count())
+	}
+}
+
+// TestMutateConfigRevertStillWorks pins the pre-existing single-failure
+// path: a conflicting mutation is reverted, the old configuration boots
+// again, and exactly one restart failure is counted.
+func TestMutateConfigRevertStillWorks(t *testing.T) {
+	model := configmodel.NewModel([]configmodel.Entity{
+		{Name: "mode", Type: configmodel.TypeString, Flag: configmodel.Mutable,
+			Default: "v0", Values: []string{"v1", "v2"}},
+	})
+	sub := &stubSubject{allow: func(map[string]string) bool { return true }}
+	ns := netsim.NewFabric().Namespace("dead1")
+	cfg := configmodel.Assignment{"mode": "v1"}
+	target, _, err := bootTarget(sub, ns, cfg, bugs.NewLedger(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the mutated value conflicts; the revert must succeed.
+	sub.allow = func(cfg map[string]string) bool { return cfg["mode"] != "v2" }
+	in := &instance{index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
+	ok := false
+	for tries := 0; tries < 32 && !ok; tries++ {
+		ok = mutateConfig(sub, model, in, bugs.NewLedger())
+	}
+	if !ok {
+		t.Fatal("mutateConfig never fired")
+	}
+	if in.cfg["mode"] != "v1" {
+		t.Fatalf("config after revert = %v, want mode=v1", in.cfg)
+	}
+	if in.restartFails != 1 {
+		t.Fatalf("restartFails = %d, want 1", in.restartFails)
+	}
+}
+
+// TestSeriesSampleCoalescing asserts new-edge samples are coalesced: no
+// two retained interior samples may be closer than SampleEvery/10 of
+// virtual time, and the series stays bounded instead of growing with
+// every discovery-heavy early step.
+func TestSeriesSampleCoalescing(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := r.Series.Points()
+	if len(pts) < 3 {
+		t.Fatalf("series too sparse to check: %d points", len(pts))
+	}
+	const minGap = 300.0 / 10 // default SampleEvery / 10
+	for i := 1; i < len(pts)-1; i++ {
+		if gap := pts[i].T - pts[i-1].T; gap < minGap {
+			t.Fatalf("samples %d and %d only %.1fs apart, want >= %.1fs", i-1, i, gap, minGap)
+		}
+	}
+	horizon := 1.0 * 3600
+	if maxPts := int(horizon/minGap) + 2; len(pts) > maxPts {
+		t.Fatalf("series has %d points, coalescing bound is %d", len(pts), maxPts)
+	}
+}
+
+// TestRunIdenticalAcrossConcurrency asserts a campaign's outcome does not
+// depend on the probe worker count.
+func TestRunIdenticalAcrossConcurrency(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	base, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{2, 8} {
+		got, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: conc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.FinalBranches != base.FinalBranches || got.TotalExecs != base.TotalExecs ||
+			got.Probes != base.Probes || got.RelationEdges != base.RelationEdges {
+			t.Fatalf("concurrency %d diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)", conc,
+				got.FinalBranches, got.TotalExecs, got.Probes, got.RelationEdges,
+				base.FinalBranches, base.TotalExecs, base.Probes, base.RelationEdges)
+		}
+		for i := range got.Instances {
+			if got.Instances[i].Config != base.Instances[i].Config {
+				t.Fatalf("concurrency %d: instance %d config diverged", conc, i)
+			}
+		}
+	}
+}
