@@ -23,6 +23,7 @@ import (
 	"cmfuzz/internal/campaign"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
 )
 
 func main() {
@@ -38,13 +39,18 @@ func main() {
 	subjectName := flag.String("subject", "", "restrict to one subject")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	svgDir := flag.String("svg", "", "also write Figure 4 panels as SVG files into this directory")
+	eventsPath := flag.String("events", "", "write every campaign's structured event stream as JSONL to this file")
 	flag.Parse()
 
 	if !*table1 && !*fig4 && !*table2 && !*ablation && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances, Concurrency: *concurrency}
+	var rec *telemetry.Recorder
+	if *eventsPath != "" {
+		rec = telemetry.New()
+	}
+	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances, Concurrency: *concurrency, Telemetry: rec}
 
 	subs := protocols.All()
 	if *subjectName != "" {
@@ -108,6 +114,12 @@ func main() {
 		exitOn(err)
 		fmt.Print(campaign.RenderAblations(rows))
 		fmt.Println()
+	}
+	if *eventsPath != "" {
+		exitOn(rec.ExportJSONL(*eventsPath))
+		if !*jsonOut {
+			fmt.Printf("%d events written to %s\n", len(rec.Events()), *eventsPath)
+		}
 	}
 	if *jsonOut {
 		raw, err := export.JSON()

@@ -7,9 +7,12 @@
 //	cmfuzz relate   -subject MQTT           quantify relation weights
 //	cmfuzz schedule -subject MQTT -n 4      allocate cohesive groups
 //	cmfuzz fuzz     -subject MQTT -mode cmfuzz -hours 24 -seed 1
+//	cmfuzz campaign -subject MQTT -reps 1 -events ev.jsonl
 //
 // All campaigns run on the virtual clock, so "-hours 24" completes in
-// seconds of wall time.
+// seconds of wall time. The fuzz and campaign subcommands take
+// -telemetry (print the event timeline and counters) and -events PATH
+// (export the structured event stream as JSONL).
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 		err = cmdSchedule(args)
 	case "fuzz":
 		err = cmdFuzz(args)
+	case "campaign":
+		err = cmdCampaign(args)
 	case "bugs":
 		err = cmdBugs()
 	case "help", "-h", "--help":
@@ -82,9 +88,11 @@ commands:
   relate     quantify pairwise relation weights (Figure 3)
   schedule   allocate cohesive configuration groups (Algorithm 2)
   fuzz       run a parallel fuzzing campaign
+  campaign   run the three-fuzzer comparison on one subject
   bugs       list the Table II vulnerability registry
 
-common flags: -subject NAME (protocol or implementation name)`)
+common flags: -subject NAME (protocol or implementation name)
+telemetry:    -telemetry (print timeline + counters), -events PATH (JSONL export)`)
 }
 
 func subjectFlag(fs *flag.FlagSet) *string {
@@ -211,10 +219,16 @@ func cmdFuzz(args []string) error {
 	rawWeights := fs.Bool("raw-weights", false, "use raw-coverage relation weights (ablation)")
 	concurrency := fs.Int("j", 0, "relation-probe worker pool size (0 = GOMAXPROCS); results are identical for any value")
 	outDir := fs.String("out", "", "write artifacts (result.json, coverage.csv, crashes/) to this directory")
+	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
+	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
 	fs.Parse(args)
 	sub, err := getSubject(*name)
 	if err != nil {
 		return err
+	}
+	var rec *telemetry.Recorder
+	if *telemetryOn || *eventsPath != "" {
+		rec = telemetry.New()
 	}
 	var mode parallel.Mode
 	switch strings.ToLower(*modeName) {
@@ -247,6 +261,7 @@ func cmdFuzz(args []string) error {
 		DisableConfigMutation: *noMut,
 		RawRelationWeighting:  *rawWeights,
 		Concurrency:           *concurrency,
+		Telemetry:             rec,
 	})
 	if err != nil {
 		return err
@@ -274,5 +289,75 @@ func cmdFuzz(args []string) error {
 			fmt.Printf("  [%6.1fh] %s\n", r.Time/3600, r.Crash.Error())
 		}
 	}
+	return finishTelemetry(rec, *telemetryOn, *eventsPath)
+}
+
+// finishTelemetry prints the timeline/counters and/or exports the JSONL
+// stream, per the shared -telemetry / -events flags.
+func finishTelemetry(rec *telemetry.Recorder, show bool, eventsPath string) error {
+	if !rec.Enabled() {
+		return nil
+	}
+	if show {
+		fmt.Print(rec.Timeline(72))
+	}
+	if eventsPath != "" {
+		if err := rec.ExportJSONL(eventsPath); err != nil {
+			return err
+		}
+		fmt.Printf("%d events written to %s\n", len(rec.Events()), eventsPath)
+	}
 	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	name := subjectFlag(fs)
+	hours := fs.Float64("hours", 24, "virtual campaign hours")
+	reps := fs.Int("reps", 1, "repetitions per fuzzer (paper: 5)")
+	instances := fs.Int("n", 4, "parallel instances")
+	seed := fs.Int64("seed", 0, "base seed (repetition r runs seed+r+1)")
+	concurrency := fs.Int("j", 0, "concurrent campaigns and probe workers (0 = GOMAXPROCS)")
+	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
+	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
+	outDir := fs.String("out", "", "also write events.jsonl and timeline.txt into this directory")
+	fs.Parse(args)
+	sub, err := getSubject(*name)
+	if err != nil {
+		return err
+	}
+	var rec *telemetry.Recorder
+	if *telemetryOn || *eventsPath != "" || *outDir != "" {
+		rec = telemetry.New()
+	}
+	cfg := campaign.Config{
+		Hours:       *hours,
+		Repetitions: *reps,
+		Instances:   *instances,
+		BaseSeed:    *seed,
+		Concurrency: *concurrency,
+		Telemetry:   rec,
+	}
+	res, err := campaign.RunSubject(sub, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign on %s: %g virtual hours x %d repetitions, %d instances\n",
+		res.Subject.Implementation, *hours, *reps, *instances)
+	fmt.Printf("  %-8s %8s %8s %8s %9s\n", "Fuzzer", "Branches", "Bugs", "Improv", "Speedup")
+	for _, st := range []campaign.FuzzerStats{res.CMFuzz, res.Peach, res.SPFuzz} {
+		improv, speedup := "", ""
+		if st.Mode != parallel.ModeCMFuzz {
+			improv = fmt.Sprintf("%+7.1f%%", res.Improv(st))
+			speedup = fmt.Sprintf("%8.0fx", res.Speedup(st))
+		}
+		fmt.Printf("  %-8s %8d %8d %8s %9s\n", st.Mode, st.Branches, st.Bugs.Len(), improv, speedup)
+	}
+	if *outDir != "" {
+		if err := campaign.WriteTelemetry(*outDir, rec); err != nil {
+			return err
+		}
+		fmt.Println("telemetry artifacts written to", *outDir)
+	}
+	return finishTelemetry(rec, *telemetryOn, *eventsPath)
 }

@@ -9,6 +9,7 @@ import (
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/telemetry"
 )
 
 // WriteArtifacts persists one campaign's outcome the way a production
@@ -33,6 +34,7 @@ func WriteArtifacts(dir string, res *parallel.Result) error {
 		ModelEntities  int                       `json:"model_entities,omitempty"`
 		RelationEdges  int                       `json:"relation_edges,omitempty"`
 		Probes         int                       `json:"probes,omitempty"`
+		Telemetry      telemetry.Counters        `json:"telemetry,omitempty"`
 		Instances      []parallel.InstanceResult `json:"instances"`
 	}{
 		Protocol:       res.Subject.Protocol,
@@ -44,6 +46,7 @@ func WriteArtifacts(dir string, res *parallel.Result) error {
 		ModelEntities:  res.ModelEntities,
 		RelationEdges:  res.RelationEdges,
 		Probes:         res.Probes,
+		Telemetry:      res.Counters,
 		Instances:      res.Instances,
 	}
 	raw, err := json.MarshalIndent(summary, "", "  ")
@@ -71,6 +74,22 @@ func WriteArtifacts(dir string, res *parallel.Result) error {
 		}
 	}
 	return nil
+}
+
+// WriteTelemetry drops a recorder's event stream next to the other
+// artifacts: events.jsonl (the structured log) and timeline.txt (the
+// per-instance ASCII summary). A nil recorder writes nothing.
+func WriteTelemetry(dir string, rec *telemetry.Recorder) error {
+	if !rec.Enabled() {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := rec.ExportJSONL(filepath.Join(dir, "events.jsonl")); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "timeline.txt"), []byte(rec.Timeline(72)), 0o644)
 }
 
 func crashSlug(c *bugs.Crash) string {

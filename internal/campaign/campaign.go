@@ -17,6 +17,7 @@ import (
 	"cmfuzz/internal/coverage"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
 )
 
 // Config scales an evaluation run. The paper's full setting is 24 virtual
@@ -36,6 +37,13 @@ type Config struct {
 	// results are aggregated in fixed (fuzzer, repetition) order, so the
 	// outcome is identical for any concurrency level.
 	Concurrency int
+	// Telemetry collects the structured event streams of every campaign
+	// in the run. Each (fuzzer, repetition) campaign records into its own
+	// labeled child recorder and the children are merged in fixed
+	// (fuzzer, repetition) order after the matrix completes, so the
+	// merged export is deterministic for any Concurrency. Nil disables
+	// collection at zero cost.
+	Telemetry *telemetry.Recorder
 }
 
 func (c *Config) setDefaults() {
@@ -50,16 +58,28 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Run executes one campaign (mode × subject × seed).
+// Run executes one campaign (mode × subject × seed). With telemetry
+// enabled, the campaign's event stream lands in cfg.Telemetry, bracketed
+// by a campaign-level marker carrying the outcome.
 func Run(sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*parallel.Result, error) {
 	cfg.setDefaults()
-	return parallel.Run(sub, parallel.Options{
+	res, err := parallel.Run(sub, parallel.Options{
 		Mode:         mode,
 		Instances:    cfg.Instances,
 		VirtualHours: cfg.Hours,
 		Seed:         seed,
 		Concurrency:  cfg.Concurrency,
+		Telemetry:    cfg.Telemetry,
 	})
+	if err == nil {
+		cfg.Telemetry.Emit(telemetry.Event{
+			T: cfg.Hours * 3600, Type: telemetry.EvCampaign, Instance: -1,
+			Edges: res.FinalBranches,
+			Detail: fmt.Sprintf("%s on %s seed %d: %d branches, %d execs, %d unique bugs",
+				mode, sub.Info().Implementation, seed, res.FinalBranches, res.TotalExecs, res.Bugs.Len()),
+		})
+	}
+	return res, err
 }
 
 // FuzzerStats aggregates one fuzzer's repetitions on one subject.
@@ -100,22 +120,37 @@ func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
 	}
 	results := make([][]*parallel.Result, len(modes))
 	errs := make([][]error, len(modes))
+	recorders := make([][]*telemetry.Recorder, len(modes))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for mi, mode := range modes {
 		results[mi] = make([]*parallel.Result, cfg.Repetitions)
 		errs[mi] = make([]error, cfg.Repetitions)
+		recorders[mi] = make([]*telemetry.Recorder, cfg.Repetitions)
 		for rep := 0; rep < cfg.Repetitions; rep++ {
 			wg.Add(1)
 			go func(mi, rep int, mode parallel.Mode) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[mi][rep], errs[mi][rep] = Run(sub, mode, cfg.BaseSeed+int64(rep)+1, cfg)
+				// Concurrent repetitions each record into their own
+				// labeled child recorder; the children are merged below
+				// in fixed order so the export is deterministic.
+				repCfg := cfg
+				if cfg.Telemetry.Enabled() {
+					recorders[mi][rep] = telemetry.NewRun(fmt.Sprintf("%s/rep%d", mode, rep))
+					repCfg.Telemetry = recorders[mi][rep]
+				}
+				results[mi][rep], errs[mi][rep] = Run(sub, mode, cfg.BaseSeed+int64(rep)+1, repCfg)
 			}(mi, rep, mode)
 		}
 	}
 	wg.Wait()
+	for mi := range modes {
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			cfg.Telemetry.Merge(recorders[mi][rep])
+		}
+	}
 
 	for mi, mode := range modes {
 		stats := FuzzerStats{Mode: mode, Bugs: bugs.NewLedger()}

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
+)
+
+func telSubject(t *testing.T, name string) subject.Subject {
+	t.Helper()
+	sub, err := protocols.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// TestRunSubjectTelemetryConcurrencyInvariant asserts the merged event
+// stream of a full fuzzer × repetition matrix is byte-identical whether
+// the campaigns run sequentially or concurrently: children record in
+// isolation and merge in fixed (fuzzer, repetition) order.
+func TestRunSubjectTelemetryConcurrencyInvariant(t *testing.T) {
+	stream := func(workers int) []byte {
+		rec := telemetry.New()
+		cfg := Config{Hours: 0.5, Repetitions: 2, Concurrency: workers, Telemetry: rec}
+		if _, err := RunSubject(telSubject(t, "CoAP"), cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := stream(1), stream(4)
+	if len(seq) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !bytes.Equal(seq, par) {
+		t.Fatal("merged telemetry differs between Concurrency=1 and Concurrency=4")
+	}
+}
+
+// TestWriteTelemetry checks the dropped artifacts: events.jsonl must
+// round-trip through the parser and timeline.txt must mention every
+// campaign run label.
+func TestWriteTelemetry(t *testing.T) {
+	rec := telemetry.New()
+	cfg := Config{Hours: 0.5, Repetitions: 1, Telemetry: rec}
+	if _, err := RunSubject(telSubject(t, "DNS"), cfg); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteTelemetry(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ParseJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(rec.Events()) {
+		t.Fatalf("parsed %d events, recorder has %d", len(events), len(rec.Events()))
+	}
+	tl, err := os.ReadFile(filepath.Join(dir, "timeline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range []string{"CMFuzz/rep0", "Peach/rep0", "SPFuzz/rep0"} {
+		if !strings.Contains(string(tl), run) {
+			t.Fatalf("timeline missing run %q:\n%s", run, tl)
+		}
+	}
+
+	// A nil recorder must write nothing at all.
+	empty := t.TempDir()
+	if err := WriteTelemetry(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(empty); len(entries) != 0 {
+		t.Fatal("nil recorder wrote artifacts")
+	}
+}

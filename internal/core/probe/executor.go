@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/telemetry"
 )
 
 // Func measures the startup branch coverage of one configuration
@@ -43,6 +44,7 @@ type Stats struct {
 type Executor struct {
 	fn      Func
 	workers int
+	tel     *telemetry.Recorder
 
 	mu    sync.Mutex
 	cache map[string]int
@@ -57,6 +59,11 @@ func NewExecutor(fn Func, workers int) *Executor {
 	}
 	return &Executor{fn: fn, workers: workers, cache: make(map[string]int)}
 }
+
+// SetTelemetry installs a telemetry sink: each Batch then emits one
+// probe_stats event (requests, startups, cache hits) and maintains the
+// probe counters. A nil recorder (the default) is a no-op.
+func (e *Executor) SetTelemetry(r *telemetry.Recorder) { e.tel = r }
 
 // Key returns the memoization key of an assignment: its canonical
 // (sorted k=v) rendering, so two assignments binding the same values
@@ -167,11 +174,15 @@ func (e *Executor) Batch(cfgs []configmodel.Assignment) []int {
 	// Serve the whole batch from the cache, in request order.
 	out := make([]int, len(cfgs))
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for i, key := range keys {
 		out[i] = e.cache[key]
 	}
 	e.stats.Hits += len(cfgs) - len(pending)
+	e.mu.Unlock()
+	e.tel.Emit(telemetry.Event{Type: telemetry.EvProbeStats, Instance: -1,
+		Requests: len(cfgs), Startups: len(pending), Hits: len(cfgs) - len(pending)})
+	e.tel.Count(telemetry.CtrProbeStartups, len(pending))
+	e.tel.Count(telemetry.CtrProbeCacheHits, len(cfgs)-len(pending))
 	return out
 }
 

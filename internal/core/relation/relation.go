@@ -32,6 +32,7 @@ import (
 	"cmfuzz/internal/core/configmodel"
 	"cmfuzz/internal/core/graph"
 	"cmfuzz/internal/core/probe"
+	"cmfuzz/internal/telemetry"
 )
 
 // A Probe runs one startup of the subject under the given configuration
@@ -126,6 +127,9 @@ type Options struct {
 	// Workers bounds the probe worker pool (0 means GOMAXPROCS). The
 	// Result is identical for every worker count, including 1.
 	Workers int
+	// Telemetry, when non-nil, receives the probe executor's cache
+	// statistics (probe_stats events and probe counters).
+	Telemetry *telemetry.Recorder
 }
 
 // Quantify builds the relation-aware configuration model for the given
@@ -176,6 +180,7 @@ func Quantify(model *configmodel.Model, probeFn Probe, opts Options) *Result {
 
 	// Execute the matrix across the worker pool, memoized.
 	ex := probe.NewExecutor(probe.Func(probeFn), opts.Workers)
+	ex.SetTelemetry(opts.Telemetry)
 	covs := ex.Batch(cfgs)
 	res.Probes = ex.Stats().Startups
 	res.ProbeRequests = len(cfgs)

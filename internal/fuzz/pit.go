@@ -16,6 +16,22 @@ import (
 type Pit struct {
 	DataModels  map[string]*DataModel
 	StateModels map[string]*StateModel
+	// StateModelOrder lists the state model names in document order.
+	// Callers that need "the" state model of a Pit must go through
+	// DefaultStateModel (or this slice) rather than ranging over the
+	// StateModels map: map iteration order is randomized, so a Pit with
+	// several state models would yield a different model run to run and
+	// SPFuzz path partitions would not reproduce.
+	StateModelOrder []string
+}
+
+// DefaultStateModel returns the Pit's first state model in document
+// order, or nil if the document declares none.
+func (p *Pit) DefaultStateModel() *StateModel {
+	if len(p.StateModelOrder) == 0 {
+		return nil
+	}
+	return p.StateModels[p.StateModelOrder[0]]
 }
 
 // ParsePit parses the supported Pit XML subset:
@@ -68,6 +84,9 @@ func ParsePit(content string) (*Pit, error) {
 			if err != nil {
 				return nil, err
 			}
+			if _, seen := pit.StateModels[sm.Name]; !seen {
+				pit.StateModelOrder = append(pit.StateModelOrder, sm.Name)
+			}
 			pit.StateModels[sm.Name] = sm
 		default:
 			if err := dec.Skip(); err != nil {
@@ -75,8 +94,10 @@ func ParsePit(content string) (*Pit, error) {
 			}
 		}
 	}
-	for _, sm := range pit.StateModels {
-		if err := sm.Validate(pit.DataModels); err != nil {
+	// Validate in document order so a multi-error document reports the
+	// same (first) error every run.
+	for _, name := range pit.StateModelOrder {
+		if err := pit.StateModels[name].Validate(pit.DataModels); err != nil {
 			return nil, err
 		}
 	}

@@ -121,6 +121,36 @@ func TestParsePitUnknownTopLevelSkipped(t *testing.T) {
 	}
 }
 
+func TestParsePitStateModelDocumentOrder(t *testing.T) {
+	// Names chosen so document order differs from both sorted order and
+	// any plausible map order: the default must be the FIRST declared.
+	pit, err := ParsePit(`<Peach>
+	  <DataModel name="m"><Number name="n" bits="8"/></DataModel>
+	  <StateModel name="Zeta" initialState="a"><State name="a"><Action type="output" dataModel="m"/></State></StateModel>
+	  <StateModel name="Alpha" initialState="a"><State name="a"><Action type="output" dataModel="m"/></State></StateModel>
+	  <StateModel name="Mid" initialState="a"><State name="a"><Action type="output" dataModel="m"/></State></StateModel>
+	</Peach>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Zeta", "Alpha", "Mid"}
+	if len(pit.StateModelOrder) != len(want) {
+		t.Fatalf("order = %v", pit.StateModelOrder)
+	}
+	for i, name := range want {
+		if pit.StateModelOrder[i] != name {
+			t.Fatalf("order = %v, want %v", pit.StateModelOrder, want)
+		}
+	}
+	if sm := pit.DefaultStateModel(); sm == nil || sm.Name != "Zeta" {
+		t.Fatalf("default state model = %+v, want Zeta", sm)
+	}
+	empty := &Pit{}
+	if empty.DefaultStateModel() != nil {
+		t.Fatal("empty pit should have no default state model")
+	}
+}
+
 func TestParsePitStateModelWithoutModelsValidatesOutputs(t *testing.T) {
 	_, err := ParsePit(`<Peach>
 	  <StateModel name="s" initialState="a">

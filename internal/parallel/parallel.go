@@ -33,6 +33,7 @@ import (
 	"cmfuzz/internal/fuzz"
 	"cmfuzz/internal/netsim"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
 )
 
 // Mode selects the parallel fuzzer.
@@ -120,6 +121,13 @@ type Options struct {
 	// virtual-clock event loop; only the startup probe matrix fans out,
 	// and its result is identical for any worker count.
 	Concurrency int
+	// Telemetry receives the campaign's structured event stream (boots,
+	// group assignments, seed syncs, coverage samples, saturation fires,
+	// configuration mutations, restart failures, crash dedup, probe-cache
+	// stats). Nil — the default — is a no-op sink: the campaign runs the
+	// exact same decisions and the Result is byte-identical to an
+	// uninstrumented run.
+	Telemetry *telemetry.Recorder
 }
 
 func (o *Options) setDefaults() {
@@ -181,6 +189,11 @@ type Result struct {
 	RelationEdges int
 	Probes        int
 	Groups        []schedule.Group
+	// Counters aggregates the telemetry counter registry (syncs,
+	// mutations, restarts, probe cache hits, ...). Nil unless
+	// Options.Telemetry was set, so results without telemetry stay
+	// byte-identical to pre-telemetry builds.
+	Counters telemetry.Counters
 }
 
 // instance is one running parallel fuzzing instance.
@@ -229,10 +242,11 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parallel: %s pit: %w", info.Protocol, err)
 	}
-	var sm *fuzz.StateModel
-	for _, m := range pit.StateModels {
-		sm = m
-	}
+	// Document order, not map iteration: a Pit with several state models
+	// must yield the same model every run or SPFuzz path partitions (and
+	// every engine walk) stop reproducing.
+	sm := pit.DefaultStateModel()
+	tel := opts.Telemetry
 
 	// Configuration model identification (CMFuzz) / defaults (baselines).
 	items := configspec.Extract(sub.ConfigInput())
@@ -269,7 +283,7 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 				return 0
 			}
 			return cov
-		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency})
+		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency, Telemetry: tel})
 		res.RelationEdges = rel.Graph.EdgeCount()
 		res.Probes = rel.Probes
 		var alloc []schedule.Group
@@ -289,6 +303,8 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			} else {
 				configs[i] = defaults.Clone()
 			}
+			tel.Emit(telemetry.Event{Type: telemetry.EvGroup, Instance: i,
+				Group: groups[i].Members, Config: configs[i].String()})
 		}
 	case ModeSPFuzz:
 		var all []fuzz.Path
@@ -322,6 +338,9 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
 			}
 		}
+		tel.Emit(telemetry.Event{Type: telemetry.EvBoot, Instance: i,
+			Config: configs[i].String(), Edges: startCov.Count()})
+		tel.Count(telemetry.CtrBoots, 1)
 		engineSeed := opts.Seed*7919 + int64(i)
 		if opts.Mode == ModePeach && opts.PeachSharedSchedules {
 			engineSeed = opts.Seed*7919 + int64(i/2)
@@ -371,7 +390,13 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 
 		if step.Crash != nil {
 			in.crashes++
-			res.Bugs.Record(step.Crash, in.index, in.clock, in.cfg.String())
+			isNew := res.Bugs.Record(step.Crash, in.index, in.clock, in.cfg.String())
+			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvCrash, Instance: in.index,
+				Crash: step.Crash.ID(), New: isNew, Config: in.cfg.String()})
+			tel.Count(telemetry.CtrCrashes, 1)
+			if isNew {
+				tel.Count(telemetry.CtrCrashesUnique, 1)
+			}
 		}
 		if step.NewEdges > 0 {
 			global.Union(in.engine.CoverageMap())
@@ -383,15 +408,35 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			(step.NewEdges > 0 && watermark-lastSample >= minSampleGap) {
 			res.Series.Observe(watermark, global.Count())
 			lastSample = watermark
+			tel.Emit(telemetry.Event{T: watermark, Type: telemetry.EvSample, Instance: in.index,
+				Edges: global.Count()})
+			tel.Count(telemetry.CtrSamples, 1)
 		}
 
 		// Seed synchronization.
 		if in.clock >= in.nextSync {
-			in.nextSync += opts.SyncInterval
+			imported := 0
 			for _, other := range insts {
 				if other != in {
-					in.engine.ImportSeeds(other.engine.ExportSeeds(4))
+					seeds := other.engine.ExportSeeds(4)
+					imported += len(seeds)
+					in.engine.ImportSeeds(seeds)
 				}
+			}
+			// Advance nextSync past the instance clock. One expensive
+			// step can jump several sync intervals at once; advancing by
+			// a single interval would leave nextSync behind the clock and
+			// fire a burst of back-to-back syncs on the following cheap
+			// steps. The skipped intervals are counted, not replayed.
+			skipped := 0
+			for in.nextSync += opts.SyncInterval; in.nextSync <= in.clock; in.nextSync += opts.SyncInterval {
+				skipped++
+			}
+			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvSync, Instance: in.index,
+				Seeds: imported, Skipped: skipped})
+			tel.Count(telemetry.CtrSyncs, 1)
+			if skipped > 0 {
+				tel.Count(telemetry.CtrSyncSkipped, skipped)
 			}
 		}
 
@@ -399,7 +444,10 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 		if opts.Mode == ModeCMFuzz && !opts.DisableConfigMutation {
 			in.sat.Observe(in.clock, in.engine.Coverage())
 			if in.sat.Saturated(in.clock) {
-				if mutateConfig(sub, model, in, res.Bugs) {
+				tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvSaturation, Instance: in.index,
+					Edges: in.engine.Coverage()})
+				tel.Count(telemetry.CtrSaturations, 1)
+				if mutateConfig(sub, model, in, res.Bugs, tel) {
 					in.engine.Absorb(in.target.startup)
 				}
 				in.sat.Reset(in.clock)
@@ -425,6 +473,7 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			RestartFailures: in.restartFails,
 		})
 	}
+	res.Counters = tel.Counters()
 	return res, nil
 }
 
@@ -434,7 +483,7 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 // configuration. Returns whether a restart happened. A mutation that
 // produces a conflicting configuration (or crashes during startup — a
 // config-parsing defect) is reverted.
-func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, ledger *bugs.Ledger) bool {
+func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, ledger *bugs.Ledger, tel *telemetry.Recorder) bool {
 	candidates := mutableIn(model, in.group.Members)
 	if len(candidates) == 0 {
 		candidates = model.Mutable()
@@ -455,6 +504,9 @@ func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, l
 
 	if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
 		in.restartFails++
+		tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvRestartFail, Instance: in.index,
+			Entity: e.Name, Value: newVal, Detail: err.Error()})
+		tel.Count(telemetry.CtrRestartFailures, 1)
 		// Conflicting mutation: revert and restart under the old config.
 		if had {
 			in.cfg[e.Name] = old
@@ -463,21 +515,45 @@ func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, l
 		}
 		if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
 			in.restartFails++
+			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvRestartFail, Instance: in.index,
+				Config: in.cfg.String(), Detail: "revert failed: " + err.Error()})
+			tel.Count(telemetry.CtrRestartFailures, 1)
 			// Both the mutated and the reverted restart failed; without a
 			// fallback the instance would keep stepping against a dead
 			// target for the rest of the campaign. Boot the defaults,
 			// which every subject's conformance suite guarantees start.
 			in.cfg = model.Defaults()
-			if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
+			err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock)
+			if err != nil {
 				in.restartFails++
+			}
+			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvFallback, Instance: in.index,
+				Config: in.cfg.String(), Detail: fallbackDetail(err)})
+			tel.Count(telemetry.CtrFallbacks, 1)
+			if err != nil {
+				tel.Count(telemetry.CtrRestartFailures, 1)
 				return false
 			}
+			tel.Count(telemetry.CtrBoots, 1)
 			return true
 		}
+		tel.Count(telemetry.CtrBoots, 1)
 		return true
 	}
 	in.muts++
+	tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvMutation, Instance: in.index,
+		Entity: e.Name, Value: newVal, Config: in.cfg.String()})
+	tel.Count(telemetry.CtrMutations, 1)
+	tel.Count(telemetry.CtrBoots, 1)
 	return true
+}
+
+// fallbackDetail summarizes the defaults-fallback outcome for telemetry.
+func fallbackDetail(err error) string {
+	if err != nil {
+		return "defaults fallback failed: " + err.Error()
+	}
+	return "defaults fallback"
 }
 
 // repairConfig makes a jointly conflicting group assignment bootable by

@@ -74,7 +74,7 @@ func TestMutateConfigFallsBackToDefaults(t *testing.T) {
 	for tries := 0; tries < 32 && !ok; tries++ {
 		// Attempts that draw the current value return false without a
 		// restart; keep drawing until the mutation actually fires.
-		ok = mutateConfig(sub, model, in, ledger)
+		ok = mutateConfig(sub, model, in, ledger, nil)
 	}
 	if !ok {
 		t.Fatal("mutateConfig never recovered the instance")
@@ -113,7 +113,7 @@ func TestMutateConfigRevertStillWorks(t *testing.T) {
 	in := &instance{index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
 	ok := false
 	for tries := 0; tries < 32 && !ok; tries++ {
-		ok = mutateConfig(sub, model, in, bugs.NewLedger())
+		ok = mutateConfig(sub, model, in, bugs.NewLedger(), nil)
 	}
 	if !ok {
 		t.Fatal("mutateConfig never fired")

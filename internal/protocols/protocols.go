@@ -5,6 +5,7 @@ package protocols
 
 import (
 	"fmt"
+	"strings"
 
 	"cmfuzz/internal/protocols/amqp"
 	"cmfuzz/internal/protocols/coap"
@@ -28,10 +29,10 @@ func All() []subject.Subject {
 }
 
 // ByName returns the subject whose protocol or implementation name
-// matches (case-sensitive), e.g. "MQTT" or "Mosquitto".
+// matches (case-insensitive), e.g. "MQTT", "mqtt" or "Mosquitto".
 func ByName(name string) (subject.Subject, error) {
 	for _, s := range All() {
-		if s.Info().Protocol == name || s.Info().Implementation == name {
+		if strings.EqualFold(s.Info().Protocol, name) || strings.EqualFold(s.Info().Implementation, name) {
 			return s, nil
 		}
 	}
