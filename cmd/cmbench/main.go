@@ -21,9 +21,9 @@ import (
 	"time"
 
 	"cmfuzz/internal/campaign"
+	"cmfuzz/internal/monitor"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
-	"cmfuzz/internal/telemetry"
 )
 
 func main() {
@@ -40,17 +40,27 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	svgDir := flag.String("svg", "", "also write Figure 4 panels as SVG files into this directory")
 	eventsPath := flag.String("events", "", "write every campaign's structured event stream as JSONL to this file")
+	tracePath := flag.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file")
+	monitorAddr := flag.String("monitor", "", "serve /status, /metrics, /healthz and /debug/pprof on this host:port while campaigns run")
 	flag.Parse()
 
 	if !*table1 && !*fig4 && !*table2 && !*ablation && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var rec *telemetry.Recorder
-	if *eventsPath != "" {
-		rec = telemetry.New()
+	sess, err := monitor.StartSession(monitor.SessionConfig{
+		EventsPath:  *eventsPath,
+		TracePath:   *tracePath,
+		MonitorAddr: *monitorAddr,
+		RootSpan:    "cmbench",
+	})
+	exitOn(err)
+	if sess.Server != nil && !*jsonOut {
+		fmt.Printf("monitor listening on %s\n", sess.Server.URL())
 	}
-	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances, Concurrency: *concurrency, Telemetry: rec}
+	rec := sess.Recorder
+	cfg := campaign.Config{Hours: *hours, Repetitions: *reps, Instances: *instances, Concurrency: *concurrency,
+		Telemetry: rec, Trace: sess.Root, Progress: sess.Progress}
 
 	subs := protocols.All()
 	if *subjectName != "" {
@@ -115,18 +125,15 @@ func main() {
 		fmt.Print(campaign.RenderAblations(rows))
 		fmt.Println()
 	}
-	if *eventsPath != "" {
-		exitOn(rec.ExportJSONL(*eventsPath))
-		if !*jsonOut {
-			fmt.Printf("%d events written to %s\n", len(rec.Events()), *eventsPath)
-		}
-	}
 	if *jsonOut {
+		// Keep stdout pure JSON: export announcements go to stderr.
+		exitOn(sess.Finish(os.Stderr))
 		raw, err := export.JSON()
 		exitOn(err)
 		fmt.Println(string(raw))
 		return
 	}
+	exitOn(sess.Finish(os.Stdout))
 	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Second))
 }
 

@@ -11,8 +11,11 @@
 //
 // All campaigns run on the virtual clock, so "-hours 24" completes in
 // seconds of wall time. The fuzz and campaign subcommands take
-// -telemetry (print the event timeline and counters) and -events PATH
-// (export the structured event stream as JSONL).
+// -telemetry (print the event timeline and counters), -events PATH
+// (export the structured event stream as JSONL), -trace PATH (export a
+// wall-clock Chrome trace for chrome://tracing / Perfetto) and
+// -monitor ADDR (serve /status, /metrics, /healthz and /debug/pprof
+// over HTTP while the campaign runs).
 package main
 
 import (
@@ -27,10 +30,11 @@ import (
 	"cmfuzz/internal/core"
 	"cmfuzz/internal/core/configmodel"
 	"cmfuzz/internal/core/configspec"
+	"cmfuzz/internal/monitor"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
-	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/metrics"
 )
 
 func main() {
@@ -57,6 +61,8 @@ func main() {
 		err = cmdCampaign(args)
 	case "bugs":
 		err = cmdBugs()
+	case "promlint":
+		err = cmdPromlint(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -90,9 +96,12 @@ commands:
   fuzz       run a parallel fuzzing campaign
   campaign   run the three-fuzzer comparison on one subject
   bugs       list the Table II vulnerability registry
+  promlint   validate Prometheus text exposition read from a file or stdin
 
-common flags: -subject NAME (protocol or implementation name)
-telemetry:    -telemetry (print timeline + counters), -events PATH (JSONL export)`)
+common flags:  -subject NAME (protocol or implementation name)
+telemetry:     -telemetry (print timeline + counters), -events PATH (JSONL export)
+observability: -trace PATH (Chrome trace JSON for chrome://tracing / Perfetto),
+               -monitor ADDR (HTTP /status, /metrics, /healthz, /debug/pprof)`)
 }
 
 func subjectFlag(fs *flag.FlagSet) *string {
@@ -221,15 +230,27 @@ func cmdFuzz(args []string) error {
 	outDir := fs.String("out", "", "write artifacts (result.json, coverage.csv, crashes/) to this directory")
 	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
 	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
+	tracePath := fs.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file")
+	monitorAddr := fs.String("monitor", "", "serve /status, /metrics, /healthz and /debug/pprof on this host:port (implies -telemetry)")
 	fs.Parse(args)
 	sub, err := getSubject(*name)
 	if err != nil {
 		return err
 	}
-	var rec *telemetry.Recorder
-	if *telemetryOn || *eventsPath != "" {
-		rec = telemetry.New()
+	sess, err := monitor.StartSession(monitor.SessionConfig{
+		Telemetry:   *telemetryOn,
+		EventsPath:  *eventsPath,
+		TracePath:   *tracePath,
+		MonitorAddr: *monitorAddr,
+		RootSpan:    "fuzz",
+	})
+	if err != nil {
+		return err
 	}
+	if sess.Server != nil {
+		fmt.Printf("monitor listening on %s\n", sess.Server.URL())
+	}
+	rec := sess.Recorder
 	var mode parallel.Mode
 	switch strings.ToLower(*modeName) {
 	case "cmfuzz":
@@ -262,8 +283,11 @@ func cmdFuzz(args []string) error {
 		RawRelationWeighting:  *rawWeights,
 		Concurrency:           *concurrency,
 		Telemetry:             rec,
+		Trace:                 sess.Root,
+		Progress:              sess.Progress,
 	})
 	if err != nil {
+		sess.Finish(nil)
 		return err
 	}
 	fmt.Printf("%s on %s: %d branches, %d execs over %g virtual hours\n",
@@ -289,24 +313,38 @@ func cmdFuzz(args []string) error {
 			fmt.Printf("  [%6.1fh] %s\n", r.Time/3600, r.Crash.Error())
 		}
 	}
-	return finishTelemetry(rec, *telemetryOn, *eventsPath)
+	return finishSession(sess, *telemetryOn)
 }
 
-// finishTelemetry prints the timeline/counters and/or exports the JSONL
-// stream, per the shared -telemetry / -events flags.
-func finishTelemetry(rec *telemetry.Recorder, show bool, eventsPath string) error {
-	if !rec.Enabled() {
-		return nil
+// finishSession prints the timeline (under -telemetry), then lets the
+// session export the event stream and trace file and stop the monitor.
+func finishSession(sess *monitor.Session, show bool) error {
+	if show && sess.Recorder.Enabled() {
+		fmt.Print(sess.Recorder.Timeline(72))
 	}
-	if show {
-		fmt.Print(rec.Timeline(72))
-	}
-	if eventsPath != "" {
-		if err := rec.ExportJSONL(eventsPath); err != nil {
+	return sess.Finish(os.Stdout)
+}
+
+// cmdPromlint validates a Prometheus text exposition (a /metrics scrape)
+// from the given file or stdin — the CI monitor smoke pipes curl output
+// through it.
+func cmdPromlint(args []string) error {
+	fs := flag.NewFlagSet("promlint", flag.ExitOnError)
+	fs.Parse(args)
+	in, src := os.Stdin, "stdin"
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
 			return err
 		}
-		fmt.Printf("%d events written to %s\n", len(rec.Events()), eventsPath)
+		defer f.Close()
+		in, src = f, fs.Arg(0)
 	}
+	stats, err := metrics.Lint(in)
+	if err != nil {
+		return fmt.Errorf("promlint: %s: %w", src, err)
+	}
+	fmt.Printf("promlint: %s OK — %d families, %d samples\n", src, stats.Families, stats.Samples)
 	return nil
 }
 
@@ -320,16 +358,28 @@ func cmdCampaign(args []string) error {
 	concurrency := fs.Int("j", 0, "concurrent campaigns and probe workers (0 = GOMAXPROCS)")
 	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
 	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
+	tracePath := fs.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file")
+	monitorAddr := fs.String("monitor", "", "serve /status, /metrics, /healthz and /debug/pprof on this host:port (implies -telemetry)")
 	outDir := fs.String("out", "", "also write events.jsonl and timeline.txt into this directory")
 	fs.Parse(args)
 	sub, err := getSubject(*name)
 	if err != nil {
 		return err
 	}
-	var rec *telemetry.Recorder
-	if *telemetryOn || *eventsPath != "" || *outDir != "" {
-		rec = telemetry.New()
+	sess, err := monitor.StartSession(monitor.SessionConfig{
+		Telemetry:   *telemetryOn || *outDir != "",
+		EventsPath:  *eventsPath,
+		TracePath:   *tracePath,
+		MonitorAddr: *monitorAddr,
+		RootSpan:    "campaign",
+	})
+	if err != nil {
+		return err
 	}
+	if sess.Server != nil {
+		fmt.Printf("monitor listening on %s\n", sess.Server.URL())
+	}
+	rec := sess.Recorder
 	cfg := campaign.Config{
 		Hours:       *hours,
 		Repetitions: *reps,
@@ -337,9 +387,12 @@ func cmdCampaign(args []string) error {
 		BaseSeed:    *seed,
 		Concurrency: *concurrency,
 		Telemetry:   rec,
+		Trace:       sess.Root,
+		Progress:    sess.Progress,
 	}
 	res, err := campaign.RunSubject(sub, cfg)
 	if err != nil {
+		sess.Finish(nil)
 		return err
 	}
 	fmt.Printf("campaign on %s: %g virtual hours x %d repetitions, %d instances\n",
@@ -359,5 +412,5 @@ func cmdCampaign(args []string) error {
 		}
 		fmt.Println("telemetry artifacts written to", *outDir)
 	}
-	return finishTelemetry(rec, *telemetryOn, *eventsPath)
+	return finishSession(sess, *telemetryOn)
 }

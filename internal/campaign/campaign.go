@@ -18,6 +18,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 // Config scales an evaluation run. The paper's full setting is 24 virtual
@@ -44,6 +45,16 @@ type Config struct {
 	// merged export is deterministic for any Concurrency. Nil disables
 	// collection at zero cost.
 	Telemetry *telemetry.Recorder
+	// Trace, when non-nil, is the parent wall-clock span: RunSubject
+	// records a campaign span with one repetition child per (fuzzer,
+	// repetition) cell, each carrying that campaign's instance spans.
+	Trace *trace.Span
+	// Progress, when non-nil, is the live board the HTTP monitor reads;
+	// every campaign in the matrix reports into it under its run label.
+	Progress *telemetry.Progress
+	// Label names a single Run on the progress board (RunSubject sets
+	// the per-cell "mode/repN" labels itself).
+	Label string
 }
 
 func (c *Config) setDefaults() {
@@ -70,6 +81,9 @@ func Run(sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*para
 		Seed:         seed,
 		Concurrency:  cfg.Concurrency,
 		Telemetry:    cfg.Telemetry,
+		Trace:        cfg.Trace,
+		Progress:     cfg.Progress,
+		Label:        cfg.Label,
 	})
 	if err == nil {
 		cfg.Telemetry.Emit(telemetry.Event{
@@ -114,6 +128,10 @@ func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
 	res := &SubjectResult{Subject: sub.Info(), Hours: cfg.Hours}
 	modes := []parallel.Mode{parallel.ModeCMFuzz, parallel.ModePeach, parallel.ModeSPFuzz}
 
+	campSpan := cfg.Trace.Child("campaign",
+		trace.A("subject", res.Subject.Protocol), trace.A("repetitions", cfg.Repetitions))
+	defer campSpan.End()
+
 	workers := cfg.Concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -137,11 +155,16 @@ func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
 				// labeled child recorder; the children are merged below
 				// in fixed order so the export is deterministic.
 				repCfg := cfg
+				label := fmt.Sprintf("%s/rep%d", mode, rep)
 				if cfg.Telemetry.Enabled() {
-					recorders[mi][rep] = telemetry.NewRun(fmt.Sprintf("%s/rep%d", mode, rep))
+					recorders[mi][rep] = telemetry.NewRun(label)
 					repCfg.Telemetry = recorders[mi][rep]
 				}
+				repCfg.Label = label
+				repCfg.Trace = campSpan.Child("repetition",
+					trace.A("mode", mode.String()), trace.A("rep", rep))
 				results[mi][rep], errs[mi][rep] = Run(sub, mode, cfg.BaseSeed+int64(rep)+1, repCfg)
+				repCfg.Trace.End()
 			}(mi, rep, mode)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 
 	"cmfuzz/internal/core/configmodel"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 // Func measures the startup branch coverage of one configuration
@@ -45,6 +46,7 @@ type Executor struct {
 	fn      Func
 	workers int
 	tel     *telemetry.Recorder
+	tr      *trace.Span
 
 	mu    sync.Mutex
 	cache map[string]int
@@ -64,6 +66,11 @@ func NewExecutor(fn Func, workers int) *Executor {
 // probe_stats event (requests, startups, cache hits) and maintains the
 // probe counters. A nil recorder (the default) is a no-op.
 func (e *Executor) SetTelemetry(r *telemetry.Recorder) { e.tel = r }
+
+// SetTrace installs a parent wall-clock span: each Batch then records a
+// probe.pool child covering the worker-pool fan-out. Must be called
+// before the executor is used; a nil span (the default) is a no-op.
+func (e *Executor) SetTrace(s *trace.Span) { e.tr = s }
 
 // Key returns the memoization key of an assignment: its canonical
 // (sorted k=v) rendering, so two assignments binding the same values
@@ -131,6 +138,8 @@ func (e *Executor) Batch(cfgs []configmodel.Assignment) []int {
 		if workers > len(pending) {
 			workers = len(pending)
 		}
+		pool := e.tr.Child("probe.pool",
+			trace.A("pending", len(pending)), trace.A("workers", workers))
 		next := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -154,6 +163,7 @@ func (e *Executor) Batch(cfgs []configmodel.Assignment) []int {
 		}
 		close(next)
 		wg.Wait()
+		pool.End()
 
 		e.mu.Lock()
 		for i, t := range pending {

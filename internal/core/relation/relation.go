@@ -33,6 +33,7 @@ import (
 	"cmfuzz/internal/core/graph"
 	"cmfuzz/internal/core/probe"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 // A Probe runs one startup of the subject under the given configuration
@@ -130,6 +131,11 @@ type Options struct {
 	// Telemetry, when non-nil, receives the probe executor's cache
 	// statistics (probe_stats events and probe counters).
 	Telemetry *telemetry.Recorder
+	// Trace, when non-nil, is the parent wall-clock span under which
+	// quantification records its phases: a relation.quantify span with
+	// probe.plan, probe.execute and probe.score children. Nil (the
+	// default) records nothing and costs one pointer check.
+	Trace *trace.Span
 }
 
 // Quantify builds the relation-aware configuration model for the given
@@ -145,6 +151,10 @@ func Quantify(model *configmodel.Model, probeFn Probe, opts Options) *Result {
 	}
 	entities := model.Entities()
 	defaults := model.Defaults()
+
+	span := opts.Trace.Child("relation.quantify", trace.A("entities", len(entities)))
+	defer span.End()
+	plan := span.Child("probe.plan")
 
 	// Plan the typical-value sets once per entity.
 	vals := make([][]string, len(entities))
@@ -178,12 +188,21 @@ func Quantify(model *configmodel.Model, probeFn Probe, opts Options) *Result {
 		}
 	}
 
+	plan.Set("configs", len(cfgs))
+	plan.End()
+
 	// Execute the matrix across the worker pool, memoized.
+	execSpan := span.Child("probe.execute", trace.A("configs", len(cfgs)))
 	ex := probe.NewExecutor(probe.Func(probeFn), opts.Workers)
 	ex.SetTelemetry(opts.Telemetry)
+	ex.SetTrace(execSpan)
 	covs := ex.Batch(cfgs)
 	res.Probes = ex.Stats().Startups
 	res.ProbeRequests = len(cfgs)
+	execSpan.Set("startups", res.Probes)
+	execSpan.End()
+	score := span.Child("probe.score")
+	defer score.End()
 
 	// Merge sequentially, consuming coverages in planning order, so the
 	// result is the same for any worker count.
@@ -238,6 +257,7 @@ func Quantify(model *configmodel.Model, probeFn Probe, opts Options) *Result {
 		}
 	}
 	res.Graph.Normalize()
+	score.Set("edges", res.Graph.EdgeCount())
 	return res
 }
 

@@ -1,0 +1,17 @@
+package schedule
+
+import "cmfuzz/internal/telemetry/trace"
+
+// Instrumented wraps one grouping-strategy invocation in a wall-clock
+// schedule.allocate span recording the algorithm, the relation-graph
+// size and the resulting group count. The span is purely observational:
+// alloc runs unchanged and its groups are returned as-is. A nil parent
+// span records nothing.
+func Instrumented(parent *trace.Span, algorithm string, nodes int, alloc func() []Group) []Group {
+	span := parent.Child("schedule.allocate",
+		trace.A("algorithm", algorithm), trace.A("nodes", nodes))
+	groups := alloc()
+	span.Set("groups", len(groups))
+	span.End()
+	return groups
+}

@@ -1,0 +1,255 @@
+package monitor
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/metrics"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	rec := telemetry.New()
+	rec.Count(telemetry.CtrProbeStartups, 3)
+	rec.Count(telemetry.CtrProbeCacheHits, 9)
+	prog := telemetry.NewProgress()
+	prog.StartRun("CMFuzz/rep0", "CMFuzz", "dns", 3600, 2)
+	prog.StepInstance("CMFuzz/rep0", 0, 120.5, 40, 900, 1, 2, 12)
+	prog.StepInstance("CMFuzz/rep0", 1, 118.0, 35, 850, 0, 1, 10)
+	prog.SetUnion("CMFuzz/rep0", 121, 55)
+
+	srv, err := Start("127.0.0.1:0", Options{
+		Registry: NewRegistry(rec, prog),
+		Status:   StatusFunc(prog, rec),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, ct, body := get(t, srv.URL()+"/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	_ = ct
+
+	code, ct, body = get(t, srv.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	stats, err := metrics.Lint(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics fails lint: %v\n%s", err, body)
+	}
+	if stats.Samples == 0 {
+		t.Fatal("/metrics served no samples")
+	}
+	for _, want := range []string{
+		"cmfuzz_probe_cache_hits_total 9",
+		"cmfuzz_probe_startups_total 3",
+		"cmfuzz_probe_cache_hit_ratio 0.75",
+		`cmfuzz_run_edges{run="CMFuzz/rep0"} 55`,
+		`cmfuzz_instance_execs{instance="0",run="CMFuzz/rep0"} 900`,
+		`cmfuzz_instance_corpus_seeds{instance="1",run="CMFuzz/rep0"} 10`,
+		"cmfuzz_runs_running 1",
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, ct, body = get(t, srv.URL()+"/status")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/status = %d %q", code, ct)
+	}
+	var st StatusPayload
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if len(st.Runs) != 1 || st.Runs[0].Run != "CMFuzz/rep0" {
+		t.Fatalf("/status runs = %+v", st.Runs)
+	}
+	r := st.Runs[0]
+	if r.Execs != 1750 || r.Crashes != 1 || r.Edges != 55 || len(r.Instances) != 2 {
+		t.Fatalf("/status aggregate = %+v", r)
+	}
+	if r.Instances[0].Execs != 900 || r.Instances[1].CorpusSeeds != 10 {
+		t.Fatalf("/status instances = %+v", r.Instances)
+	}
+	if st.Counters[telemetry.CtrProbeCacheHits] != 9 {
+		t.Fatalf("/status counters = %+v", st.Counters)
+	}
+
+	code, _, body = get(t, srv.URL()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d %q", code, body[:min(len(body), 80)])
+	}
+	code, _, _ = get(t, srv.URL()+"/nonexistent")
+	if code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+	code, _, body = get(t, srv.URL()+"/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+}
+
+func TestServerEmptySources(t *testing.T) {
+	srv, err := Start("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _, _ := get(t, srv.URL()+"/metrics"); code != 200 {
+		t.Fatalf("/metrics without registry = %d", code)
+	}
+	code, _, body := get(t, srv.URL()+"/status")
+	if code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("/status without source = %d %q", code, body)
+	}
+}
+
+func TestSessionImplications(t *testing.T) {
+	// -events implies the recorder even without -telemetry.
+	s, err := StartSession(SessionConfig{EventsPath: filepath.Join(t.TempDir(), "e.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder == nil {
+		t.Fatal("-events did not imply the recorder")
+	}
+	if s.Tracer != nil || s.Server != nil || s.Progress != nil {
+		t.Fatal("-events enabled unrelated sinks")
+	}
+	if err := s.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// -monitor implies recorder + progress + running server.
+	s, err = StartSession(SessionConfig{MonitorAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder == nil || s.Progress == nil || s.Server == nil {
+		t.Fatalf("-monitor implications missing: %+v", s)
+	}
+	if code, _, _ := get(t, s.Server.URL()+"/healthz"); code != 200 {
+		t.Fatal("monitor not serving")
+	}
+	if err := s.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero config: everything off, Finish is a no-op.
+	s, err = StartSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder != nil || s.Tracer != nil || s.Server != nil {
+		t.Fatalf("zero config enabled sinks: %+v", s)
+	}
+	if err := s.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := (*Session)(nil).Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionTraceExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	s, err := StartSession(SessionConfig{TracePath: path, RootSpan: "fuzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracer == nil || s.Root == nil {
+		t.Fatal("-trace did not enable the tracer")
+	}
+	if s.Recorder != nil {
+		t.Fatal("-trace must not imply the virtual-clock recorder")
+	}
+	child := s.Root.Child("probe.plan")
+	child.End()
+	var out strings.Builder
+	if err := s.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace events = %d, want 2", len(doc.TraceEvents))
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Fatalf("Finish did not announce the trace file: %q", out.String())
+	}
+}
+
+// TestProgressConcurrency is the live-board half of the -race stress
+// satellite: many instances stepping one Progress while scrapers
+// snapshot it.
+func TestProgressConcurrency(t *testing.T) {
+	prog := telemetry.NewProgress()
+	reg := NewRegistry(nil, prog)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			run := []string{"a", "b"}[g%2]
+			prog.StartRun(run, "CMFuzz", "dns", 3600, 4)
+			for i := 0; i < 300; i++ {
+				prog.StepInstance(run, g%4, float64(i), i, i*10, 0, 0, i%20)
+				if i%50 == 0 {
+					_ = prog.Snapshot()
+					if err := reg.WriteText(io.Discard); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			prog.EndRun(run)
+		}(g)
+	}
+	wg.Wait()
+	if prog.Running() != 0 {
+		t.Fatalf("running = %d after all EndRun", prog.Running())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

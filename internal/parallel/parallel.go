@@ -34,6 +34,7 @@ import (
 	"cmfuzz/internal/netsim"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 // Mode selects the parallel fuzzer.
@@ -128,6 +129,21 @@ type Options struct {
 	// exact same decisions and the Result is byte-identical to an
 	// uninstrumented run.
 	Telemetry *telemetry.Recorder
+	// Trace, when non-nil, is the parent wall-clock span this run
+	// records under: relation.quantify (with probe.plan/execute/score),
+	// schedule.allocate, instance.boot, and one long-lived instance span
+	// per parallel instance carrying its sync and config.mutate children.
+	// Wall-clock data lives only in the tracer — it never feeds a
+	// campaign decision, so the Result stays byte-identical.
+	Trace *trace.Span
+	// Progress, when non-nil, receives live per-instance state (virtual
+	// clock, edges, execs, crashes, seed-queue depth) on every engine
+	// step, for the HTTP monitor's /status and /metrics endpoints. Like
+	// Telemetry, it is observation-only.
+	Progress *telemetry.Progress
+	// Label names this run on the Progress board and defaults to the
+	// mode name when empty.
+	Label string
 }
 
 func (o *Options) setDefaults() {
@@ -247,6 +263,12 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	// every engine walk) stop reproducing.
 	sm := pit.DefaultStateModel()
 	tel := opts.Telemetry
+	prog := opts.Progress
+	if opts.Label == "" {
+		opts.Label = opts.Mode.String()
+	}
+	prog.StartRun(opts.Label, opts.Mode.String(), info.Protocol, opts.VirtualHours*3600, opts.Instances)
+	defer prog.EndRun(opts.Label)
 
 	// Configuration model identification (CMFuzz) / defaults (baselines).
 	items := configspec.Extract(sub.ConfigInput())
@@ -283,18 +305,23 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 				return 0
 			}
 			return cov
-		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency, Telemetry: tel})
+		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency, Telemetry: tel, Trace: opts.Trace})
 		res.RelationEdges = rel.Graph.EdgeCount()
 		res.Probes = rel.Probes
-		var alloc []schedule.Group
-		switch opts.Allocator {
-		case AllocRandom:
-			alloc = schedule.RandomAllocate(rel.Graph, opts.Instances, opts.Seed)
-		case AllocRoundRobin:
-			alloc = schedule.RoundRobinAllocate(rel.Graph, opts.Instances)
-		default:
-			alloc = schedule.Allocate(rel.Graph, opts.Instances)
+		allocName := map[Allocator]string{AllocRandom: "random", AllocRoundRobin: "round-robin"}[opts.Allocator]
+		if allocName == "" {
+			allocName = "cohesive"
 		}
+		alloc := schedule.Instrumented(opts.Trace, allocName, len(rel.Graph.Nodes()), func() []schedule.Group {
+			switch opts.Allocator {
+			case AllocRandom:
+				return schedule.RandomAllocate(rel.Graph, opts.Instances, opts.Seed)
+			case AllocRoundRobin:
+				return schedule.RoundRobinAllocate(rel.Graph, opts.Instances)
+			default:
+				return schedule.Allocate(rel.Graph, opts.Instances)
+			}
+		})
 		res.Groups = alloc
 		for i := range configs {
 			if i < len(alloc) {
@@ -327,6 +354,7 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	fabric := netsim.NewFabric()
 	insts := make([]*instance, 0, opts.Instances)
 	for i := 0; i < opts.Instances; i++ {
+		bootSpan := opts.Trace.Child("instance.boot", trace.A("instance", i))
 		ns := fabric.Namespace(fmt.Sprintf("inst%d", i))
 		configs[i] = repairConfig(sub, configs[i], defaults)
 		target, startCov, err := bootTarget(sub, ns, configs[i], res.Bugs, i)
@@ -335,12 +363,18 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			configs[i] = defaults.Clone()
 			target, startCov, err = bootTarget(sub, ns, configs[i], res.Bugs, i)
 			if err != nil {
+				bootSpan.End()
 				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
 			}
 		}
+		bootSpan.Set("edges", startCov.Count())
+		bootSpan.End()
 		tel.Emit(telemetry.Event{Type: telemetry.EvBoot, Instance: i,
 			Config: configs[i].String(), Edges: startCov.Count()})
 		tel.Count(telemetry.CtrBoots, 1)
+		if prog.Enabled() {
+			prog.SetInstanceConfig(opts.Label, i, configs[i].String())
+		}
 		engineSeed := opts.Seed*7919 + int64(i)
 		if opts.Mode == ModePeach && opts.PeachSharedSchedules {
 			engineSeed = opts.Seed*7919 + int64(i/2)
@@ -380,6 +414,14 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	// stays exact (observed at the horizon below).
 	minSampleGap := opts.SampleEvery / 10
 
+	// One long-lived wall-clock span per instance: siblings under the
+	// run's parent span, so each instance renders as its own lane in the
+	// trace viewer, carrying sync and config.mutate children.
+	instSpans := make([]*trace.Span, len(insts))
+	for _, in := range insts {
+		instSpans[in.index] = opts.Trace.Child("instance", trace.A("index", in.index))
+	}
+
 	h := make(instanceHeap, len(insts))
 	copy(h, insts)
 	heap.Init(&h)
@@ -411,10 +453,17 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			tel.Emit(telemetry.Event{T: watermark, Type: telemetry.EvSample, Instance: in.index,
 				Edges: global.Count()})
 			tel.Count(telemetry.CtrSamples, 1)
+			prog.SetUnion(opts.Label, watermark, global.Count())
+		}
+		if prog.Enabled() {
+			st := in.engine.Stats()
+			prog.StepInstance(opts.Label, in.index, in.clock,
+				in.engine.Coverage(), st.Execs, in.crashes, in.muts, st.CorpusSize)
 		}
 
 		// Seed synchronization.
 		if in.clock >= in.nextSync {
+			sync := instSpans[in.index].Child("sync")
 			imported := 0
 			for _, other := range insts {
 				if other != in {
@@ -438,6 +487,8 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 			if skipped > 0 {
 				tel.Count(telemetry.CtrSyncSkipped, skipped)
 			}
+			sync.Set("seeds", imported)
+			sync.End()
 		}
 
 		// CMFuzz adaptive configuration mutation on saturation.
@@ -447,9 +498,14 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 				tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvSaturation, Instance: in.index,
 					Edges: in.engine.Coverage()})
 				tel.Count(telemetry.CtrSaturations, 1)
+				mut := instSpans[in.index].Child("config.mutate")
 				if mutateConfig(sub, model, in, res.Bugs, tel) {
 					in.engine.Absorb(in.target.startup)
+					if prog.Enabled() {
+						prog.SetInstanceConfig(opts.Label, in.index, in.cfg.String())
+					}
 				}
+				mut.End()
 				in.sat.Reset(in.clock)
 			}
 		}
@@ -459,9 +515,13 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	// Finalize.
 	res.Series.Observe(horizon, global.Count())
 	res.FinalBranches = global.Count()
+	prog.SetUnion(opts.Label, horizon, global.Count())
 	for _, in := range insts {
 		st := in.engine.Stats()
 		res.TotalExecs += st.Execs
+		instSpans[in.index].Set("edges", in.engine.Coverage())
+		instSpans[in.index].Set("execs", st.Execs)
+		instSpans[in.index].End()
 		res.Instances = append(res.Instances, InstanceResult{
 			Index:           in.index,
 			Config:          in.cfg.String(),

@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(5)
+	g := r.Gauge("x", "help")
+	g.Set(3)
+	g.Add(-1)
+	h := r.Histogram("x_seconds", "help", nil)
+	h.Observe(0.1)
+	r.CounterFunc("y_total", "", func() float64 { return 1 })
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	r.Collect(func(set func(string, string, float64, ...Label)) { set("z", "", 1) })
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cmfuzz_execs_total", "Total protocol executions.")
+	c.Add(42)
+	r.Counter("cmfuzz_execs_total", "Total protocol executions.", L("instance", "0")).Add(7)
+	g := r.Gauge("cmfuzz_instances_running", "Parallel instances currently fuzzing.")
+	g.Set(4)
+	h := r.Histogram("cmfuzz_probe_seconds", "Startup probe latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.GaugeFunc("cmfuzz_cache_hit_ratio", "Probe cache hit ratio.", func() float64 { return 0.75 })
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP cmfuzz_execs_total Total protocol executions.",
+		"# TYPE cmfuzz_execs_total counter",
+		"cmfuzz_execs_total 42",
+		`cmfuzz_execs_total{instance="0"} 7`,
+		"# TYPE cmfuzz_instances_running gauge",
+		"cmfuzz_instances_running 4",
+		"# TYPE cmfuzz_probe_seconds histogram",
+		`cmfuzz_probe_seconds_bucket{le="0.01"} 1`,
+		`cmfuzz_probe_seconds_bucket{le="0.1"} 2`,
+		`cmfuzz_probe_seconds_bucket{le="1"} 2`,
+		`cmfuzz_probe_seconds_bucket{le="+Inf"} 3`,
+		"cmfuzz_probe_seconds_sum 5.055",
+		"cmfuzz_probe_seconds_count 3",
+		"cmfuzz_cache_hit_ratio 0.75",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+}
+
+func TestCollectorSamples(t *testing.T) {
+	r := NewRegistry()
+	edges := map[string]int{"0": 120, "1": 95}
+	r.Collect(func(set func(string, string, float64, ...Label)) {
+		for inst, e := range edges {
+			set("cmfuzz_instance_edges", "Edges per instance.", float64(e), L("instance", inst))
+		}
+	})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE cmfuzz_instance_edges gauge",
+		`cmfuzz_instance_edges{instance="0"} 120`,
+		`cmfuzz_instance_edges{instance="1"} 95`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("collector exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "quoted \\ and\nnewline", L("cfg", `a="b"\c`)).Set(1)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP g quoted \\ and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `g{cfg="a=\"b\"\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if _, err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("lint rejects escaped output: %v\n%s", err, out)
+	}
+}
+
+func TestSameSeriesSharedAndTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "")
+	b := r.Counter("shared_total", "")
+	a.Inc()
+	b.Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shared_total 2\n") {
+		t.Fatalf("re-registered counter did not share state:\n%s", buf.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering shared_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("shared_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("0bad-name", "")
+}
+
+func TestLintRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no samples":       "# TYPE a counter\n",
+		"bad value":        "a xyz\n",
+		"bad name":         "9a 1\n",
+		"unclosed labels":  `a{b="c 1` + "\n",
+		"type after use":   "a 1\n# TYPE a counter\na 2\n",
+		"unknown type":     "# TYPE a widget\na 1\n",
+		"unquoted label":   "a{b=c} 1\n",
+		"missing value":    "a{b=\"c\"}\n",
+		"duplicate TYPE":   "# TYPE a counter\n# TYPE a counter\na 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Lint(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+}
+
+func TestLintAcceptsRealWorldShape(t *testing.T) {
+	in := `# HELP up Scrape success.
+# TYPE up gauge
+up 1
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{le="0.1"} 3
+rpc_seconds_bucket{le="+Inf"} 4
+rpc_seconds_sum 0.8
+rpc_seconds_count 4
+plain_untyped_metric 3.14 1712345678
+`
+	stats, err := Lint(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Families != 2 || stats.Samples != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines the
+// way -j campaign workers and scrapes actually interleave; run with
+// -race this is the metrics half of the telemetry stress satellite.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("stress_total", "")
+			ga := r.Gauge("stress", "", L("worker", string(rune('a'+g))))
+			h := r.Histogram("stress_seconds", "", nil)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				ga.Set(float64(i))
+				h.Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WriteText(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stress_total 4000\n") {
+		t.Fatalf("lost counter increments:\n%s", buf.String())
+	}
+	if _, err := Lint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}

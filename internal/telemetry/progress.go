@@ -1,0 +1,212 @@
+package telemetry
+
+import "sync"
+
+// Progress is the live side of the observability layer: a
+// concurrency-safe mutable snapshot of every campaign currently running
+// in the process, updated by the parallel runner on each engine step
+// and read by the campaign monitor's /status endpoint and metrics
+// collectors. Unlike the Recorder (append-only virtual-clock history),
+// Progress holds only the current state, so polling it is O(instances)
+// no matter how long the campaign has run.
+//
+// It follows the package's nil-safety contract: the nil *Progress is
+// the default no-op sink, every method on it returns immediately, and
+// campaign decisions never read from it — live state observation cannot
+// perturb a deterministic run.
+type Progress struct {
+	mu    sync.Mutex
+	runs  map[string]*RunStatus
+	order []string
+}
+
+// RunStatus is the live state of one campaign run (one fuzzer ×
+// repetition, or the single run of `cmfuzz fuzz`).
+type RunStatus struct {
+	// Run is the campaign label ("" for a single unlabeled run,
+	// "CMFuzz/rep0"-style inside a repetition matrix).
+	Run string `json:"run"`
+	// Mode is the fuzzer name (CMFuzz, Peach, SPFuzz).
+	Mode string `json:"mode"`
+	// Subject is the implementation under fuzz.
+	Subject string `json:"subject"`
+	// VirtualSeconds is the campaign's current virtual time; Horizon is
+	// where it will stop.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	// Edges is the union branch coverage across instances.
+	Edges int `json:"edges"`
+	// Execs sums protocol executions across instances.
+	Execs int `json:"execs"`
+	// Crashes counts crash observations (pre-dedup).
+	Crashes int `json:"crashes"`
+	// Done flips when the campaign finishes.
+	Done bool `json:"done"`
+	// Instances holds per-instance live state, indexed by instance.
+	Instances []InstanceStatus `json:"instances"`
+}
+
+// InstanceStatus is the live state of one parallel fuzzing instance.
+type InstanceStatus struct {
+	Index int `json:"index"`
+	// VirtualSeconds is the instance's own clock.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// Edges is the instance's branch coverage.
+	Edges int `json:"edges"`
+	// Execs counts the instance's protocol executions.
+	Execs int `json:"execs"`
+	// Crashes counts the instance's crash observations.
+	Crashes int `json:"crashes"`
+	// Mutations counts applied configuration mutations.
+	Mutations int `json:"mutations"`
+	// CorpusSeeds is the seed-queue depth.
+	CorpusSeeds int `json:"corpus_seeds"`
+	// Config is the canonical rendering of the running configuration.
+	Config string `json:"config,omitempty"`
+}
+
+// NewProgress returns an empty enabled progress board.
+func NewProgress() *Progress {
+	return &Progress{runs: make(map[string]*RunStatus)}
+}
+
+// Enabled reports whether updates are actually retained.
+func (p *Progress) Enabled() bool { return p != nil }
+
+// run returns (creating if needed) the named run. p.mu must be held.
+func (p *Progress) run(name string) *RunStatus {
+	r, ok := p.runs[name]
+	if !ok {
+		r = &RunStatus{Run: name}
+		p.runs[name] = r
+		p.order = append(p.order, name)
+	}
+	return r
+}
+
+// StartRun registers a campaign: its fuzzer, subject, horizon and
+// instance count (instances start zeroed). Restarting a known run label
+// resets it, so repeated seeds under one label stay coherent.
+func (p *Progress) StartRun(name, mode, subject string, horizon float64, instances int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	r := p.run(name)
+	r.Mode = mode
+	r.Subject = subject
+	r.HorizonSeconds = horizon
+	r.VirtualSeconds = 0
+	r.Edges, r.Execs, r.Crashes = 0, 0, 0
+	r.Done = false
+	r.Instances = make([]InstanceStatus, instances)
+	for i := range r.Instances {
+		r.Instances[i].Index = i
+	}
+	p.mu.Unlock()
+}
+
+// StepInstance publishes one instance's per-step state: its clock,
+// coverage, execution and crash counts, and seed-queue depth. Unknown
+// runs or out-of-range indexes are ignored (a monitor must never panic
+// a campaign).
+func (p *Progress) StepInstance(run string, index int, clock float64, edges, execs, crashes, mutations, corpus int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if r, ok := p.runs[run]; ok && index >= 0 && index < len(r.Instances) {
+		in := &r.Instances[index]
+		in.VirtualSeconds = clock
+		in.Edges = edges
+		in.Execs = execs
+		in.Crashes = crashes
+		in.Mutations = mutations
+		in.CorpusSeeds = corpus
+		if clock > r.VirtualSeconds {
+			r.VirtualSeconds = clock
+		}
+		execsSum, crashSum := 0, 0
+		for i := range r.Instances {
+			execsSum += r.Instances[i].Execs
+			crashSum += r.Instances[i].Crashes
+		}
+		r.Execs = execsSum
+		r.Crashes = crashSum
+	}
+	p.mu.Unlock()
+}
+
+// SetInstanceConfig publishes an instance's running configuration
+// (boot, mutation, revert, fallback).
+func (p *Progress) SetInstanceConfig(run string, index int, config string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if r, ok := p.runs[run]; ok && index >= 0 && index < len(r.Instances) {
+		r.Instances[index].Config = config
+	}
+	p.mu.Unlock()
+}
+
+// SetUnion publishes the campaign's union coverage at virtual time t.
+func (p *Progress) SetUnion(run string, t float64, edges int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if r, ok := p.runs[run]; ok {
+		if t > r.VirtualSeconds {
+			r.VirtualSeconds = t
+		}
+		r.Edges = edges
+	}
+	p.mu.Unlock()
+}
+
+// EndRun marks a campaign finished.
+func (p *Progress) EndRun(run string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if r, ok := p.runs[run]; ok {
+		r.Done = true
+		r.VirtualSeconds = r.HorizonSeconds
+	}
+	p.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of every run in registration order,
+// ready for JSON encoding. Nil receivers return nil.
+func (p *Progress) Snapshot() []RunStatus {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RunStatus, 0, len(p.order))
+	for _, name := range p.order {
+		r := *p.runs[name]
+		r.Instances = append([]InstanceStatus(nil), p.runs[name].Instances...)
+		out = append(out, r)
+	}
+	return out
+}
+
+// Running counts runs that have started and not finished.
+func (p *Progress) Running() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.runs {
+		if !r.Done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTimelineEdgeCases pins the renderer's behavior on degenerate
+// streams: it must never panic and never invent phantom instance rows.
+func TestTimelineEdgeCases(t *testing.T) {
+	t.Run("nil recorder", func(t *testing.T) {
+		var r *Recorder
+		if out := r.Timeline(40); out != "" {
+			t.Fatalf("nil recorder rendered %q", out)
+		}
+	})
+
+	t.Run("zero events", func(t *testing.T) {
+		out := New().Timeline(40)
+		if !strings.Contains(out, "0 events") {
+			t.Fatalf("empty timeline header wrong:\n%s", out)
+		}
+		if strings.Contains(out, "inst ") {
+			t.Fatalf("empty recorder rendered instance rows:\n%s", out)
+		}
+	})
+
+	t.Run("only campaign-level events", func(t *testing.T) {
+		r := New()
+		r.Emit(Event{T: 100, Type: EvCampaign, Instance: -1, Detail: "marker"})
+		r.Emit(Event{T: 200, Type: EvProbeStats, Instance: -1, Requests: 5})
+		out := r.Timeline(40)
+		if strings.Contains(out, "inst ") {
+			t.Fatalf("Instance==-1 events produced instance rows:\n%s", out)
+		}
+		if !strings.Contains(out, "2 events") {
+			t.Fatalf("campaign-level events not counted in header:\n%s", out)
+		}
+	})
+
+	t.Run("all events at t zero", func(t *testing.T) {
+		// Horizon 0 must not divide by zero when placing glyph columns.
+		r := New()
+		r.Emit(Event{T: 0, Type: EvBoot, Instance: 0})
+		r.Emit(Event{T: 0, Type: EvCrash, Instance: 0, Crash: "c"})
+		out := r.Timeline(40)
+		if !strings.Contains(out, "inst 0") || !strings.Contains(out, "1 crashes") {
+			t.Fatalf("zero-horizon timeline wrong:\n%s", out)
+		}
+	})
+
+	t.Run("sparse instance indexes", func(t *testing.T) {
+		// Instances 0 and 5 have events, 1..4 have none: exactly two rows.
+		r := New()
+		r.Emit(Event{T: 10, Type: EvBoot, Instance: 0})
+		r.Emit(Event{T: 20, Type: EvBoot, Instance: 5})
+		out := r.Timeline(40)
+		if !strings.Contains(out, "inst 0") || !strings.Contains(out, "inst 5") {
+			t.Fatalf("missing real instance rows:\n%s", out)
+		}
+		for _, phantom := range []string{"inst 1", "inst 2", "inst 3", "inst 4"} {
+			if strings.Contains(out, phantom+" ") {
+				t.Fatalf("phantom row %q rendered:\n%s", phantom, out)
+			}
+		}
+		if got := strings.Count(out, "inst "); got != 2 {
+			t.Fatalf("instance rows = %d, want 2:\n%s", got, out)
+		}
+	})
+
+	t.Run("tiny width clamped", func(t *testing.T) {
+		r := New()
+		r.Emit(Event{T: 50, Type: EvBoot, Instance: 0})
+		if out := r.Timeline(1); !strings.Contains(out, "inst 0") {
+			t.Fatalf("width clamp failed:\n%s", out)
+		}
+	})
+}
+
+// TestRecorderConcurrencyStress is the recorder half of the -race stress
+// satellite (the metrics registry and progress board halves live in
+// their own packages): many goroutines emit events and bump counters on
+// ONE recorder while others concurrently read Events, Counters and the
+// rendered timeline.
+func TestRecorderConcurrencyStress(t *testing.T) {
+	r := New()
+	const writers, perWriter = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Emit(Event{T: float64(i), Type: EvSync, Instance: w, Seeds: i})
+				r.Count(CtrSyncs, 1)
+				if i%100 == 0 {
+					_ = r.Events()
+					_ = r.Counters()
+					_ = r.Timeline(40)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counters()[CtrSyncs]; got != writers*perWriter {
+		t.Fatalf("lost counter increments: %d != %d", got, writers*perWriter)
+	}
+	if got := len(r.Events()); got != writers*perWriter {
+		t.Fatalf("lost events: %d != %d", got, writers*perWriter)
+	}
+}

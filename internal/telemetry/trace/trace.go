@@ -1,0 +1,399 @@
+// Package trace is the wall-clock half of the observability layer: a
+// zero-dependency hierarchical span tracer for finding where real time
+// goes inside a campaign — the probe matrix, group allocation, instance
+// boots, the fuzzing loop — while the sibling event log (package
+// telemetry) stays on the deterministic virtual clock.
+//
+// The design mirrors the telemetry recorder's nil-safety contract: a nil
+// *Tracer is the default no-op sink, a nil *Span absorbs every method
+// (including Child, which returns nil), so components thread spans
+// through unconditionally and pay one nil check when tracing is off.
+// Wall-clock timings never feed back into campaign decisions, so traced
+// and untraced runs produce byte-identical deterministic artifacts.
+//
+// Spans form a tree: Tracer.Start opens a root, Span.Child opens a
+// nested span, Span.End closes one. Concurrent children are legal —
+// a child opened while a sibling is still running is placed on its own
+// track so exports stay readable. Exports are the Chrome trace_event
+// JSON format ("X" complete events, loadable in chrome://tracing or
+// https://ui.perfetto.dev) and a self-time-sorted ASCII profile table
+// for terminal triage.
+//
+// The clock is injectable (NewWithClock) so tests assert on exact
+// durations; the default is Go's monotonic clock via time.Since.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A Clock reports the elapsed monotonic time since the tracer was
+// created. Injectable for tests; the default wraps time.Since.
+type Clock func() time.Duration
+
+// An Attr is one key/value annotation on a span. Values are rendered
+// with %v into the export, so ints, strings and floats all work.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A records one attribute (shorthand used at call sites).
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// record is one completed span.
+type record struct {
+	id     int
+	parent int // -1 for roots
+	track  int
+	name   string
+	start  time.Duration
+	end    time.Duration
+	attrs  []Attr
+}
+
+// A Tracer collects spans. The nil *Tracer is the no-op sink. A non-nil
+// Tracer is safe for concurrent use: campaign repetitions and probe
+// workers open and close spans from many goroutines at once.
+type Tracer struct {
+	mu        sync.Mutex
+	clock     Clock
+	done      []record
+	nextID    int
+	nextTrack int
+	top       map[int]*Span // track -> innermost open span (nil = free)
+	open      int
+}
+
+// New returns a tracer on the real monotonic clock.
+func New() *Tracer {
+	start := time.Now()
+	return NewWithClock(func() time.Duration { return time.Since(start) })
+}
+
+// NewWithClock returns a tracer reading time from clock, which must be
+// monotonically nondecreasing. Tests inject a hand-stepped clock to pin
+// exact durations.
+func NewWithClock(clock Clock) *Tracer {
+	return &Tracer{clock: clock, top: make(map[int]*Span)}
+}
+
+// Enabled reports whether spans are actually collected.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// A Span is one open (or ended) region of wall-clock time. The nil
+// *Span absorbs every method; Child on a nil span returns nil, so an
+// untraced call tree costs one nil check per site.
+type Span struct {
+	t      *Tracer
+	id     int
+	parent int
+	track  int
+	name   string
+	start  time.Duration
+
+	mu         sync.Mutex
+	attrs      []Attr
+	ended      bool
+	parentSpan *Span
+	prevTop    *Span // span below this one on its track's stack
+}
+
+// Start opens a root span on its own track.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.startLocked(name, -1, nil, attrs)
+}
+
+// startLocked opens a span and pushes it onto its track's stack;
+// t.mu must be held. A nil parent allocates a free track; a non-nil
+// parent reuses the parent's track when the parent is that track's
+// innermost open span (so the child nests by containment), and a free
+// lane otherwise (a concurrent sibling is holding the parent's track).
+func (t *Tracer) startLocked(name string, parentID int, parent *Span, attrs []Attr) *Span {
+	track := -1
+	if parent != nil && t.top[parent.track] == parent {
+		track = parent.track
+	} else {
+		for cand := 0; cand < t.nextTrack; cand++ {
+			if t.top[cand] == nil {
+				track = cand
+				break
+			}
+		}
+		if track < 0 {
+			track = t.nextTrack
+			t.nextTrack++
+		}
+	}
+	s := &Span{
+		t:          t,
+		id:         t.nextID,
+		parent:     parentID,
+		track:      track,
+		name:       name,
+		start:      t.clock(),
+		attrs:      append([]Attr(nil), attrs...),
+		parentSpan: parent,
+		prevTop:    t.top[track],
+	}
+	t.nextID++
+	t.top[track] = s
+	t.open++
+	return s
+}
+
+// Child opens a span nested under s. A child opened while a sibling is
+// still running goes to its own track (concurrent lanes render side by
+// side in the trace viewer); sequential children share the parent's
+// track and nest by containment.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.startLocked(name, s.id, s, attrs)
+}
+
+// Set appends one attribute to the span. Safe to call from the goroutine
+// that owns the span at any time before End.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span and files it with the tracer. Ending a span twice
+// is a no-op; ending nil is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	end := t.clock()
+	t.mu.Lock()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	t.done = append(t.done, record{
+		id: s.id, parent: s.parent, track: s.track,
+		name: s.name, start: s.start, end: end, attrs: attrs,
+	})
+	// Pop the track stack, skipping any spans below that already ended
+	// out of order (a parent ended before its child): the track becomes
+	// free again once its last open span ends, never leaking a lane.
+	if t.top[s.track] == s {
+		p := s.prevTop
+		for p != nil {
+			p.mu.Lock()
+			endedBelow := p.ended
+			p.mu.Unlock()
+			if !endedBelow {
+				break
+			}
+			p = p.prevTop
+		}
+		t.top[s.track] = p
+	}
+	t.open--
+	t.mu.Unlock()
+}
+
+// snapshot returns the completed spans in end order plus the count of
+// still-open spans.
+func (t *Tracer) snapshot() ([]record, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]record(nil), t.done...), t.open
+}
+
+// SpanCount returns how many spans have completed.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done)
+}
+
+// chromeEvent is one trace_event entry (the "X" complete-event form).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the containing object; both chrome://tracing and
+// Perfetto load {"traceEvents": [...]}.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Meta        string        `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace streams the completed spans as Chrome trace_event
+// JSON. Load the output in chrome://tracing or https://ui.perfetto.dev.
+// Spans are sorted by start time so the export is stable for a fixed
+// clock; still-open spans are not included.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	recs, _ := t.snapshot()
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].start != recs[j].start {
+			return recs[i].start < recs[j].start
+		}
+		return recs[i].id < recs[j].id
+	})
+	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(recs)), Meta: "cmfuzz wall-clock trace"}
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: r.name,
+			Ph:   "X",
+			Ts:   float64(r.start) / float64(time.Microsecond),
+			Dur:  float64(r.end-r.start) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  r.track,
+		}
+		if len(r.attrs) > 0 {
+			ev.Args = make(map[string]any, len(r.attrs))
+			for _, a := range r.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// ExportChromeTrace writes the Chrome trace JSON to path (0644,
+// truncating). Nil tracers write nothing.
+func (t *Tracer) ExportChromeTrace(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// profileRow aggregates all spans sharing one name.
+type profileRow struct {
+	name  string
+	calls int
+	total time.Duration
+	self  time.Duration
+}
+
+// Profile renders the completed spans as a self-time-sorted ASCII
+// table: one row per span name with call count, cumulative total and
+// self time (total minus time attributed to child spans). Self time is
+// what the region itself burned — the column to read when hunting for
+// the hot layer. maxRows <= 0 means all rows.
+func (t *Tracer) Profile(maxRows int) string {
+	if t == nil {
+		return ""
+	}
+	recs, open := t.snapshot()
+	byID := make(map[int]int, len(recs)) // span id -> index
+	for i, r := range recs {
+		byID[r.id] = i
+	}
+	childTime := make([]time.Duration, len(recs))
+	for _, r := range recs {
+		if r.parent >= 0 {
+			if pi, ok := byID[r.parent]; ok {
+				childTime[pi] += r.end - r.start
+			}
+		}
+	}
+	agg := make(map[string]*profileRow)
+	var order []string
+	wall := time.Duration(0)
+	for i, r := range recs {
+		dur := r.end - r.start
+		if r.end > wall {
+			wall = r.end
+		}
+		row, ok := agg[r.name]
+		if !ok {
+			row = &profileRow{name: r.name}
+			agg[r.name] = row
+			order = append(order, r.name)
+		}
+		row.calls++
+		row.total += dur
+		self := dur - childTime[i]
+		if self < 0 {
+			self = 0 // overlapping concurrent children can exceed the parent
+		}
+		row.self += self
+	}
+	rows := make([]*profileRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, agg[name])
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].self != rows[j].self {
+			return rows[i].self > rows[j].self
+		}
+		return rows[i].name < rows[j].name
+	})
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall-clock profile: %d spans in %v", len(recs), wall.Round(time.Microsecond))
+	if open > 0 {
+		fmt.Fprintf(&b, " (%d still open)", open)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  %12s %12s %7s %12s  %s\n", "self", "total", "calls", "avg", "span")
+	for _, r := range rows {
+		avg := time.Duration(0)
+		if r.calls > 0 {
+			avg = r.total / time.Duration(r.calls)
+		}
+		fmt.Fprintf(&b, "  %12v %12v %7d %12v  %s\n",
+			r.self.Round(time.Microsecond), r.total.Round(time.Microsecond),
+			r.calls, avg.Round(time.Microsecond), r.name)
+	}
+	return b.String()
+}

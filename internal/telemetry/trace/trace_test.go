@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock is a hand-advanced monotonic clock.
+type stepClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *stepClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *stepClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestNilTracerAndSpanAreNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a non-nil span")
+	}
+	child := sp.Child("child", A("k", 1))
+	if child != nil {
+		t.Fatal("nil span returned a non-nil child")
+	}
+	sp.Set("k", "v")
+	sp.End()
+	child.End()
+	if got := tr.Profile(10); got != "" {
+		t.Fatalf("nil tracer profile = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil tracer export wrote %q, err %v", buf.String(), err)
+	}
+	if tr.SpanCount() != 0 {
+		t.Fatal("nil tracer has spans")
+	}
+}
+
+func TestSpanNestingAndDurations(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	root := tr.Start("campaign", A("subject", "mqtt"))
+	clk.Advance(10 * time.Millisecond)
+	plan := root.Child("probe.plan")
+	clk.Advance(5 * time.Millisecond)
+	plan.End()
+	exec := root.Child("probe.execute")
+	clk.Advance(20 * time.Millisecond)
+	exec.Set("probes", 42)
+	exec.End()
+	clk.Advance(1 * time.Millisecond)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(file.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(file.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	rootEv := file.TraceEvents[byName["campaign"]]
+	planEv := file.TraceEvents[byName["probe.plan"]]
+	execEv := file.TraceEvents[byName["probe.execute"]]
+	if rootEv.Dur != 36000 { // 36ms in microseconds
+		t.Fatalf("root dur = %v us, want 36000", rootEv.Dur)
+	}
+	if planEv.Ts != 10000 || planEv.Dur != 5000 {
+		t.Fatalf("plan ts/dur = %v/%v, want 10000/5000", planEv.Ts, planEv.Dur)
+	}
+	if execEv.Dur != 20000 {
+		t.Fatalf("exec dur = %v, want 20000", execEv.Dur)
+	}
+	// Sequential children share the root's track: containment nests them.
+	if planEv.Tid != rootEv.Tid || execEv.Tid != rootEv.Tid {
+		t.Fatalf("sequential children left the parent track: root %d plan %d exec %d",
+			rootEv.Tid, planEv.Tid, execEv.Tid)
+	}
+	// Containment: children inside the parent window.
+	if planEv.Ts < rootEv.Ts || planEv.Ts+planEv.Dur > rootEv.Ts+rootEv.Dur {
+		t.Fatal("plan span escapes its parent window")
+	}
+	if rootEv.Args["subject"] != "mqtt" {
+		t.Fatalf("root args = %v", rootEv.Args)
+	}
+	if execEv.Args["probes"] != float64(42) {
+		t.Fatalf("exec args = %v", execEv.Args)
+	}
+}
+
+func TestConcurrentChildrenGetDistinctTracks(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	root := tr.Start("batch")
+	a := root.Child("worker")
+	clk.Advance(time.Millisecond)
+	b := root.Child("worker") // a still open: must not share a's track
+	clk.Advance(time.Millisecond)
+	a.End()
+	c := root.Child("worker") // a's lane is free again: reuse it
+	clk.Advance(time.Millisecond)
+	b.End()
+	c.End()
+	root.End()
+
+	recs, open := tr.snapshot()
+	if open != 0 {
+		t.Fatalf("%d spans still open", open)
+	}
+	tracks := map[string][]int{}
+	for _, r := range recs {
+		tracks[r.name] = append(tracks[r.name], r.track)
+	}
+	workers := tracks["worker"]
+	if len(workers) != 3 {
+		t.Fatalf("got %d worker spans", len(workers))
+	}
+	// a ends first, then b, then c (End order): a and b overlap so their
+	// tracks differ; c reuses a freed lane rather than growing a third.
+	aTrack, bTrack, cTrack := workers[0], workers[1], workers[2]
+	if aTrack == bTrack {
+		t.Fatal("overlapping siblings share a track")
+	}
+	if cTrack != aTrack {
+		t.Fatalf("freed lane not reused: a=%d b=%d c=%d", aTrack, bTrack, cTrack)
+	}
+}
+
+func TestProfileSelfTimeSorted(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	root := tr.Start("run")
+	clk.Advance(2 * time.Millisecond) // 2ms self before children
+	hot := root.Child("hot")
+	clk.Advance(30 * time.Millisecond)
+	hot.End()
+	cool := root.Child("cool")
+	clk.Advance(4 * time.Millisecond)
+	cool.End()
+	root.End()
+
+	out := tr.Profile(0)
+	hotIdx := strings.Index(out, "hot")
+	coolIdx := strings.Index(out, "cool")
+	runIdx := strings.Index(out, "run")
+	if hotIdx < 0 || coolIdx < 0 || runIdx < 0 {
+		t.Fatalf("profile missing rows:\n%s", out)
+	}
+	if !(hotIdx < coolIdx && coolIdx < runIdx) {
+		t.Fatalf("profile not self-time sorted (want hot, cool, run):\n%s", out)
+	}
+	// Root self time: 36ms total - 34ms in children = 2ms.
+	if !strings.Contains(out, "2ms") {
+		t.Fatalf("root self time missing:\n%s", out)
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	sp := tr.Start("once")
+	clk.Advance(time.Millisecond)
+	sp.End()
+	clk.Advance(time.Hour)
+	sp.End()
+	recs, open := tr.snapshot()
+	if len(recs) != 1 || open != 0 {
+		t.Fatalf("double End filed %d records, %d open", len(recs), open)
+	}
+	if recs[0].end-recs[0].start != time.Millisecond {
+		t.Fatalf("second End changed the duration: %v", recs[0].end-recs[0].start)
+	}
+}
+
+func TestTracerConcurrencySmoke(t *testing.T) {
+	tr := New()
+	root := tr.Start("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := root.Child("work")
+				sp.Set("i", i)
+				grand := sp.Child("inner")
+				grand.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.SpanCount(); got != 8*200*2+1 {
+		t.Fatalf("span count = %d, want %d", got, 8*200*2+1)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("concurrent trace export is invalid JSON")
+	}
+}
