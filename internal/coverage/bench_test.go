@@ -1,0 +1,93 @@
+package coverage
+
+import "testing"
+
+// benchSites is the per-exec edge workload: roughly what one protocol
+// message sequence touches (a few dozen distinct (site, state) pairs).
+const benchSites = 48
+
+// BenchmarkTraceResetUnion measures the per-exec coverage bookkeeping the
+// engine hot loop pays around each execution: fold a typical exec's edges
+// into a scratch map, merge the scratch into the cumulative instance map,
+// and reset the scratch for the next exec. Edge recording itself (the
+// subject-side instrumentation calls) is excluded — it is the workload,
+// not the bookkeeping; BenchmarkTraceExec measures the combined path.
+func BenchmarkTraceResetUnion(b *testing.B) {
+	// Pre-built per-exec footprints: what a trace map holds after one run.
+	execMaps := make([]*Map, 7)
+	for v := range execMaps {
+		execMaps[v] = NewMap()
+		for s := 0; s < benchSites; s++ {
+			execMaps[v].Add(EdgeIndex(uint32(s), uint64(v)))
+		}
+	}
+	scratch := NewMap()
+	global := NewMap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.Union(execMaps[i%len(execMaps)])
+		global.Union(scratch)
+		scratch.Reset()
+	}
+}
+
+// BenchmarkTraceResetUnionDense runs the identical workload through the
+// pre-optimization full-scan reference implementation (denseMap in
+// sparse_diff_test.go), so the sparse speedup is measurable inside one
+// binary: compare against BenchmarkTraceResetUnion.
+func BenchmarkTraceResetUnionDense(b *testing.B) {
+	execMaps := make([]*denseMap, 7)
+	for v := range execMaps {
+		execMaps[v] = &denseMap{}
+		for s := 0; s < benchSites; s++ {
+			execMaps[v].Add(EdgeIndex(uint32(s), uint64(v)))
+		}
+	}
+	scratch := &denseMap{}
+	global := &denseMap{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.Union(execMaps[i%len(execMaps)])
+		global.Union(scratch)
+		scratch.Reset()
+	}
+}
+
+// BenchmarkTraceExec is the end-to-end per-exec coverage path exactly as
+// Engine.Step drives it: record the exec's edges through the Trace probe
+// interface, union into the cumulative map, reset the trace.
+func BenchmarkTraceExec(b *testing.B) {
+	tr := NewTrace()
+	global := NewMap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < benchSites; s++ {
+			tr.Edge(uint32(s), uint64(i%7))
+		}
+		global.Union(tr.Map())
+		tr.Reset()
+	}
+}
+
+// BenchmarkMapNewOver measures the saturation/scheduling-side query cost
+// on a sparse per-exec map against a dense-ish cumulative base.
+func BenchmarkMapNewOver(b *testing.B) {
+	base := NewMap()
+	for s := 0; s < 4096; s++ {
+		base.Add(EdgeIndex(uint32(s), 0))
+	}
+	m := NewMap()
+	for s := 0; s < benchSites; s++ {
+		m.Add(EdgeIndex(uint32(s), 1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.NewOver(base) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

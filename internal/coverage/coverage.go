@@ -16,6 +16,10 @@ const MapSize = 1 << 16
 // wordCount is the number of 64-bit words backing a Map's bitset.
 const wordCount = MapSize / 64
 
+// summaryCount is the number of words in the dirty-word summary bitset:
+// bit w of the summary is set iff bits[w] is nonzero.
+const summaryCount = wordCount / 64
+
 // Index identifies a single edge cell in a Map.
 type Index uint32
 
@@ -37,9 +41,20 @@ func EdgeIndex(site uint32, state uint64) Index {
 
 // A Map is a set of covered edges. The zero value is not usable; create
 // Maps with NewMap. Maps are not safe for concurrent mutation.
+//
+// The map is sparse-aware: alongside the dense bitset it maintains a
+// two-level summary (one bit per backing word, set iff that word is
+// nonzero), so per-exec operations — Reset, Union, NewOver, Indices —
+// walk only the handful of words an execution actually dirtied instead
+// of all MapSize/64 of them. A typical protocol exec touches tens of
+// words; the summary keeps the whole hot loop O(dirty words).
 type Map struct {
-	bits  [wordCount]uint64
-	count int
+	bits [wordCount]uint64
+	// summary bit w is set iff bits[w] != 0 — the dirty-word index that
+	// every sparse iteration below drives off. Invariant maintained by
+	// Add, Union and Reset; Clone copies it wholesale.
+	summary [summaryCount]uint64
+	count   int
 }
 
 // NewMap returns an empty coverage map.
@@ -54,6 +69,7 @@ func (m *Map) Add(idx Index) bool {
 		return false
 	}
 	m.bits[w] |= mask
+	m.summary[w/64] |= 1 << (w % 64)
 	m.count++
 	return true
 }
@@ -68,17 +84,22 @@ func (m *Map) Has(idx Index) bool {
 func (m *Map) Count() int { return m.count }
 
 // Union merges o into m and returns how many edges were new to m.
-// A nil o is treated as empty.
+// A nil o is treated as empty. Only o's dirty words are visited.
 func (m *Map) Union(o *Map) int {
 	if o == nil {
 		return 0
 	}
 	added := 0
-	for i, w := range o.bits {
-		nw := w &^ m.bits[i]
-		if nw != 0 {
-			added += bits.OnesCount64(nw)
-			m.bits[i] |= nw
+	for s, sw := range o.summary {
+		for sw != 0 {
+			i := s*64 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			nw := o.bits[i] &^ m.bits[i]
+			if nw != 0 {
+				added += bits.OnesCount64(nw)
+				m.bits[i] |= nw
+				m.summary[s] |= 1 << (i % 64)
+			}
 		}
 	}
 	m.count += added
@@ -86,15 +107,21 @@ func (m *Map) Union(o *Map) int {
 }
 
 // NewOver returns how many edges in m are absent from base, without
-// modifying either map. A nil base is treated as empty.
+// modifying either map. A nil base is treated as empty. Only m's dirty
+// words are visited, so querying a per-exec map against a large
+// cumulative base costs O(words the exec touched).
 func (m *Map) NewOver(base *Map) int {
 	if base == nil {
 		return m.count
 	}
 	n := 0
-	for i, w := range m.bits {
-		if d := w &^ base.bits[i]; d != 0 {
-			n += bits.OnesCount64(d)
+	for s, sw := range m.summary {
+		for sw != 0 {
+			i := s*64 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			if d := m.bits[i] &^ base.bits[i]; d != 0 {
+				n += bits.OnesCount64(d)
+			}
 		}
 	}
 	return n
@@ -106,9 +133,17 @@ func (m *Map) Clone() *Map {
 	return &c
 }
 
-// Reset clears all covered edges.
+// Reset clears all covered edges. Only words recorded dirty in the
+// summary are zeroed, so resetting a per-exec map between executions
+// costs O(words touched), not O(MapSize/64).
 func (m *Map) Reset() {
-	m.bits = [wordCount]uint64{}
+	for s, sw := range m.summary {
+		for sw != 0 {
+			m.bits[s*64+bits.TrailingZeros64(sw)] = 0
+			sw &= sw - 1
+		}
+		m.summary[s] = 0
+	}
 	m.count = 0
 }
 
@@ -116,11 +151,16 @@ func (m *Map) Reset() {
 // for tests and diagnostics, not hot paths.
 func (m *Map) Indices() []Index {
 	out := make([]Index, 0, m.count)
-	for w, word := range m.bits {
-		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			out = append(out, Index(w*64+b))
-			word &= word - 1
+	for s, sw := range m.summary {
+		for sw != 0 {
+			w := s*64 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			word := m.bits[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				out = append(out, Index(w*64+b))
+				word &= word - 1
+			}
 		}
 	}
 	return out

@@ -1,0 +1,203 @@
+package coverage
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// denseMap is the pre-optimization reference implementation: every
+// operation walks the full backing array. The sparse Map must agree with
+// it on every observable, for any operation stream.
+type denseMap struct {
+	bits  [wordCount]uint64
+	count int
+}
+
+func (m *denseMap) Add(idx Index) bool {
+	w, b := idx/64, idx%64
+	mask := uint64(1) << b
+	if m.bits[w]&mask != 0 {
+		return false
+	}
+	m.bits[w] |= mask
+	m.count++
+	return true
+}
+
+func (m *denseMap) Has(idx Index) bool { return m.bits[idx/64]&(1<<(idx%64)) != 0 }
+func (m *denseMap) Count() int         { return m.count }
+
+func (m *denseMap) Union(o *denseMap) int {
+	if o == nil {
+		return 0
+	}
+	added := 0
+	for i, w := range o.bits {
+		nw := w &^ m.bits[i]
+		if nw != 0 {
+			added += bits.OnesCount64(nw)
+			m.bits[i] |= nw
+		}
+	}
+	m.count += added
+	return added
+}
+
+func (m *denseMap) NewOver(base *denseMap) int {
+	if base == nil {
+		return m.count
+	}
+	n := 0
+	for i, w := range m.bits {
+		if d := w &^ base.bits[i]; d != 0 {
+			n += bits.OnesCount64(d)
+		}
+	}
+	return n
+}
+
+func (m *denseMap) Reset() {
+	m.bits = [wordCount]uint64{}
+	m.count = 0
+}
+
+func (m *denseMap) Indices() []Index {
+	out := make([]Index, 0, m.count)
+	for w, word := range m.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, Index(w*64+b))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// pair is one map under test mirrored by its dense reference.
+type pair struct {
+	sparse *Map
+	dense  *denseMap
+}
+
+func (p *pair) check(t *testing.T, when string) {
+	t.Helper()
+	if p.sparse.Count() != p.dense.Count() {
+		t.Fatalf("%s: Count sparse=%d dense=%d", when, p.sparse.Count(), p.dense.Count())
+	}
+	si, di := p.sparse.Indices(), p.dense.Indices()
+	if len(si) != len(di) {
+		t.Fatalf("%s: Indices length sparse=%d dense=%d", when, len(si), len(di))
+	}
+	for i := range si {
+		if si[i] != di[i] {
+			t.Fatalf("%s: Indices[%d] sparse=%d dense=%d", when, i, si[i], di[i])
+		}
+	}
+}
+
+// TestSparseDenseDifferential drives random (site, state) streams and a
+// random interleaving of Add/Union/NewOver/Reset/Clone through the sparse
+// Map and the dense reference in lockstep, quick-check style. Any
+// divergence in Count, Has, Indices, Union added-counts or NewOver deltas
+// fails the property.
+func TestSparseDenseDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 991, 20260806} {
+		rng := rand.New(rand.NewSource(seed))
+		// A small pool of maps so Union/NewOver mix independent histories.
+		pool := make([]*pair, 4)
+		for i := range pool {
+			pool[i] = &pair{sparse: NewMap(), dense: &denseMap{}}
+		}
+		pick := func() *pair { return pool[rng.Intn(len(pool))] }
+
+		for op := 0; op < 4000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // Add a random edge; bias toward clustering
+				p := pick()
+				var idx Index
+				if rng.Intn(2) == 0 {
+					idx = EdgeIndex(uint32(rng.Intn(200)), uint64(rng.Intn(8)))
+				} else {
+					idx = Index(rng.Intn(MapSize))
+				}
+				gs, gd := p.sparse.Add(idx), p.dense.Add(idx)
+				if gs != gd {
+					t.Fatalf("seed %d op %d: Add(%d) sparse=%v dense=%v", seed, op, idx, gs, gd)
+				}
+				if !p.sparse.Has(idx) {
+					t.Fatalf("seed %d op %d: Has(%d) false after Add", seed, op, idx)
+				}
+			case 5, 6: // Union two maps
+				dst, src := pick(), pick()
+				if dst == src {
+					continue
+				}
+				as, ad := dst.sparse.Union(src.sparse), dst.dense.Union(src.dense)
+				if as != ad {
+					t.Fatalf("seed %d op %d: Union added sparse=%d dense=%d", seed, op, as, ad)
+				}
+			case 7: // NewOver query
+				m, base := pick(), pick()
+				ns, nd := m.sparse.NewOver(base.sparse), m.dense.NewOver(base.dense)
+				if ns != nd {
+					t.Fatalf("seed %d op %d: NewOver sparse=%d dense=%d", seed, op, ns, nd)
+				}
+				if m.sparse.NewOver(nil) != m.dense.NewOver(nil) {
+					t.Fatalf("seed %d op %d: NewOver(nil) mismatch", seed, op)
+				}
+			case 8: // Reset one map
+				p := pick()
+				p.sparse.Reset()
+				p.dense.Reset()
+				if p.sparse.Count() != 0 {
+					t.Fatalf("seed %d op %d: Count %d after Reset", seed, op, p.sparse.Count())
+				}
+			case 9: // Clone must be independent
+				p := pick()
+				c := p.sparse.Clone()
+				if c.Count() != p.dense.Count() {
+					t.Fatalf("seed %d op %d: Clone count %d want %d", seed, op, c.Count(), p.dense.Count())
+				}
+				c.Add(Index(rng.Intn(MapSize))) // must not affect p
+			}
+		}
+		for i, p := range pool {
+			p.check(t, "final pool["+string(rune('0'+i))+"]")
+		}
+	}
+}
+
+// TestSparseResetReuse pins the dirty-word invariant the engine hot loop
+// depends on: a reset map behaves exactly like a fresh one, including
+// after the Union-into-dirty-destination path.
+func TestSparseResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := NewMap()
+	other := NewMap()
+	for round := 0; round < 50; round++ {
+		ref := &denseMap{}
+		for i := 0; i < 100; i++ {
+			idx := EdgeIndex(uint32(rng.Intn(500)), uint64(round))
+			m.Add(idx)
+			ref.Add(idx)
+		}
+		if got, want := m.Count(), ref.Count(); got != want {
+			t.Fatalf("round %d: count %d want %d", round, got, want)
+		}
+		si, di := m.Indices(), ref.Indices()
+		for i := range si {
+			if si[i] != di[i] {
+				t.Fatalf("round %d: index %d diverges", round, i)
+			}
+		}
+		other.Union(m)
+		m.Reset()
+		if m.Count() != 0 || len(m.Indices()) != 0 {
+			t.Fatalf("round %d: map not empty after Reset", round)
+		}
+	}
+	if other.Count() == 0 {
+		t.Fatal("cumulative union lost everything")
+	}
+}

@@ -1,0 +1,131 @@
+package fuzz
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func arenaTestModel() *DataModel {
+	return &DataModel{Name: "T", Root: Block("T",
+		Token("magic", 16, 0xBEEF),
+		Choice("c",
+			Num("n1", 8, 1),
+			Block("inner", Str("s", "hello"), Blob("b", []byte{9, 8, 7})),
+		),
+		VarintOf("len", "pay"),
+		Block("pay", Str("id", "client"), NumLE("x", 32, 0xAABBCCDD)),
+	)}
+}
+
+// TestArenaCloneMatchesHeapClone checks structural equality between
+// cloneInto and the heap Clone path for the same template.
+func TestArenaCloneMatchesHeapClone(t *testing.T) {
+	m := arenaTestModel()
+	a := NewArena()
+	got := cloneInto(m.Root, a)
+	want := m.Root.Clone()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("arena clone differs from heap clone:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestArenaCloneIsolation verifies mutating an arena-backed clone never
+// touches the shared template — same guarantee Element.Clone gives.
+func TestArenaCloneIsolation(t *testing.T) {
+	m := arenaTestModel()
+	orig := m.Root.Clone() // pristine reference
+	a := NewArena()
+	for round := 0; round < 3; round++ {
+		a.Reset()
+		c := cloneInto(m.Root, a)
+		// Scribble over every byte payload and numeric value in the clone.
+		var scribble func(e *Element)
+		scribble = func(e *Element) {
+			for i := range e.Data {
+				e.Data[i] = 0xFF
+			}
+			e.Value = ^uint64(0)
+			for _, ch := range e.Children {
+				scribble(ch)
+			}
+		}
+		scribble(c)
+		if !reflect.DeepEqual(m.Root, orig) {
+			t.Fatalf("round %d: template corrupted by arena clone mutation", round)
+		}
+	}
+}
+
+// TestArenaResetReuse pins chunk recycling: after Reset, the arena hands
+// out the same storage again and clones serialize identically.
+func TestArenaResetReuse(t *testing.T) {
+	m := arenaTestModel()
+	a := NewArena()
+	r := testRandSeed(5)
+	msg := m.NewMessageIn(a, r)
+	want := append([]byte(nil), msg.AppendSerialize(a, nil)...)
+	first := msg.Root
+
+	a.Reset()
+	r2 := testRandSeed(5)
+	msg2 := m.NewMessageIn(a, r2)
+	got := msg2.AppendSerialize(a, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-Reset serialization %x != %x", got, want)
+	}
+	if msg2.Root != first {
+		t.Fatal("Reset did not recycle element storage")
+	}
+}
+
+// TestArenaOversizeFallbacks covers payloads and child lists larger than
+// one chunk: they must still clone correctly (via dedicated allocations).
+func TestArenaOversizeFallbacks(t *testing.T) {
+	big := make([]byte, arenaByteChunk+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	kids := make([]*Element, arenaPtrChunk+10)
+	for i := range kids {
+		kids[i] = Num("k", 8, uint64(i))
+	}
+	root := Block("root", append([]*Element{Blob("big", big)}, kids...)...)
+	a := NewArena()
+	c := cloneInto(root, a)
+	if !reflect.DeepEqual(c, root.Clone()) {
+		t.Fatal("oversize clone differs from heap clone")
+	}
+	c.Children[0].Data[0] = 0xEE
+	if big[0] == 0xEE {
+		t.Fatal("oversize payload aliased the template")
+	}
+}
+
+// TestArenaChunkBoundary crosses element/byte/pointer chunk boundaries
+// within one generation to exercise the chunk-advance paths.
+func TestArenaChunkBoundary(t *testing.T) {
+	a := NewArena()
+	var elems []*Element
+	for i := 0; i < arenaElemChunk*2+7; i++ {
+		e := a.newElement()
+		*e = Element{Kind: KindNumber, Value: uint64(i)}
+		elems = append(elems, e)
+	}
+	for i, e := range elems {
+		if e.Value != uint64(i) {
+			t.Fatalf("element %d clobbered: value %d", i, e.Value)
+		}
+	}
+	var bufs [][]byte
+	src := bytes.Repeat([]byte{0xAB}, 700)
+	for i := 0; i < 30; i++ { // 30*700 > 2 byte chunks
+		src[0] = byte(i)
+		bufs = append(bufs, a.copyBytes(src))
+	}
+	for i, b := range bufs {
+		if b[0] != byte(i) || len(b) != 700 {
+			t.Fatalf("byte chunk %d clobbered", i)
+		}
+	}
+}

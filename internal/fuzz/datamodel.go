@@ -116,6 +116,21 @@ func (m *DataModel) NewMessage(r *rand.Rand) *Message {
 	return &Message{Model: m, Root: root}
 }
 
+// NewMessageIn is NewMessage with the element tree carved out of a (when
+// non-nil) instead of the heap. The returned value — and everything it
+// references — is only valid until the arena's next Reset; the engine
+// serializes before resetting, so nothing arena-backed escapes a step.
+func (m *DataModel) NewMessageIn(a *Arena, r *rand.Rand) Message {
+	if a == nil {
+		root := m.Root.Clone()
+		resolveChoices(root, r)
+		return Message{Model: m, Root: root}
+	}
+	root := cloneInto(m.Root, a)
+	resolveChoices(root, r)
+	return Message{Model: m, Root: root}
+}
+
 func resolveChoices(e *Element, r *rand.Rand) {
 	if e.Kind == KindChoice && len(e.Children) > 0 {
 		e.Selected = r.Intn(len(e.Children))
@@ -139,16 +154,16 @@ func (msg *Message) Clone() *Message {
 // Leaves returns the message's active leaf fields (numbers, strings,
 // blobs), honoring choice selections, in serialization order.
 func (msg *Message) Leaves() []*Element {
-	var out []*Element
-	collectLeaves(msg.Root, &out)
-	return out
+	return appendLeaves(nil, msg.Root)
 }
 
-func collectLeaves(e *Element, out *[]*Element) {
+// appendLeaves appends the active leaves under e to out and returns the
+// extended slice, letting hot paths reuse a scratch slice across calls.
+func appendLeaves(out []*Element, e *Element) []*Element {
 	switch e.Kind {
 	case KindBlock:
 		for _, ch := range e.Children {
-			collectLeaves(ch, out)
+			out = appendLeaves(out, ch)
 		}
 	case KindChoice:
 		if len(e.Children) > 0 {
@@ -156,11 +171,12 @@ func collectLeaves(e *Element, out *[]*Element) {
 			if sel < 0 || sel >= len(e.Children) {
 				sel = 0
 			}
-			collectLeaves(e.Children[sel], out)
+			out = appendLeaves(out, e.Children[sel])
 		}
 	default:
-		*out = append(*out, e)
+		out = append(out, e)
 	}
+	return out
 }
 
 // Find returns the active element with the given name, if any.
@@ -194,22 +210,38 @@ func findElement(e *Element, name string) *Element {
 // Serialize renders the message to wire bytes, resolving size and count
 // relations first (unless a mutator broke them on purpose).
 func (msg *Message) Serialize() []byte {
-	msg.fixRelations()
-	var buf []byte
-	serialize(msg.Root, &buf)
-	return buf
+	return msg.AppendSerialize(nil, nil)
 }
 
-func (msg *Message) fixRelations() {
-	for _, leaf := range msg.Leaves() {
+// AppendSerialize renders the message appended to buf and returns the
+// extended slice, resolving size and count relations first. A non-nil
+// arena lends its scratch (leaf list, size-measurement buffer) so a
+// warmed-up caller serializes without heap allocation.
+func (msg *Message) AppendSerialize(a *Arena, buf []byte) []byte {
+	msg.fixRelations(a)
+	return appendElement(buf, msg.Root)
+}
+
+func (msg *Message) fixRelations(a *Arena) {
+	var leaves []*Element
+	if a != nil {
+		a.leaves = appendLeaves(a.leaves[:0], msg.Root)
+		leaves = a.leaves
+	} else {
+		leaves = msg.Leaves()
+	}
+	for _, leaf := range leaves {
 		if leaf.Kind != KindNumber || leaf.SizeBroken {
 			continue
 		}
 		if leaf.SizeOf != "" {
 			if target := msg.Find(leaf.SizeOf); target != nil {
-				var buf []byte
-				serialize(target, &buf)
-				leaf.Value = uint64(len(buf))
+				if a != nil {
+					a.sizeBuf = appendElement(a.sizeBuf[:0], target)
+					leaf.Value = uint64(len(a.sizeBuf))
+				} else {
+					leaf.Value = uint64(len(appendElement(nil, target)))
+				}
 			}
 		}
 		if leaf.CountOf != "" {
@@ -220,15 +252,17 @@ func (msg *Message) fixRelations() {
 	}
 }
 
-func serialize(e *Element, buf *[]byte) {
+// appendElement appends e's wire encoding to buf and returns the
+// extended slice.
+func appendElement(buf []byte, e *Element) []byte {
 	switch e.Kind {
 	case KindNumber:
-		serializeNumber(e, buf)
+		return appendNumber(buf, e)
 	case KindString, KindBlob:
-		*buf = append(*buf, e.Data...)
+		return append(buf, e.Data...)
 	case KindBlock:
 		for _, ch := range e.Children {
-			serialize(ch, buf)
+			buf = appendElement(buf, ch)
 		}
 	case KindChoice:
 		if len(e.Children) > 0 {
@@ -236,12 +270,13 @@ func serialize(e *Element, buf *[]byte) {
 			if sel < 0 || sel >= len(e.Children) {
 				sel = 0
 			}
-			serialize(e.Children[sel], buf)
+			return appendElement(buf, e.Children[sel])
 		}
 	}
+	return buf
 }
 
-func serializeNumber(e *Element, buf *[]byte) {
+func appendNumber(buf []byte, e *Element) []byte {
 	if e.Varint {
 		v := e.Value
 		const max = 268435455
@@ -252,10 +287,9 @@ func serializeNumber(e *Element, buf *[]byte) {
 			b := byte(v & 0x7f)
 			v >>= 7
 			if v > 0 {
-				*buf = append(*buf, b|0x80)
+				buf = append(buf, b|0x80)
 			} else {
-				*buf = append(*buf, b)
-				return
+				return append(buf, b)
 			}
 		}
 	}
@@ -270,8 +304,9 @@ func serializeNumber(e *Element, buf *[]byte) {
 		} else {
 			shift = uint(8 * i)
 		}
-		*buf = append(*buf, byte(e.Value>>shift))
+		buf = append(buf, byte(e.Value>>shift))
 	}
+	return buf
 }
 
 // Convenience constructors for building data models in Go code.

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"math/rand"
+	"sort"
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/coverage"
@@ -10,6 +11,10 @@ import (
 // A Target is the system under test as the engine sees it: one call runs
 // a full message sequence against a fresh protocol session, records branch
 // coverage into tr, and reports a crash if a seeded defect fired.
+//
+// The engine reuses seq's backing buffers across iterations: a Target
+// must not retain seq or its messages past the Run call (copy anything
+// it needs to keep).
 type Target interface {
 	Run(seq [][]byte, tr *coverage.Trace) *bugs.Crash
 }
@@ -35,11 +40,16 @@ type Config struct {
 	// MaxOps bounds structural mutations per message (default 3).
 	MaxOps int
 	// GenProb is the probability of structured generation from the models
-	// versus byte-level havoc of a corpus seed (default 0.5).
+	// versus byte-level havoc of a corpus seed. The zero value selects
+	// the default (0.5); any negative value — use the Never sentinel —
+	// pins it to exactly 0 ("never generate"), which a literal 0 cannot
+	// express because it is indistinguishable from unset.
 	GenProb float64
 	// MutateProb is the probability that a freshly generated message gets
-	// structural mutations at all (default 0.8); the remainder are sent
-	// valid to drive the state machine deep.
+	// structural mutations at all; the remainder are sent valid to drive
+	// the state machine deep. The zero value selects the default (0.8);
+	// any negative value — use Never — pins it to exactly 0 ("never
+	// mutate").
 	MutateProb float64
 	// MaxWalkSteps bounds state model traversal (default 8).
 	MaxWalkSteps int
@@ -50,6 +60,12 @@ type Config struct {
 	MaxCorpus int
 }
 
+// Never is the sentinel for Config probability fields (GenProb,
+// MutateProb) meaning "probability exactly 0". A literal 0 cannot carry
+// that meaning: it is the zero value, so setDefaults must read it as
+// "unset, use the default".
+const Never = -1.0
+
 func (c *Config) setDefaults() {
 	if c.Mutators == nil {
 		c.Mutators = DefaultMutators()
@@ -57,11 +73,17 @@ func (c *Config) setDefaults() {
 	if c.MaxOps == 0 {
 		c.MaxOps = 3
 	}
-	if c.GenProb == 0 {
+	switch {
+	case c.GenProb == 0:
 		c.GenProb = 0.5
+	case c.GenProb < 0:
+		c.GenProb = 0
 	}
-	if c.MutateProb == 0 {
+	switch {
+	case c.MutateProb == 0:
 		c.MutateProb = 0.8
+	case c.MutateProb < 0:
+		c.MutateProb = 0
 	}
 	if c.MaxWalkSteps == 0 {
 		c.MaxWalkSteps = 8
@@ -95,6 +117,13 @@ type StepResult struct {
 
 // An Engine is one fuzzing instance's generation/mutation loop with
 // coverage feedback — the Peach execution core.
+//
+// The engine owns a set of per-instance scratch structures (element
+// arena, serialize buffers, walk and sequence slices) that make the
+// steady-state Step path allocation-free: a step that discovers nothing
+// new reuses every buffer of the previous step. Sequences that do earn a
+// corpus slot are deep-copied out of the scratch first, so corpus seeds
+// never alias reused buffers.
 type Engine struct {
 	cfg    Config
 	target Target
@@ -103,18 +132,36 @@ type Engine struct {
 	global *coverage.Map
 	corpus []Seed
 	stats  Stats
+
+	// Hot-path scratch, reused across Steps.
+	arena      *Arena
+	compiledSM *CompiledStateModel
+	modelOrder []string // model names sorted, for the deterministic no-state-model pick
+	walkBuf    []string
+	seqBuf     [][]byte
+	msgBufs    [][]byte // per-slot wire buffers backing seqBuf entries
 }
 
 // NewEngine returns an engine fuzzing target under cfg.
 func NewEngine(cfg Config, target Target) *Engine {
 	cfg.setDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		target: target,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		trace:  coverage.NewTrace(),
 		global: coverage.NewMap(),
+		arena:  NewArena(),
 	}
+	if cfg.StateModel != nil {
+		e.compiledSM = cfg.StateModel.Compile()
+	}
+	e.modelOrder = make([]string, 0, len(cfg.Models))
+	for name := range cfg.Models {
+		e.modelOrder = append(e.modelOrder, name)
+	}
+	sort.Strings(e.modelOrder)
+	return e
 }
 
 // Coverage returns the instance's cumulative covered-branch count.
@@ -167,50 +214,81 @@ func (e *Engine) Step() StepResult {
 		e.stats.Crashes++
 	}
 	if newEdges > 0 {
-		e.addSeed(Seed{Msgs: seq, Gain: newEdges})
+		// The sequence earned a corpus slot: copy it out of the reused
+		// step buffers so the seed owns its bytes.
+		e.addSeed(Seed{Msgs: cloneMsgs(seq), Gain: newEdges})
 	}
 	return res
 }
 
+func cloneMsgs(seq [][]byte) [][]byte {
+	out := make([][]byte, len(seq))
+	for i, m := range seq {
+		out[i] = append([]byte(nil), m...)
+	}
+	return out
+}
+
+// slotBuf returns the reusable wire buffer for sequence slot i, emptied
+// and ready to append into; the caller stores the grown result back via
+// e.msgBufs[i] so capacity survives to the next step.
+func (e *Engine) slotBuf(i int) []byte {
+	for len(e.msgBufs) <= i {
+		e.msgBufs = append(e.msgBufs, nil)
+	}
+	return e.msgBufs[i][:0]
+}
+
 // generate walks the state model (or a fixed assigned path) and
 // instantiates each output's data model, optionally mutating fields.
+// Element trees come from the per-engine arena and wire bytes land in
+// per-slot reused buffers, so a warmed-up generate allocates nothing.
 func (e *Engine) generate() [][]byte {
 	var modelNames []string
 	if len(e.cfg.FixedPaths) > 0 {
 		modelNames = e.cfg.FixedPaths[e.rng.Intn(len(e.cfg.FixedPaths))].Models
-	} else if e.cfg.StateModel != nil {
-		modelNames = e.cfg.StateModel.Walk(e.rng, e.cfg.MaxWalkSteps)
+	} else if e.compiledSM != nil {
+		e.walkBuf = e.compiledSM.WalkInto(e.rng, e.cfg.MaxWalkSteps, e.walkBuf[:0])
+		modelNames = e.walkBuf
 	}
-	if len(modelNames) == 0 {
-		// No state model: fuzz each data model as a standalone packet.
-		for name := range e.cfg.Models {
-			modelNames = append(modelNames, name)
-			break
-		}
+	if len(modelNames) == 0 && len(e.modelOrder) > 0 {
+		// No state model: fuzz the lexicographically smallest data model
+		// as a standalone packet. (Map-range order here would make the
+		// pick nondeterministic across runs.)
+		modelNames = e.modelOrder[:1]
 	}
-	seq := make([][]byte, 0, len(modelNames))
+	e.arena.Reset()
+	seq := e.seqBuf[:0]
 	for _, name := range modelNames {
 		dm, ok := e.cfg.Models[name]
 		if !ok {
 			continue
 		}
-		msg := dm.NewMessage(e.rng)
+		msg := dm.NewMessageIn(e.arena, e.rng)
 		if e.rng.Float64() < e.cfg.MutateProb {
-			MutateMessage(msg, e.cfg.Mutators, e.rng, e.cfg.MaxOps)
+			MutateMessageIn(e.arena, &msg, e.cfg.Mutators, e.rng, e.cfg.MaxOps)
 		}
-		seq = append(seq, msg.Serialize())
+		buf := msg.AppendSerialize(e.arena, e.slotBuf(len(seq)))
+		e.msgBufs[len(seq)] = buf
+		seq = append(seq, buf)
 	}
+	e.seqBuf = seq
 	return seq
 }
 
 // havoc applies byte-level transformations to a corpus seed: flips,
-// random bytes, truncation, duplication of whole messages.
+// random bytes, truncation, duplication of whole messages. Seed messages
+// are copied into the engine's per-slot buffers first; corpus storage is
+// never mutated in place.
 func (e *Engine) havoc(s Seed) [][]byte {
-	seq := make([][]byte, 0, len(s.Msgs)+1)
-	for _, m := range s.Msgs {
-		seq = append(seq, append([]byte(nil), m...))
+	seq := e.seqBuf[:0]
+	for i, m := range s.Msgs {
+		buf := append(e.slotBuf(i), m...)
+		e.msgBufs[i] = buf
+		seq = append(seq, buf)
 	}
 	if len(seq) == 0 {
+		e.seqBuf = seq
 		return seq
 	}
 	ops := 1 + e.rng.Intn(4)
@@ -245,6 +323,7 @@ func (e *Engine) havoc(s Seed) [][]byte {
 			seq[mi] = append(m, tail...)
 		}
 	}
+	e.seqBuf = seq
 	return seq
 }
 

@@ -1,0 +1,256 @@
+package fuzz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+)
+
+func testRandSeed(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// hotTarget records bounded coverage derived from message bytes and never
+// allocates, so allocation gates measure the engine alone.
+var hotTarget = TargetFunc(func(seq [][]byte, tr *coverage.Trace) *bugs.Crash {
+	for i, msg := range seq {
+		for j, b := range msg {
+			if j >= 8 {
+				break
+			}
+			tr.Edge(uint32(i*8+j), uint64(b>>3))
+		}
+	}
+	return nil
+})
+
+// TestStepAllocs pins the tentpole guarantee: once warmed up (scratch
+// buffers grown, finite unmutated exec space explored), a Step on the
+// structured-generation path performs zero heap allocations.
+func TestStepAllocs(t *testing.T) {
+	cfg := goldenConfig(7)
+	cfg.GenProb = 1.0      // always generate: the steady-state hot path
+	cfg.MutateProb = Never // valid messages only => finite exec space
+	e := NewEngine(cfg, hotTarget)
+	for i := 0; i < 512; i++ {
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { e.Step() }); avg != 0 {
+		t.Fatalf("steady-state Step allocates %.1f objects/op on the generation path, want 0", avg)
+	}
+}
+
+// TestStepAllocsHavoc bounds the corpus-havoc path: its transformations
+// allocate only small per-op transients (duplicated messages, random
+// tails), never anything proportional to the coverage map or corpus.
+func TestStepAllocsHavoc(t *testing.T) {
+	cfg := goldenConfig(8)
+	cfg.GenProb = Never // corpus exists => always havoc/splice
+	e := NewEngine(cfg, hotTarget)
+	e.ImportSeeds([]Seed{
+		{Msgs: [][]byte{{1, 2, 3, 4}, {5, 6}}, Gain: 1},
+		{Msgs: [][]byte{{7, 8, 9}}, Gain: 1},
+	})
+	for i := 0; i < 2000; i++ {
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { e.Step() }); avg > 24 {
+		t.Fatalf("havoc-path Step allocates %.1f objects/op, want a small per-op constant (<= 24)", avg)
+	}
+}
+
+// TestConfigProbDefaults covers the zero-value trap fix: unset selects
+// the documented default, the Never sentinel selects exactly zero, and
+// explicit probabilities — both endpoints — survive setDefaults.
+func TestConfigProbDefaults(t *testing.T) {
+	var unset Config
+	unset.setDefaults()
+	if unset.GenProb != 0.5 || unset.MutateProb != 0.8 {
+		t.Fatalf("unset probs = (%v, %v), want defaults (0.5, 0.8)", unset.GenProb, unset.MutateProb)
+	}
+	never := Config{GenProb: Never, MutateProb: Never}
+	never.setDefaults()
+	if never.GenProb != 0 || never.MutateProb != 0 {
+		t.Fatalf("Never probs = (%v, %v), want (0, 0)", never.GenProb, never.MutateProb)
+	}
+	always := Config{GenProb: 1.0, MutateProb: 1.0}
+	always.setDefaults()
+	if always.GenProb != 1.0 || always.MutateProb != 1.0 {
+		t.Fatalf("explicit probs = (%v, %v), want (1, 1)", always.GenProb, always.MutateProb)
+	}
+}
+
+// TestNeverMutateSendsValidMessages checks the MutateProb endpoint
+// behaviorally: with MutateProb Never every generated message is the
+// model's pristine serialization.
+func TestNeverMutateSendsValidMessages(t *testing.T) {
+	model := &DataModel{Name: "M", Root: Block("M",
+		Num("hdr", 8, 0x42), Str("body", "fixed"), SizeOf("len", 8, "body"))}
+	want := model.NewMessage(testRand()).Serialize()
+	cfg := Config{
+		Models:     map[string]*DataModel{"M": model},
+		FixedPaths: []Path{{Models: []string{"M"}}},
+		Seed:       3, GenProb: 1.0, MutateProb: Never,
+	}
+	bad := false
+	target := TargetFunc(func(seq [][]byte, tr *coverage.Trace) *bugs.Crash {
+		for _, msg := range seq {
+			if !bytes.Equal(msg, want) {
+				bad = true
+			}
+		}
+		return nil
+	})
+	e := NewEngine(cfg, target)
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	if bad {
+		t.Fatal("MutateProb: Never still produced a mutated message")
+	}
+}
+
+// TestNeverGenerateSticksToCorpus checks the GenProb endpoint: with a
+// non-empty corpus and GenProb Never, the engine never takes the
+// structured-generation path (whose sequences are unmistakable: eight
+// 4-byte 0xA7 messages).
+func TestNeverGenerateSticksToCorpus(t *testing.T) {
+	marker := []byte{0xA7, 0xA7, 0xA7, 0xA7}
+	model := &DataModel{Name: "M", Root: Blob("M", marker)}
+	path := Path{Models: []string{"M", "M", "M", "M", "M", "M", "M", "M"}}
+	sawMarker := false
+	target := TargetFunc(func(seq [][]byte, tr *coverage.Trace) *bugs.Crash {
+		for i, msg := range seq {
+			if bytes.Equal(msg, marker) {
+				sawMarker = true
+			}
+			if len(msg) > 0 {
+				tr.Edge(uint32(i), uint64(msg[0]))
+			}
+		}
+		return nil
+	})
+	cfg := Config{
+		Models:     map[string]*DataModel{"M": model},
+		FixedPaths: []Path{path},
+		Seed:       4, GenProb: Never, MutateProb: Never,
+	}
+	e := NewEngine(cfg, target)
+	e.ImportSeeds([]Seed{{Msgs: [][]byte{{0x01}}, Gain: 1}})
+	for i := 0; i < 300; i++ {
+		e.Step()
+	}
+	if sawMarker {
+		t.Fatal("GenProb: Never still took the generation path")
+	}
+	// Control: with GenProb 1 the marker sequence appears immediately.
+	sawMarker = false
+	ctrl := NewEngine(Config{
+		Models:     map[string]*DataModel{"M": model},
+		FixedPaths: []Path{path},
+		Seed:       4, GenProb: 1.0, MutateProb: Never,
+	}, target)
+	ctrl.Step()
+	if !sawMarker {
+		t.Fatal("control engine did not generate the marker sequence")
+	}
+}
+
+// TestGenerateModelPickDeterministic pins the no-state-model fallback:
+// with several models and neither state model nor fixed paths, every
+// generated packet must come from the lexicographically smallest model
+// name, independent of map iteration order.
+func TestGenerateModelPickDeterministic(t *testing.T) {
+	build := func(names ...string) map[string]*DataModel {
+		models := make(map[string]*DataModel, len(names))
+		for i, n := range names {
+			models[n] = &DataModel{Name: n, Root: Num(n, 8, uint64(0x10+i))}
+		}
+		return models
+	}
+	run := func(models map[string]*DataModel) []byte {
+		var first []byte
+		target := TargetFunc(func(seq [][]byte, tr *coverage.Trace) *bugs.Crash {
+			if first == nil && len(seq) > 0 {
+				first = append([]byte(nil), seq[0]...)
+			}
+			return nil
+		})
+		e := NewEngine(Config{Models: models, Seed: 21, GenProb: 1.0, MutateProb: Never}, target)
+		for i := 0; i < 50; i++ {
+			e.Step()
+		}
+		return first
+	}
+	// Two insertion orders of the same model set; "alpha" (value 0x10 in
+	// the first ordering) must win in both.
+	a := run(build("alpha", "mid", "zeta"))
+	b := run(build("zeta", "mid", "alpha"))
+	if len(a) != 1 || a[0] != 0x10 {
+		t.Fatalf("fallback picked %x, want the alpha model (0x10)", a)
+	}
+	if len(b) != 1 || b[0] != 0x12 {
+		// In the second ordering alpha was built with value 0x10+2.
+		t.Fatalf("fallback picked %x under reversed insertion, want alpha (0x12)", b)
+	}
+}
+
+// TestCompiledWalkMatchesWalk pins rng-draw equivalence between the
+// interpreted and compiled state-model traversals, including tolerance
+// of transitions to undefined states.
+func TestCompiledWalkMatchesWalk(t *testing.T) {
+	sm := &StateModel{
+		Name:    "w",
+		Initial: "a",
+		States: map[string]*State{
+			"a": {Name: "a", Actions: []Action{
+				{Kind: ActionOutput, DataModel: "m1"},
+				{Kind: ActionChangeState, To: "b"},
+				{Kind: ActionChangeState, To: "a"},
+			}},
+			"b": {Name: "b", Actions: []Action{
+				{Kind: ActionOutput, DataModel: "m2"},
+				{Kind: ActionOutput, DataModel: "m3"},
+				{Kind: ActionChangeState, To: "missing"}, // ends the walk, like Walk's nil lookup
+				{Kind: ActionChangeState, To: "a"},
+			}},
+		},
+	}
+	c := sm.Compile()
+	for _, seed := range []int64{1, 2, 3, 99} {
+		r1 := testRandSeed(seed)
+		r2 := testRandSeed(seed)
+		var buf []string
+		for i := 0; i < 300; i++ {
+			want := sm.Walk(r1, 8)
+			buf = c.WalkInto(r2, 8, buf[:0])
+			if len(want) != len(buf) {
+				t.Fatalf("seed %d iter %d: lengths %d vs %d", seed, i, len(want), len(buf))
+			}
+			for j := range want {
+				if want[j] != buf[j] {
+					t.Fatalf("seed %d iter %d: walk[%d] %q vs %q", seed, i, j, want[j], buf[j])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEngineStepGenerate is the pure structured-generation hot path
+// (GenProb 1, mutation off): the configuration TestStepAllocs gates at
+// zero allocations.
+func BenchmarkEngineStepGenerate(b *testing.B) {
+	cfg := goldenConfig(10)
+	cfg.GenProb = 1.0
+	cfg.MutateProb = Never
+	e := NewEngine(cfg, hotTarget)
+	for i := 0; i < 512; i++ {
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

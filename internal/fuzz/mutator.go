@@ -213,7 +213,20 @@ func (blobRandomBytes) Mutate(e *Element, r *rand.Rand) {
 // MutateMessage applies between 1 and maxOps random applicable mutations
 // to msg and returns the number applied.
 func MutateMessage(msg *Message, mutators []Mutator, r *rand.Rand, maxOps int) int {
-	leaves := msg.Leaves()
+	return MutateMessageIn(nil, msg, mutators, r, maxOps)
+}
+
+// MutateMessageIn is MutateMessage borrowing a's leaf scratch for the
+// field list, sparing the engine hot loop one allocation per mutated
+// message. The rng draw sequence is identical to MutateMessage.
+func MutateMessageIn(a *Arena, msg *Message, mutators []Mutator, r *rand.Rand, maxOps int) int {
+	var leaves []*Element
+	if a != nil {
+		a.leaves = appendLeaves(a.leaves[:0], msg.Root)
+		leaves = a.leaves
+	} else {
+		leaves = msg.Leaves()
+	}
 	if len(leaves) == 0 || len(mutators) == 0 {
 		return 0
 	}

@@ -29,8 +29,7 @@ func TestNumberBoundaryStaysInWidth(t *testing.T) {
 		// Boundary values may exceed the width on purpose (over-wide
 		// constants get truncated at serialization); serialization must
 		// still produce exactly one byte.
-		var buf []byte
-		serializeNumber(e, &buf)
+		buf := appendNumber(nil, e)
 		if len(buf) != 1 {
 			t.Fatalf("8-bit number serialized to %d bytes", len(buf))
 		}

@@ -2,6 +2,8 @@ package monitor
 
 import (
 	"strconv"
+	"sync"
+	"time"
 
 	"cmfuzz/internal/telemetry"
 	"cmfuzz/internal/telemetry/metrics"
@@ -31,7 +33,47 @@ func NewRegistry(rec *telemetry.Recorder, prog *telemetry.Progress) *metrics.Reg
 	reg := metrics.NewRegistry()
 	RegisterRecorder(reg, rec)
 	RegisterProgress(reg, prog)
+	RegisterExecRate(reg, prog, nil)
 	return reg
+}
+
+// RegisterExecRate publishes cmfuzz_execs_per_second: the campaign-wide
+// protocol-execution throughput, computed as the exec-count delta across
+// all runs between consecutive scrapes divided by the wall time between
+// them. The first scrape (no previous point) and any scrape after a
+// counter reset report 0. A nil now uses time.Now; tests inject a fake
+// clock. Nil progress or registry is a no-op.
+func RegisterExecRate(reg *metrics.Registry, prog *telemetry.Progress, now func() time.Time) {
+	if reg == nil || prog == nil {
+		return
+	}
+	if now == nil {
+		now = time.Now
+	}
+	var mu sync.Mutex
+	var lastT time.Time
+	var lastExecs float64
+	reg.GaugeFunc("cmfuzz_execs_per_second",
+		"Protocol executions per wall-clock second across all runs, between scrapes.",
+		func() float64 {
+			total := 0.0
+			for _, run := range prog.Snapshot() {
+				total += float64(run.Execs)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			t := now()
+			prevT, prevExecs := lastT, lastExecs
+			lastT, lastExecs = t, total
+			if prevT.IsZero() || total < prevExecs {
+				return 0
+			}
+			dt := t.Sub(prevT).Seconds()
+			if dt <= 0 {
+				return 0
+			}
+			return (total - prevExecs) / dt
+		})
 }
 
 // RegisterRecorder publishes the recorder's counter registry on reg:

@@ -6,9 +6,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"cmfuzz/internal/telemetry"
 	"cmfuzz/internal/telemetry/metrics"
@@ -252,4 +254,58 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestExecRateGauge drives the cmfuzz_execs_per_second gauge with an
+// injected clock: the first scrape reports 0 (no previous point), later
+// scrapes report the exec delta over the elapsed wall time, and a
+// counter reset (run restart) reports 0 instead of a negative rate.
+func TestExecRateGauge(t *testing.T) {
+	prog := telemetry.NewProgress()
+	prog.StartRun("r", "CMFuzz", "mqtt", 3600, 2)
+
+	clock := time.Unix(1000, 0)
+	reg := metrics.NewRegistry()
+	RegisterExecRate(reg, prog, func() time.Time { return clock })
+
+	scrape := func() float64 {
+		t.Helper()
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, "cmfuzz_execs_per_second ") {
+				v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+				if err != nil {
+					t.Fatalf("bad gauge value in %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatal("cmfuzz_execs_per_second not exposed")
+		return 0
+	}
+
+	prog.StepInstance("r", 0, 1, 10, 1000, 0, 0, 1)
+	if got := scrape(); got != 0 {
+		t.Fatalf("first scrape rate = %v, want 0", got)
+	}
+	prog.StepInstance("r", 0, 2, 10, 1500, 0, 0, 1)
+	prog.StepInstance("r", 1, 2, 10, 500, 0, 0, 1)
+	clock = clock.Add(10 * time.Second)
+	// Delta = (1500+500) - 1000 = 1000 execs over 10s.
+	if got := scrape(); got != 100 {
+		t.Fatalf("rate = %v, want 100 execs/sec", got)
+	}
+	// Same instant again: zero elapsed time must not divide by zero.
+	if got := scrape(); got != 0 {
+		t.Fatalf("zero-dt rate = %v, want 0", got)
+	}
+	// Run restart: exec counters drop; the gauge must clamp to 0.
+	prog.StartRun("r", "CMFuzz", "mqtt", 3600, 2)
+	clock = clock.Add(5 * time.Second)
+	if got := scrape(); got != 0 {
+		t.Fatalf("post-reset rate = %v, want 0", got)
+	}
 }

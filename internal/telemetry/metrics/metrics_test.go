@@ -151,15 +151,15 @@ func TestInvalidNamePanics(t *testing.T) {
 
 func TestLintRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
-		"no samples":       "# TYPE a counter\n",
-		"bad value":        "a xyz\n",
-		"bad name":         "9a 1\n",
-		"unclosed labels":  `a{b="c 1` + "\n",
-		"type after use":   "a 1\n# TYPE a counter\na 2\n",
-		"unknown type":     "# TYPE a widget\na 1\n",
-		"unquoted label":   "a{b=c} 1\n",
-		"missing value":    "a{b=\"c\"}\n",
-		"duplicate TYPE":   "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"no samples":      "# TYPE a counter\n",
+		"bad value":       "a xyz\n",
+		"bad name":        "9a 1\n",
+		"unclosed labels": `a{b="c 1` + "\n",
+		"type after use":  "a 1\n# TYPE a counter\na 2\n",
+		"unknown type":    "# TYPE a widget\na 1\n",
+		"unquoted label":  "a{b=c} 1\n",
+		"missing value":   "a{b=\"c\"}\n",
+		"duplicate TYPE":  "# TYPE a counter\n# TYPE a counter\na 1\n",
 	}
 	for name, in := range cases {
 		if _, err := Lint(strings.NewReader(in)); err == nil {
