@@ -8,6 +8,7 @@ package cmfuzz
 // 5-repetition setting.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -44,7 +45,7 @@ func benchmarkTable1(b *testing.B, name string) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg
 		cfg.BaseSeed = int64(i)
-		rows, err := campaign.Table1([]subject.Subject{sub}, cfg)
+		rows, err := campaign.Table1(context.Background(), []subject.Subject{sub}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func benchmarkFigure4(b *testing.B, name string) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg
 		cfg.BaseSeed = int64(i)
-		f, err := campaign.Figure4(sub, cfg, 64)
+		f, err := campaign.Figure4(context.Background(), sub, cfg, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkTable2_Bugs(b *testing.B) {
 		cfg := benchCfg
 		cfg.Repetitions = 2 // bug discovery benefits from seed variety
 		cfg.BaseSeed = int64(i)
-		rows, err := campaign.Table2(subs, cfg)
+		rows, err := campaign.Table2(context.Background(), subs, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkAblation_Allocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg
 		cfg.BaseSeed = int64(i)
-		rows, err := campaign.Ablations(subs, cfg)
+		rows, err := campaign.Ablations(context.Background(), subs, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkAblation_Allocation(b *testing.B) {
 func BenchmarkCampaign_CMFuzz24h(b *testing.B) {
 	sub := benchSubject(b, "MQTT")
 	for i := 0; i < b.N; i++ {
-		res, err := parallel.Run(sub, parallel.Options{
+		res, err := parallel.Run(context.Background(), sub, parallel.Options{
 			Mode:         parallel.ModeCMFuzz,
 			VirtualHours: 24,
 			Seed:         int64(i + 1),

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func main() {
 	start := time.Now()
 	export := &campaign.Export{Config: cfg}
 	if *table1 || *all {
-		rows, err := campaign.Table1(subs, cfg)
+		rows, err := campaign.Table1(context.Background(), subs, cfg)
 		exitOn(err)
 		if *jsonOut {
 			export.Table1 = rows
@@ -90,7 +91,7 @@ func main() {
 			fmt.Println("== Figure 4: branch coverage over time ==")
 		}
 		for _, sub := range subs {
-			f, err := campaign.Figure4(sub, cfg, 64)
+			f, err := campaign.Figure4(context.Background(), sub, cfg, 64)
 			exitOn(err)
 			if *svgDir != "" {
 				path := filepath.Join(*svgDir, "figure4-"+strings.ToLower(f.Subject)+".svg")
@@ -108,7 +109,7 @@ func main() {
 		}
 	}
 	if *table2 || *all {
-		rows, err := campaign.Table2(subs, cfg)
+		rows, err := campaign.Table2(context.Background(), subs, cfg)
 		exitOn(err)
 		if *jsonOut {
 			export.Table2 = campaign.NewTable2Export(rows)
@@ -120,7 +121,7 @@ func main() {
 	}
 	if *ablation || *all {
 		fmt.Println("== Ablations: CMFuzz design choices ==")
-		rows, err := campaign.Ablations(subs, cfg)
+		rows, err := campaign.Ablations(context.Background(), subs, cfg)
 		exitOn(err)
 		fmt.Print(campaign.RenderAblations(rows))
 		fmt.Println()

@@ -59,6 +59,10 @@ func main() {
 		err = cmdFuzz(args)
 	case "campaign":
 		err = cmdCampaign(args)
+	case "coordinator":
+		err = cmdCoordinator(args)
+	case "worker":
+		err = cmdWorker(args)
 	case "bugs":
 		err = cmdBugs()
 	case "promlint":
@@ -95,6 +99,8 @@ commands:
   schedule   allocate cohesive configuration groups (Algorithm 2)
   fuzz       run a parallel fuzzing campaign
   campaign   run the three-fuzzer comparison on one subject
+  coordinator  run a distributed campaign's coordinator (workers attach over TCP)
+  worker       run a worker node serving campaign instances for a coordinator
   bugs       list the Table II vulnerability registry
   promlint   validate Prometheus text exposition read from a file or stdin
 
@@ -273,7 +279,9 @@ func cmdFuzz(args []string) error {
 	default:
 		return fmt.Errorf("unknown allocator %q", *alloc)
 	}
-	res, err := parallel.Run(sub, parallel.Options{
+	ctx, cancel := signalContext()
+	defer cancel()
+	res, err := parallel.Run(ctx, sub, parallel.Options{
 		Mode:                  mode,
 		Instances:             *instances,
 		VirtualHours:          *hours,
@@ -356,6 +364,7 @@ func cmdCampaign(args []string) error {
 	instances := fs.Int("n", 4, "parallel instances")
 	seed := fs.Int64("seed", 0, "base seed (repetition r runs seed+r+1)")
 	concurrency := fs.Int("j", 0, "concurrent campaigns and probe workers (0 = GOMAXPROCS)")
+	distWorkers := fs.Int("dist", 0, "run each campaign through N in-process loopback workers (0 = in-process; results are identical)")
 	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
 	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
 	tracePath := fs.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file")
@@ -386,11 +395,14 @@ func cmdCampaign(args []string) error {
 		Instances:   *instances,
 		BaseSeed:    *seed,
 		Concurrency: *concurrency,
+		Dist:        *distWorkers,
 		Telemetry:   rec,
 		Trace:       sess.Root,
 		Progress:    sess.Progress,
 	}
-	res, err := campaign.RunSubject(sub, cfg)
+	ctx, cancel := signalContext()
+	defer cancel()
+	res, err := campaign.RunSubject(ctx, sub, cfg)
 	if err != nil {
 		sess.Finish(nil)
 		return err

@@ -36,6 +36,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
+	"context"
 )
 
 // Re-exported types: the campaign surface.
@@ -76,7 +77,7 @@ func Subject(name string) (subject.Subject, error) { return protocols.ByName(nam
 
 // Fuzz runs one parallel fuzzing campaign.
 func Fuzz(sub subject.Subject, opts Options) (*Result, error) {
-	return parallel.Run(sub, opts)
+	return parallel.Run(context.Background(), sub, opts)
 }
 
 // Identify runs configuration model identification and scheduling for a

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -26,7 +27,7 @@ type AblationRow struct {
 //   - relation weighting: interaction gain vs the paper-literal raw
 //     startup coverage;
 //   - Peach schedule redundancy: independent vs pairwise-shared workers.
-func Ablations(subs []subject.Subject, cfg Config) ([]AblationRow, error) {
+func Ablations(ctx context.Context, subs []subject.Subject, cfg Config) ([]AblationRow, error) {
 	cfg.setDefaults()
 	variants := []struct {
 		name string
@@ -55,7 +56,7 @@ func Ablations(subs []subject.Subject, cfg Config) ([]AblationRow, error) {
 					VirtualHours: cfg.Hours,
 					Seed:         cfg.BaseSeed + int64(rep) + 1,
 				})
-				r, err := parallel.Run(sub, opts)
+				r, err := parallel.Run(ctx, sub, opts)
 				if err != nil {
 					return nil, fmt.Errorf("campaign: ablation %s/%s: %w", sub.Info().Protocol, v.name, err)
 				}

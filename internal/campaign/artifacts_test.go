@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func TestWriteArtifacts(t *testing.T) {
 	sub, _ := protocols.ByName("DNS")
-	res, err := parallel.Run(sub, parallel.Options{Mode: parallel.ModeCMFuzz, VirtualHours: 2, Seed: 1})
+	res, err := parallel.Run(context.Background(), sub, parallel.Options{Mode: parallel.ModeCMFuzz, VirtualHours: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/dist"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
@@ -38,6 +40,12 @@ type Config struct {
 	// results are aggregated in fixed (fuzzer, repetition) order, so the
 	// outcome is identical for any concurrency level.
 	Concurrency int
+	// Dist, when positive, runs each campaign through the distributed
+	// coordinator/worker path (internal/dist) with this many in-process
+	// loopback workers instead of calling parallel.Run directly. The
+	// Result is byte-identical either way; the knob exists to exercise
+	// the distributed machinery from the CLI and CI.
+	Dist int
 	// Telemetry collects the structured event streams of every campaign
 	// in the run. Each (fuzzer, repetition) campaign records into its own
 	// labeled child recorder and the children are merged in fixed
@@ -72,9 +80,9 @@ func (c *Config) setDefaults() {
 // Run executes one campaign (mode × subject × seed). With telemetry
 // enabled, the campaign's event stream lands in cfg.Telemetry, bracketed
 // by a campaign-level marker carrying the outcome.
-func Run(sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*parallel.Result, error) {
+func Run(ctx context.Context, sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*parallel.Result, error) {
 	cfg.setDefaults()
-	res, err := parallel.Run(sub, parallel.Options{
+	opts := parallel.Options{
 		Mode:         mode,
 		Instances:    cfg.Instances,
 		VirtualHours: cfg.Hours,
@@ -84,7 +92,14 @@ func Run(sub subject.Subject, mode parallel.Mode, seed int64, cfg Config) (*para
 		Trace:        cfg.Trace,
 		Progress:     cfg.Progress,
 		Label:        cfg.Label,
-	})
+	}
+	var res *parallel.Result
+	var err error
+	if cfg.Dist > 0 {
+		res, _, err = dist.RunLocal(ctx, sub, opts, cfg.Dist, dist.Config{})
+	} else {
+		res, err = parallel.Run(ctx, sub, opts)
+	}
 	if err == nil {
 		cfg.Telemetry.Emit(telemetry.Event{
 			T: cfg.Hours * 3600, Type: telemetry.EvCampaign, Instance: -1,
@@ -123,7 +138,7 @@ type SubjectResult struct {
 // Config.Concurrency); each campaign is deterministic per seed and the
 // results are folded in fixed (fuzzer, repetition) order, so the output
 // is identical to a sequential run.
-func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
+func RunSubject(ctx context.Context, sub subject.Subject, cfg Config) (*SubjectResult, error) {
 	cfg.setDefaults()
 	res := &SubjectResult{Subject: sub.Info(), Hours: cfg.Hours}
 	modes := []parallel.Mode{parallel.ModeCMFuzz, parallel.ModePeach, parallel.ModeSPFuzz}
@@ -163,7 +178,7 @@ func RunSubject(sub subject.Subject, cfg Config) (*SubjectResult, error) {
 				repCfg.Label = label
 				repCfg.Trace = campSpan.Child("repetition",
 					trace.A("mode", mode.String()), trace.A("rep", rep))
-				results[mi][rep], errs[mi][rep] = Run(sub, mode, cfg.BaseSeed+int64(rep)+1, repCfg)
+				results[mi][rep], errs[mi][rep] = Run(ctx, sub, mode, cfg.BaseSeed+int64(rep)+1, repCfg)
 				repCfg.Trace.End()
 			}(mi, rep, mode)
 		}
@@ -256,10 +271,10 @@ type Table1Row struct {
 }
 
 // Table1 runs the full Table I experiment over the given subjects.
-func Table1(subs []subject.Subject, cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, subs []subject.Subject, cfg Config) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, sub := range subs {
-		r, err := RunSubject(sub, cfg)
+		r, err := RunSubject(ctx, sub, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -308,9 +323,9 @@ type Figure4Series struct {
 }
 
 // Figure4 produces the averaged coverage curves for one subject.
-func Figure4(sub subject.Subject, cfg Config, samples int) (*Figure4Series, error) {
+func Figure4(ctx context.Context, sub subject.Subject, cfg Config, samples int) (*Figure4Series, error) {
 	cfg.setDefaults()
-	r, err := RunSubject(sub, cfg)
+	r, err := RunSubject(ctx, sub, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -381,11 +396,11 @@ type Table2Row struct {
 
 // Table2 runs CMFuzz (and the baselines, to confirm they miss the
 // configuration-gated defects) and reports each Table II row.
-func Table2(subs []subject.Subject, cfg Config) ([]Table2Row, error) {
+func Table2(ctx context.Context, subs []subject.Subject, cfg Config) ([]Table2Row, error) {
 	cfg.setDefaults()
 	found := map[string]map[string]float64{} // crash id -> fuzzer -> time
 	for _, sub := range subs {
-		r, err := RunSubject(sub, cfg)
+		r, err := RunSubject(ctx, sub, cfg)
 		if err != nil {
 			return nil, err
 		}

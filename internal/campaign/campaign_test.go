@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func dnsSubject(t *testing.T) subject.Subject {
 }
 
 func TestRunSubjectOrderingAndMetrics(t *testing.T) {
-	r, err := RunSubject(dnsSubject(t), quick)
+	r, err := RunSubject(context.Background(), dnsSubject(t), quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRunSubjectOrderingAndMetrics(t *testing.T) {
 }
 
 func TestTable1RenderShape(t *testing.T) {
-	rows, err := Table1([]subject.Subject{dnsSubject(t)}, quick)
+	rows, err := Table1(context.Background(), []subject.Subject{dnsSubject(t)}, quick)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestTable1RenderShape(t *testing.T) {
 }
 
 func TestFigure4Monotone(t *testing.T) {
-	f, err := Figure4(dnsSubject(t), quick, 24)
+	f, err := Figure4(context.Background(), dnsSubject(t), quick, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFigure4Monotone(t *testing.T) {
 }
 
 func TestTable2DNSRows(t *testing.T) {
-	rows, err := Table2([]subject.Subject{dnsSubject(t)}, Config{Hours: 4, Repetitions: 2, Instances: 4})
+	rows, err := Table2(context.Background(), []subject.Subject{dnsSubject(t)}, Config{Hours: 4, Repetitions: 2, Instances: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTable2DNSRows(t *testing.T) {
 }
 
 func TestAblationsCohesiveWins(t *testing.T) {
-	rows, err := Ablations([]subject.Subject{dnsSubject(t)}, Config{Hours: 2, Repetitions: 2, Instances: 4})
+	rows, err := Ablations(context.Background(), []subject.Subject{dnsSubject(t)}, Config{Hours: 2, Repetitions: 2, Instances: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestSpeedupDefinition(t *testing.T) {
 func TestRunModesSmoke(t *testing.T) {
 	sub := dnsSubject(t)
 	for _, mode := range []parallel.Mode{parallel.ModeCMFuzz, parallel.ModePeach, parallel.ModeSPFuzz} {
-		r, err := Run(sub, mode, 1, Config{Hours: 0.5, Repetitions: 1})
+		r, err := Run(context.Background(), sub, mode, 1, Config{Hours: 0.5, Repetitions: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -177,13 +178,13 @@ func TestRunSubjectIdenticalAcrossConcurrency(t *testing.T) {
 
 	seq := cfg
 	seq.Concurrency = 1
-	base, err := RunSubject(sub, seq)
+	base, err := RunSubject(context.Background(), sub, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := cfg
 	par.Concurrency = 4
-	got, err := RunSubject(sub, par)
+	got, err := RunSubject(context.Background(), sub, par)
 	if err != nil {
 		t.Fatal(err)
 	}

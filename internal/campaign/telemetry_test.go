@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -29,7 +30,7 @@ func TestRunSubjectTelemetryConcurrencyInvariant(t *testing.T) {
 	stream := func(workers int) []byte {
 		rec := telemetry.New()
 		cfg := Config{Hours: 0.5, Repetitions: 2, Concurrency: workers, Telemetry: rec}
-		if _, err := RunSubject(telSubject(t, "CoAP"), cfg); err != nil {
+		if _, err := RunSubject(context.Background(), telSubject(t, "CoAP"), cfg); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
@@ -53,7 +54,7 @@ func TestRunSubjectTelemetryConcurrencyInvariant(t *testing.T) {
 func TestWriteTelemetry(t *testing.T) {
 	rec := telemetry.New()
 	cfg := Config{Hours: 0.5, Repetitions: 1, Telemetry: rec}
-	if _, err := RunSubject(telSubject(t, "DNS"), cfg); err != nil {
+	if _, err := RunSubject(context.Background(), telSubject(t, "DNS"), cfg); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()

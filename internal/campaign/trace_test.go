@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestCampaignTraceAndProgress(t *testing.T) {
 	root := tr.Start("campaign-test")
 	prog := telemetry.NewProgress()
 	cfg := Config{Hours: 0.2, Repetitions: 2, Instances: 2, Trace: root, Progress: prog}
-	if _, err := RunSubject(dnsSubject(t), cfg); err != nil {
+	if _, err := RunSubject(context.Background(), dnsSubject(t), cfg); err != nil {
 		t.Fatal(err)
 	}
 	root.End()

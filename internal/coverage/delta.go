@@ -1,0 +1,86 @@
+package coverage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrBadDelta reports a structurally invalid delta payload.
+var ErrBadDelta = errors.New("coverage: malformed delta")
+
+// EncodeDelta serializes the edges of m that are absent from base as a
+// compact word stream: for every backing word where m holds bits base
+// lacks, the word index (delta-encoded varint) followed by m's full
+// 64-bit word value. Only m's dirty words are visited, so the payload —
+// and the encoding cost — is proportional to the edges m actually holds,
+// never to the full 64 Ki map. A nil base encodes all of m.
+//
+// Applying the result to base with ApplyDelta makes base the union
+// base ∪ m. Words are emitted in ascending index order, so the encoding
+// of a given (m, base) pair is canonical.
+func EncodeDelta(m, base *Map) []byte {
+	if m == nil {
+		return nil
+	}
+	var out []byte
+	var scratch [binary.MaxVarintLen32 + 8]byte
+	prev := -1
+	for _, w := range m.dirtyWords() {
+		mw := m.bits[w]
+		if base != nil {
+			if mw&^base.bits[w] == 0 {
+				continue
+			}
+		}
+		n := binary.PutUvarint(scratch[:], uint64(w-prev-1))
+		binary.BigEndian.PutUint64(scratch[n:], mw)
+		out = append(out, scratch[:n+8]...)
+		prev = w
+	}
+	return out
+}
+
+// ApplyDelta merges a payload produced by EncodeDelta into m (ORing each
+// carried word in) and returns how many edges were new to m. The empty
+// payload is valid and a no-op. A truncated or out-of-range payload
+// returns ErrBadDelta with m only partially updated; partial application
+// is safe because deltas are monotone (they only ever add edges).
+func (m *Map) ApplyDelta(data []byte) (int, error) {
+	added := 0
+	prev := -1
+	for len(data) > 0 {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 || len(data) < n+8 {
+			return added, ErrBadDelta
+		}
+		w := prev + 1 + int(gap)
+		if w >= wordCount || gap > uint64(wordCount) {
+			return added, fmt.Errorf("%w: word index %d", ErrBadDelta, w)
+		}
+		word := binary.BigEndian.Uint64(data[n : n+8])
+		if nw := word &^ m.bits[w]; nw != 0 {
+			added += bits.OnesCount64(nw)
+			m.bits[w] |= nw
+			m.summary[w/64] |= 1 << (w % 64)
+		}
+		prev = w
+		data = data[n+8:]
+	}
+	m.count += added
+	return added, nil
+}
+
+// dirtyWords returns the indices of m's nonzero backing words in
+// ascending order, driven by the summary bitset.
+func (m *Map) dirtyWords() []int {
+	out := make([]int, 0, 64)
+	for s, sw := range m.summary {
+		for sw != 0 {
+			out = append(out, s*64+bits.TrailingZeros64(sw))
+			sw &= sw - 1
+		}
+	}
+	return out
+}

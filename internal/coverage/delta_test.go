@@ -1,0 +1,119 @@
+package coverage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomMap populates a map with n random edges (duplicates collapse).
+func randomMap(rng *rand.Rand, n int) *Map {
+	m := NewMap()
+	for i := 0; i < n; i++ {
+		m.Add(Index(rng.Intn(MapSize)))
+	}
+	return m
+}
+
+// TestDeltaQuickCheck is the differential property pin: for random (m,
+// base) pairs, ApplyDelta(EncodeDelta(m, base)) must leave base exactly
+// equal to the full-map union base ∪ m, with the reported added count
+// matching Union's.
+func TestDeltaQuickCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		m := randomMap(rng, rng.Intn(400))
+		base := randomMap(rng, rng.Intn(400))
+		// Overlap: share some edges so the delta is a strict subset
+		// sometimes.
+		for _, idx := range m.Indices() {
+			if rng.Intn(3) == 0 {
+				base.Add(idx)
+			}
+		}
+
+		want := base.Clone()
+		wantAdded := want.Union(m)
+
+		payload := EncodeDelta(m, base)
+		gotAdded, err := base.ApplyDelta(payload)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyDelta: %v", trial, err)
+		}
+		if gotAdded != wantAdded {
+			t.Fatalf("trial %d: added %d, Union added %d", trial, gotAdded, wantAdded)
+		}
+		if base.Count() != want.Count() {
+			t.Fatalf("trial %d: count %d != union count %d", trial, base.Count(), want.Count())
+		}
+		if !bytes.Equal(indicesBytes(base), indicesBytes(want)) {
+			t.Fatalf("trial %d: delta-applied map differs from union", trial)
+		}
+	}
+}
+
+func indicesBytes(m *Map) []byte {
+	var b bytes.Buffer
+	for _, i := range m.Indices() {
+		b.WriteByte(byte(i))
+		b.WriteByte(byte(i >> 8))
+	}
+	return b.Bytes()
+}
+
+func TestDeltaEmptyAndNil(t *testing.T) {
+	m := NewMap()
+	if got := EncodeDelta(m, nil); len(got) != 0 {
+		t.Fatalf("empty map encoded to %d bytes", len(got))
+	}
+	if got := EncodeDelta(nil, nil); got != nil {
+		t.Fatalf("nil map encoded to %v", got)
+	}
+	base := NewMap()
+	if added, err := base.ApplyDelta(nil); err != nil || added != 0 {
+		t.Fatalf("empty payload: added=%d err=%v", added, err)
+	}
+	// Delta of m against itself is empty: nothing new.
+	m.Add(7)
+	m.Add(65535)
+	if got := EncodeDelta(m, m); len(got) != 0 {
+		t.Fatalf("self-delta encoded to %d bytes", len(got))
+	}
+}
+
+func TestDeltaProportionalToNewEdges(t *testing.T) {
+	base := randomMap(rand.New(rand.NewSource(1)), 5000)
+	m := base.Clone()
+	m.Add(Index(123)) // likely already present; force a fresh edge
+	fresh := Index(54321)
+	for m.Has(fresh) {
+		fresh++
+	}
+	m.Add(fresh)
+	payload := EncodeDelta(m, base)
+	// One or two dirty words at ~9-10 bytes each — nothing near the 8 KiB
+	// a dense map dump would cost.
+	if len(payload) > 64 {
+		t.Fatalf("delta for <=2 new edges is %d bytes", len(payload))
+	}
+}
+
+func TestDeltaMalformed(t *testing.T) {
+	m := NewMap()
+	if _, err := m.ApplyDelta([]byte{0x01}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Word index past the map: gap varint of wordCount.
+	if _, err := m.ApplyDelta([]byte{0x80, 0x80, 0x01, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("out-of-range word index accepted")
+	}
+}
+
+func TestDeltaCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMap(rng, 300)
+	base := randomMap(rng, 100)
+	if !bytes.Equal(EncodeDelta(m, base), EncodeDelta(m, base)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

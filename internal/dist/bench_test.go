@@ -1,0 +1,63 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+)
+
+// benchOpts is the shared workload: the same campaign the byte-identity
+// tests pin, so the two benchmarks below measure transport overhead on
+// provably identical work.
+func benchOpts() parallel.Options {
+	return parallel.Options{
+		Mode:         parallel.ModeCMFuzz,
+		VirtualHours: 0.5,
+		Seed:         11,
+		Concurrency:  1,
+	}
+}
+
+// BenchmarkInProcess is the baseline: the campaign run by parallel.Run
+// in one process, no wire anywhere.
+func BenchmarkInProcess(b *testing.B) {
+	sub := mustSubjectB(b, "DNS")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parallel.Run(context.Background(), sub, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistLoopback is the same campaign through a coordinator and
+// two net.Pipe workers — every step, sync, and mutation crossing the
+// wire protocol. The ns/op delta against BenchmarkInProcess is the full
+// cost of distribution; sync-bytes/op is the corpus+coverage traffic
+// the delta encoding actually shipped.
+func BenchmarkDistLoopback(b *testing.B) {
+	sub := mustSubjectB(b, "DNS")
+	b.ReportAllocs()
+	var syncBytes int64
+	for i := 0; i < b.N; i++ {
+		_, coord, err := dist.RunLocal(context.Background(), sub, benchOpts(), 2, dist.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		syncBytes = coord.Stats().SyncBytes
+	}
+	b.ReportMetric(float64(syncBytes), "sync-bytes/op")
+}
+
+func mustSubjectB(b *testing.B, name string) subject.Subject {
+	b.Helper()
+	sub, err := protocols.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sub
+}

@@ -1,0 +1,685 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/fuzz"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
+)
+
+// Config tunes the coordinator's failure detection. The zero value gets
+// sensible defaults; the campaign semantics (and hence the Result) do
+// not depend on any of these — they only decide how fast a dead worker
+// is noticed.
+type Config struct {
+	// RPCTimeout bounds every request/response exchange (default 30s).
+	RPCTimeout time.Duration
+	// HeartbeatInterval is how often idle workers are pinged
+	// (default 2s). Zero keeps the default; negative disables
+	// heartbeats (useful for deterministic tests).
+	HeartbeatInterval time.Duration
+	// PingRetries is how many extra pings a silent worker gets, with
+	// jittered exponential backoff between attempts, before it is
+	// declared dead (default 3).
+	PingRetries int
+}
+
+func (c *Config) setDefaults() {
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Second
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.PingRetries == 0 {
+		c.PingRetries = 3
+	}
+}
+
+var errWorkerDead = errors.New("dist: worker is dead")
+
+// workerConn is the coordinator's view of one connected worker. The
+// connection mutex serializes RPCs; the heartbeat goroutine uses
+// TryLock so it never queues behind (or splices frames into) an
+// in-flight campaign RPC — a pending reply already proves liveness.
+type workerConn struct {
+	id   int
+	name string
+	conn net.Conn
+	br   *bufio.Reader
+
+	mu        sync.Mutex
+	dead      atomic.Bool
+	lastReply atomic.Int64 // unix nanos of the last frame received
+	execs     atomic.Int64 // cumulative execs across this worker's instances
+	syncBytes atomic.Int64 // cumulative sync payload bytes shipped
+
+	// deathCounted is touched only from the campaign loop, so telemetry
+	// and Stats see exactly one death per worker without locking.
+	deathCounted bool
+}
+
+// rpc performs one request/response exchange under the per-RPC
+// deadline. Stale Pongs (late heartbeat replies) are skipped: Pongs are
+// empty and interchangeable, so dropping one loses nothing. Any framing
+// or deadline error kills the connection — a partially read frame
+// cannot be resynchronized.
+func (wc *workerConn) rpc(typ byte, payload []byte, want byte, timeout time.Duration) ([]byte, error) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.rpcLocked(typ, payload, want, timeout)
+}
+
+func (wc *workerConn) rpcLocked(typ byte, payload []byte, want byte, timeout time.Duration) ([]byte, error) {
+	if wc.dead.Load() {
+		return nil, errWorkerDead
+	}
+	wc.conn.SetDeadline(time.Now().Add(timeout))
+	defer wc.conn.SetDeadline(time.Time{})
+	if err := writeFrame(wc.conn, typ, payload); err != nil {
+		wc.dead.Store(true)
+		return nil, err
+	}
+	for {
+		rtyp, rp, err := readFrame(wc.br)
+		if err != nil {
+			wc.dead.Store(true)
+			return nil, err
+		}
+		wc.lastReply.Store(time.Now().UnixNano())
+		if rtyp == msgPong && want != msgPong {
+			continue
+		}
+		if rtyp == msgError {
+			return nil, fmt.Errorf("dist: worker %q: %s", wc.name, rp)
+		}
+		if rtyp != want {
+			wc.dead.Store(true)
+			return nil, fmt.Errorf("dist: worker %q: got message %d, want %d", wc.name, rtyp, want)
+		}
+		return rp, nil
+	}
+}
+
+// WorkerStatus is a point-in-time snapshot of one worker, for the
+// monitor bridge.
+type WorkerStatus struct {
+	Name      string
+	Alive     bool
+	Execs     int64
+	SyncBytes int64
+	LastReply time.Time
+}
+
+// Stats aggregates the distributed-run bookkeeping that exists only in
+// dist (sync traffic, failures). It deliberately lives outside the
+// telemetry counter map: sync byte counts depend on wire encoding, and
+// folding them into counters would break the byte-identity guarantee
+// against in-process runs.
+type Stats struct {
+	SyncBytes     int64
+	WorkerDeaths  int
+	Reassignments int
+}
+
+// A Coordinator owns the global half of a distributed campaign: the
+// scheduling plan, the virtual-clock event loop, the union coverage
+// map, the series, the ledger, and telemetry. Workers own the
+// instances. For the same subject, options, and seed, Run produces a
+// Result byte-identical to parallel.Run's.
+type Coordinator struct {
+	sub  subject.Subject
+	opts parallel.Options
+	cfg  Config
+
+	workers []*workerConn
+
+	syncBytes     atomic.Int64
+	workerDeaths  atomic.Int64
+	reassignments atomic.Int64
+
+	stopHeartbeat chan struct{}
+	hbWG          sync.WaitGroup
+}
+
+// NewCoordinator prepares a coordinator for one campaign of sub under
+// opts. Workers attach via AddConn before Run is called.
+func NewCoordinator(sub subject.Subject, opts parallel.Options, cfg Config) *Coordinator {
+	cfg.setDefaults()
+	return &Coordinator{sub: sub, opts: opts, cfg: cfg, stopHeartbeat: make(chan struct{})}
+}
+
+// AddConn performs the Hello/Welcome handshake on a freshly accepted
+// worker connection and registers the worker. The worker speaks first,
+// so with synchronous transports (net.Pipe) the worker's Serve loop
+// must already be running.
+func (c *Coordinator) AddConn(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(c.cfg.RPCTimeout))
+	defer conn.SetDeadline(time.Time{})
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if typ != msgHello {
+		return fmt.Errorf("dist: worker handshake: got message %d, want Hello", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if h.Version != protocolVersion {
+		writeFrame(conn, msgError, []byte("protocol version mismatch"))
+		return fmt.Errorf("dist: worker %q speaks protocol %d, want %d", h.Name, h.Version, protocolVersion)
+	}
+	if err := writeFrame(conn, msgWelcome, nil); err != nil {
+		return err
+	}
+	wc := &workerConn{id: len(c.workers), name: h.Name, conn: conn, br: br}
+	wc.lastReply.Store(time.Now().UnixNano())
+	c.workers = append(c.workers, wc)
+	return nil
+}
+
+// Workers snapshots every registered worker for the monitor bridge.
+func (c *Coordinator) Workers() []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, wc := range c.workers {
+		out = append(out, WorkerStatus{
+			Name:      wc.name,
+			Alive:     !wc.dead.Load(),
+			Execs:     wc.execs.Load(),
+			SyncBytes: wc.syncBytes.Load(),
+			LastReply: time.Unix(0, wc.lastReply.Load()),
+		})
+	}
+	return out
+}
+
+// Stats reports the dist-only bookkeeping. Safe to call concurrently
+// with Run.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		SyncBytes:     c.syncBytes.Load(),
+		WorkerDeaths:  int(c.workerDeaths.Load()),
+		Reassignments: int(c.reassignments.Load()),
+	}
+}
+
+// heartbeat pings wc until the campaign ends or the worker dies. A
+// silent worker gets cfg.PingRetries extra attempts with jittered
+// exponential backoff before being declared dead; a worker with a
+// campaign RPC in flight is skipped (TryLock), since the pending reply
+// already proves the connection is live.
+func (c *Coordinator) heartbeat(wc *workerConn) {
+	defer c.hbWG.Done()
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(int64(wc.id)*2654435761 + 1))
+	for {
+		select {
+		case <-c.stopHeartbeat:
+			return
+		case <-ticker.C:
+		}
+		if wc.dead.Load() {
+			return
+		}
+		if !wc.mu.TryLock() {
+			continue
+		}
+		var err error
+		backoff := 100 * time.Millisecond
+		for attempt := 0; attempt <= c.cfg.PingRetries; attempt++ {
+			_, err = wc.rpcLocked(msgPing, nil, msgPong, c.cfg.RPCTimeout)
+			if err == nil || wc.dead.Load() {
+				break
+			}
+			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+			backoff *= 2
+		}
+		wc.mu.Unlock()
+		if err != nil {
+			wc.dead.Store(true)
+			return
+		}
+	}
+}
+
+// alive returns the live worker whose id is at or after from, wrapping
+// around; nil when every worker is dead.
+func (c *Coordinator) alive(from int) *workerConn {
+	n := len(c.workers)
+	for k := 0; k < n; k++ {
+		wc := c.workers[(from+k)%n]
+		if !wc.dead.Load() {
+			return wc
+		}
+	}
+	return nil
+}
+
+// runState is the coordinator-owned per-instance campaign state — the
+// exact fields the in-process event loop keeps on its Instance structs.
+type runState struct {
+	host       *parallel.Host
+	opts       parallel.Options
+	specs      []parallel.InstanceSpec
+	owner      []*workerConn
+	clock      []float64
+	nextSync   []float64
+	crashes    []int
+	muts       []int
+	prevExecs  []int
+	curConfig  []string
+	startEdges []int
+	res        *parallel.Result
+	global     *coverage.Map
+	tel        *telemetry.Recorder
+}
+
+// markDead records a worker failure exactly once (campaign loop only).
+func (c *Coordinator) markDead(wc *workerConn, tel *telemetry.Recorder) {
+	wc.dead.Store(true)
+	if !wc.deathCounted {
+		wc.deathCounted = true
+		c.workerDeaths.Add(1)
+		tel.Count(telemetry.CtrWorkerDeaths, 1)
+	}
+}
+
+// bootOn boots instance i on wc (resuming at resumeClock), replays the
+// startup crash records into the ledger, and merges the startup
+// coverage delta into the global map.
+func (c *Coordinator) bootOn(wc *workerConn, st *runState, i int, resumeClock float64) error {
+	p, err := wc.rpc(msgBoot, encodeBootReq(bootReq{Index: i, ResumeClock: resumeClock}), msgBootResult, c.cfg.RPCTimeout)
+	if err != nil {
+		return err
+	}
+	br, err := decodeBootResult(p)
+	if err != nil {
+		wc.dead.Store(true)
+		return err
+	}
+	for _, cr := range br.Crashes {
+		crash := cr.Crash
+		st.res.Bugs.Record(&crash, cr.Instance, cr.T, cr.Config)
+	}
+	if br.Err != "" {
+		return errors.New(br.Err)
+	}
+	if _, err := st.global.ApplyDelta(br.Delta); err != nil {
+		wc.dead.Store(true)
+		return err
+	}
+	st.owner[i] = wc
+	st.curConfig[i] = br.Config
+	st.startEdges[i] = br.StartEdges
+	return nil
+}
+
+// reassign moves instance i off its dead owner onto the next live
+// worker, resuming at the coordinator-owned clock. The dead worker's
+// corpus progress for the instance is lost — the fresh instance reboots
+// from its original spec — but the global map, series, ledger, and
+// schedule are coordinator-owned and survive intact.
+func (c *Coordinator) reassign(st *runState, i int) error {
+	for {
+		wc := c.alive(st.owner[i].id + 1)
+		if wc == nil {
+			return errors.New("dist: no live workers left")
+		}
+		c.reassignments.Add(1)
+		st.tel.Count(telemetry.CtrReassignments, 1)
+		err := c.bootOn(wc, st, i, st.clock[i])
+		if err == nil {
+			st.tel.Count(telemetry.CtrBoots, 1)
+			st.prevExecs[i] = 0
+			return nil
+		}
+		if wc.dead.Load() {
+			c.markDead(wc, st.tel)
+			st.owner[i] = wc // advance the search past this worker
+			continue
+		}
+		return err // application-level boot failure: campaign-fatal, as in-process
+	}
+}
+
+// rpcI sends one instance-targeted RPC, transparently reassigning the
+// instance and retrying when its owner has died.
+func (c *Coordinator) rpcI(st *runState, i int, typ byte, payload []byte, want byte) ([]byte, error) {
+	for {
+		wc := st.owner[i]
+		p, err := wc.rpc(typ, payload, want, c.cfg.RPCTimeout)
+		if err == nil {
+			return p, nil
+		}
+		if !wc.dead.Load() {
+			return nil, err // worker alive but request failed: not recoverable by reassignment
+		}
+		c.markDead(wc, st.tel)
+		if rerr := c.reassign(st, i); rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+// Run executes the distributed campaign. It mirrors parallel.Run's
+// event loop statement for statement; the only difference is that step,
+// sync-export/import, and finalize execute on workers via RPC. See the
+// package comment for the byte-identity argument.
+func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
+	if len(c.workers) == 0 {
+		return nil, errors.New("dist: no workers connected")
+	}
+	// Every return path must release the fleet: stop heartbeats, send a
+	// best-effort Shutdown to live workers, and close the connections.
+	defer func() {
+		close(c.stopHeartbeat)
+		c.hbWG.Wait()
+		for _, wc := range c.workers {
+			if !wc.dead.Load() {
+				wc.mu.Lock()
+				writeFrame(wc.conn, msgShutdown, nil)
+				wc.mu.Unlock()
+			}
+			wc.conn.Close()
+		}
+	}()
+	host, err := parallel.NewHost(c.sub, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	opts := host.Opts
+	info := c.sub.Info()
+	tel := opts.Telemetry
+	prog := opts.Progress
+	if opts.Label == "" {
+		opts.Label = opts.Mode.String()
+	}
+	prog.StartRun(opts.Label, opts.Mode.String(), info.Protocol, opts.VirtualHours*3600, opts.Instances)
+	defer prog.EndRun(opts.Label)
+
+	res := &parallel.Result{
+		Mode:          opts.Mode,
+		Subject:       info,
+		Series:        &coverage.Series{},
+		Bugs:          bugs.NewLedger(),
+		ModelEntities: host.Model.Len(),
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	plan := host.Plan(res.Bugs, tel, opts.Trace)
+	res.RelationEdges = plan.RelationEdges
+	res.Probes = plan.Probes
+	res.Groups = plan.Groups
+
+	// Ship the whole plan to every worker: each boots only the
+	// instances it is told to, but holding all specs lets any worker
+	// adopt a reassigned instance later.
+	wireOpts := opts
+	wireOpts.Telemetry = nil
+	wireOpts.Trace = nil
+	wireOpts.Progress = nil
+	wireOpts.Label = ""
+	assignPayload := encodeAssign(assign{Subject: info.Protocol, Opts: wireOpts, Specs: plan.Specs})
+	for _, wc := range c.workers {
+		if _, err := wc.rpc(msgAssign, assignPayload, msgAssignOK, c.cfg.RPCTimeout); err != nil {
+			return nil, fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)
+		}
+	}
+
+	if c.cfg.HeartbeatInterval > 0 {
+		for _, wc := range c.workers {
+			c.hbWG.Add(1)
+			go c.heartbeat(wc)
+		}
+	}
+
+	n := len(plan.Specs)
+	st := &runState{
+		host:       host,
+		opts:       opts,
+		specs:      append([]parallel.InstanceSpec(nil), plan.Specs...),
+		owner:      make([]*workerConn, n),
+		clock:      make([]float64, n),
+		nextSync:   make([]float64, n),
+		crashes:    make([]int, n),
+		muts:       make([]int, n),
+		prevExecs:  make([]int, n),
+		curConfig:  make([]string, n),
+		startEdges: make([]int, n),
+		res:        res,
+		global:     coverage.NewMap(),
+		tel:        tel,
+	}
+
+	// Boot every instance, round-robin across workers, in instance
+	// order — the same order the in-process loop boots in, so ledger
+	// entries and telemetry events from startup land identically.
+	for i, spec := range plan.Specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		wc := c.alive(i % len(c.workers))
+		if wc == nil {
+			return nil, errors.New("dist: no live workers left")
+		}
+		bootSpan := opts.Trace.Child("instance.boot", trace.A("instance", spec.Index))
+		st.owner[i] = wc
+		if err := c.bootOn(wc, st, i, 0); err != nil {
+			if wc.dead.Load() {
+				c.markDead(wc, tel)
+				if rerr := c.reassign(st, i); rerr != nil {
+					bootSpan.End()
+					return nil, rerr
+				}
+			} else {
+				bootSpan.End()
+				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
+			}
+		}
+		st.nextSync[i] = opts.SyncInterval
+		bootSpan.Set("edges", st.startEdges[i])
+		bootSpan.End()
+		tel.Emit(telemetry.Event{Type: telemetry.EvBoot, Instance: i,
+			Config: st.curConfig[i], Edges: st.startEdges[i]})
+		tel.Count(telemetry.CtrBoots, 1)
+		if prog.Enabled() {
+			prog.SetInstanceConfig(opts.Label, i, st.curConfig[i])
+		}
+	}
+
+	horizon := opts.VirtualHours * 3600
+	res.Series.Observe(0, st.global.Count())
+	lastSample := 0.0
+	watermark := 0.0
+	minSampleGap := opts.SampleEvery / 10
+
+	instSpans := make([]*trace.Span, n)
+	for i := range instSpans {
+		instSpans[i] = opts.Trace.Child("instance", trace.A("index", i))
+	}
+
+	cancelled := false
+	for {
+		i := 0
+		for j := 1; j < n; j++ {
+			if st.clock[j] < st.clock[i] {
+				i = j
+			}
+		}
+		if st.clock[i] >= horizon {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
+
+		p, err := c.rpcI(st, i, msgStep, encodeStepReq(stepReq{Index: i}), msgStepResult)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := decodeStepResult(p)
+		if err != nil {
+			c.markDead(st.owner[i], tel)
+			if rerr := c.reassign(st, i); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		st.owner[i].execs.Add(int64(sr.Execs - st.prevExecs[i]))
+		st.prevExecs[i] = sr.Execs
+		st.clock[i] += opts.StepCost + opts.ByteCost*float64(sr.Bytes)
+
+		if sr.Crash != nil {
+			st.crashes[i]++
+			isNew := res.Bugs.Record(sr.Crash, i, st.clock[i], st.curConfig[i])
+			tel.Emit(telemetry.Event{T: st.clock[i], Type: telemetry.EvCrash, Instance: i,
+				Crash: sr.Crash.ID(), New: isNew, Config: st.curConfig[i]})
+			tel.Count(telemetry.CtrCrashes, 1)
+			if isNew {
+				tel.Count(telemetry.CtrCrashesUnique, 1)
+			}
+		}
+		if sr.NewEdges > 0 {
+			if _, err := st.global.ApplyDelta(sr.Delta); err != nil {
+				return nil, fmt.Errorf("dist: coverage delta from worker %q: %w", st.owner[i].name, err)
+			}
+		}
+		if st.clock[i] > watermark {
+			watermark = st.clock[i]
+		}
+		if watermark-lastSample >= opts.SampleEvery ||
+			(sr.NewEdges > 0 && watermark-lastSample >= minSampleGap) {
+			res.Series.Observe(watermark, st.global.Count())
+			lastSample = watermark
+			tel.Emit(telemetry.Event{T: watermark, Type: telemetry.EvSample, Instance: i,
+				Edges: st.global.Count()})
+			tel.Count(telemetry.CtrSamples, 1)
+			prog.SetUnion(opts.Label, watermark, st.global.Count())
+		}
+		if prog.Enabled() {
+			prog.StepInstance(opts.Label, i, st.clock[i],
+				sr.Coverage, sr.Execs, st.crashes[i], st.muts[i], sr.Corpus)
+		}
+
+		// Seed synchronization: export from every other instance (in
+		// index order, exactly as the in-process loop iterates), then
+		// one import into the stepping instance.
+		if st.clock[i] >= st.nextSync[i] {
+			sync := instSpans[i].Child("sync")
+			var all []fuzz.Seed
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				sp, err := c.rpcI(st, j, msgExport, encodeExportReq(exportReq{Index: j, Max: 4}), msgSeeds)
+				if err != nil {
+					sync.End()
+					return nil, err
+				}
+				seeds, err := decodeSeeds(sp)
+				if err != nil {
+					sync.End()
+					return nil, err
+				}
+				c.syncBytes.Add(int64(len(sp)))
+				st.owner[j].syncBytes.Add(int64(len(sp)))
+				all = append(all, seeds...)
+			}
+			importPayload := encodeImportReq(importReq{Index: i, Seeds: all})
+			if _, err := c.rpcI(st, i, msgImport, importPayload, msgImportOK); err != nil {
+				sync.End()
+				return nil, err
+			}
+			c.syncBytes.Add(int64(len(importPayload)))
+			st.owner[i].syncBytes.Add(int64(len(importPayload)))
+			skipped := 0
+			for st.nextSync[i] += opts.SyncInterval; st.nextSync[i] <= st.clock[i]; st.nextSync[i] += opts.SyncInterval {
+				skipped++
+			}
+			tel.Emit(telemetry.Event{T: st.clock[i], Type: telemetry.EvSync, Instance: i,
+				Seeds: len(all), Skipped: skipped})
+			tel.Count(telemetry.CtrSyncs, 1)
+			if skipped > 0 {
+				tel.Count(telemetry.CtrSyncSkipped, skipped)
+			}
+			sync.Set("seeds", len(all))
+			sync.End()
+		}
+
+		// Saturation fired worker-side inside the same step exchange;
+		// replay its telemetry, ledger records, and counters here, in
+		// the same order the in-process loop emits them (after sync).
+		if sr.SatFired {
+			tel.Emit(telemetry.Event{T: st.clock[i], Type: telemetry.EvSaturation, Instance: i,
+				Edges: sr.SatEdges})
+			tel.Count(telemetry.CtrSaturations, 1)
+			if m := sr.Mutation; m != nil {
+				mut := instSpans[i].Child("config.mutate")
+				for _, cr := range m.Crashes {
+					crash := cr.Crash
+					res.Bugs.Record(&crash, cr.Instance, cr.T, cr.Config)
+				}
+				st.muts[i] += m.Outcome.Mutations
+				parallel.EmitMutation(tel, i, st.clock[i], m.Outcome)
+				if m.Outcome.Restarted && prog.Enabled() {
+					prog.SetInstanceConfig(opts.Label, i, sr.Config)
+				}
+				mut.End()
+			}
+		}
+		st.curConfig[i] = sr.Config
+	}
+
+	finalT := horizon
+	if cancelled {
+		finalT = watermark
+	}
+	res.Series.Observe(finalT, st.global.Count())
+	res.FinalBranches = st.global.Count()
+	prog.SetUnion(opts.Label, finalT, st.global.Count())
+	for i := 0; i < n; i++ {
+		p, err := c.rpcI(st, i, msgFinalize, encodeStepReq(stepReq{Index: i}), msgInstanceResult)
+		if err != nil {
+			return nil, err
+		}
+		ir, err := decodeInstanceResult(p)
+		if err != nil {
+			return nil, err
+		}
+		res.TotalExecs += ir.Execs
+		instSpans[i].Set("edges", ir.FinalBranches)
+		instSpans[i].Set("execs", ir.Execs)
+		instSpans[i].End()
+		res.Instances = append(res.Instances, ir)
+	}
+	res.Counters = tel.Counters()
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}

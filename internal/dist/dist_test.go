@@ -1,0 +1,192 @@
+package dist_test
+
+import (
+	"context"
+	"io/fs"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cmfuzz/internal/campaign"
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
+)
+
+func mustSubject(t *testing.T, name string) subject.Subject {
+	t.Helper()
+	sub, err := protocols.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+func baseOptions(rec *telemetry.Recorder) parallel.Options {
+	return parallel.Options{
+		Mode:         parallel.ModeCMFuzz,
+		VirtualHours: 0.5,
+		Seed:         11,
+		Concurrency:  1,
+		Telemetry:    rec,
+	}
+}
+
+// writeAll drops the full artifact set (result.json, coverage.csv,
+// crash reports, events.jsonl, timeline.txt) for one run.
+func writeAll(t *testing.T, dir string, res *parallel.Result, rec *telemetry.Recorder) {
+	t.Helper()
+	if err := campaign.WriteArtifacts(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.WriteTelemetry(dir, rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readTree maps relative path -> contents for every file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(raw)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoopbackMatchesInProcess is the subsystem's anchor: the same DNS
+// campaign, run once in-process and once through a coordinator driving
+// two workers over real loopback TCP, must produce byte-identical
+// artifacts — summary, coverage series, crash reports, and the full
+// telemetry event stream.
+func TestLoopbackMatchesInProcess(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+
+	recA := telemetry.New()
+	resA, err := parallel.Run(context.Background(), sub, baseOptions(recA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirA := filepath.Join(t.TempDir(), "inproc")
+	writeAll(t, dirA, resA, recA)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const workers = 2
+	serveErr := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			conn, err := dist.Dial(ln.Addr().String(), 5, int64(i))
+			if err != nil {
+				serveErr <- err
+				return
+			}
+			w := dist.NewWorker(dist.WorkerConfig{Name: "w", Resolve: func(name string) (subject.Subject, error) {
+				return protocols.ByName(name)
+			}})
+			serveErr <- w.Serve(conn)
+		}(i)
+	}
+	recB := telemetry.New()
+	coord := dist.NewCoordinator(sub, baseOptions(recB), dist.Config{})
+	for i := 0; i < workers; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.AddConn(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resB, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		<-serveErr
+	}
+	dirB := filepath.Join(t.TempDir(), "dist")
+	writeAll(t, dirB, resB, recB)
+
+	treeA, treeB := readTree(t, dirA), readTree(t, dirB)
+	if len(treeB) != len(treeA) {
+		t.Fatalf("artifact sets differ: %d files in-process, %d distributed", len(treeA), len(treeB))
+	}
+	for rel, a := range treeA {
+		b, ok := treeB[rel]
+		if !ok {
+			t.Fatalf("distributed run missing artifact %s", rel)
+		}
+		if a != b {
+			t.Fatalf("artifact %s diverged between in-process and distributed runs:\n--- in-process ---\n%s\n--- distributed ---\n%s", rel, a, b)
+		}
+	}
+
+	if st := coord.Stats(); st.WorkerDeaths != 0 || st.Reassignments != 0 {
+		t.Fatalf("healthy run reported failures: %+v", st)
+	}
+	if st := coord.Stats(); st.SyncBytes == 0 {
+		t.Fatal("sync traffic not accounted")
+	}
+	for _, ws := range coord.Workers() {
+		if !ws.Alive || ws.Execs == 0 {
+			t.Fatalf("worker status not maintained: %+v", ws)
+		}
+	}
+}
+
+// TestRunLocalMatchesInProcess pins the net.Pipe harness (the
+// `campaign -dist N` path) against the in-process result too, at a
+// different worker count than the TCP test.
+func TestRunLocalMatchesInProcess(t *testing.T) {
+	sub := mustSubject(t, "MQTT")
+	opts := parallel.Options{Mode: parallel.ModeCMFuzz, VirtualHours: 0.25, Seed: 3, Concurrency: 1}
+	resA, err := parallel.Run(context.Background(), sub, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, _, err := dist.RunLocal(context.Background(), sub, opts, 3, dist.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.FinalBranches != resB.FinalBranches || resA.TotalExecs != resB.TotalExecs ||
+		resA.Bugs.Len() != resB.Bugs.Len() {
+		t.Fatalf("diverged: in-process (%d branches, %d execs, %d bugs) vs dist (%d, %d, %d)",
+			resA.FinalBranches, resA.TotalExecs, resA.Bugs.Len(),
+			resB.FinalBranches, resB.TotalExecs, resB.Bugs.Len())
+	}
+	for i := range resA.Instances {
+		a, b := resA.Instances[i], resB.Instances[i]
+		if a.Config != b.Config || a.FinalBranches != b.FinalBranches ||
+			a.Execs != b.Execs || a.Crashes != b.Crashes || a.ConfigMutations != b.ConfigMutations {
+			t.Fatalf("instance %d diverged:\n got %+v\nwant %+v", i, b, a)
+		}
+	}
+	pa, pb := resA.Series.Points(), resB.Series.Points()
+	if len(pa) != len(pb) {
+		t.Fatalf("series length diverged: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("series point %d diverged: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}

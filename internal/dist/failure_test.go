@@ -1,0 +1,125 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
+)
+
+// faultConn fails every operation after `limit` successful writes,
+// simulating a worker process dying mid-campaign at a deterministic
+// point in the RPC sequence (net.Pipe carries no kernel buffering, so
+// the failure interleaving is reproducible).
+type faultConn struct {
+	net.Conn
+	writes int
+	limit  int
+}
+
+var errInjected = errors.New("injected worker failure")
+
+func (f *faultConn) Write(p []byte) (int, error) {
+	if f.writes >= f.limit {
+		return 0, errInjected
+	}
+	f.writes++
+	return f.Conn.Write(p)
+}
+
+// TestWorkerDeathReassignsInstances kills one of two workers partway
+// through a campaign and asserts the coordinator notices, re-boots the
+// dead worker's instances on the survivor, counts the failure in
+// telemetry and Stats, and still completes the full horizon.
+func TestWorkerDeathReassignsInstances(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	rec := telemetry.New()
+	opts := parallel.Options{
+		Mode: parallel.ModeCMFuzz, VirtualHours: 0.25, Seed: 5, Concurrency: 1,
+		Telemetry: rec,
+	}
+	resolve := func(name string) (subject.Subject, error) { return protocols.ByName(name) }
+
+	// Heartbeats off: the death must be detected synchronously by the
+	// campaign loop's own RPC failure, keeping the test deterministic.
+	coord := dist.NewCoordinator(sub, opts, dist.Config{HeartbeatInterval: -1})
+	serveErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cConn, wConn := net.Pipe()
+		w := dist.NewWorker(dist.WorkerConfig{Name: fmt.Sprintf("w%d", i), Resolve: resolve})
+		go func() { serveErr <- w.Serve(wConn) }()
+		conn := net.Conn(cConn)
+		if i == 0 {
+			// Enough writes to get through handshake, assign, and boots,
+			// then die while stepping.
+			conn = &faultConn{Conn: cConn, limit: 40}
+		}
+		if err := coord.AddConn(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		<-serveErr
+	}
+
+	if len(res.Instances) != 4 {
+		t.Fatalf("got %d instance results, want 4", len(res.Instances))
+	}
+	if res.FinalBranches == 0 || res.TotalExecs == 0 {
+		t.Fatalf("campaign did not make progress: %d branches, %d execs", res.FinalBranches, res.TotalExecs)
+	}
+	last := res.Series.Points()[len(res.Series.Points())-1]
+	if want := opts.VirtualHours * 3600; last.T < want {
+		t.Fatalf("campaign stopped at %.1f virtual seconds, want %.1f", last.T, want)
+	}
+
+	st := coord.Stats()
+	if st.WorkerDeaths != 1 {
+		t.Fatalf("worker deaths = %d, want 1", st.WorkerDeaths)
+	}
+	// Worker 0 owned instances 0 and 2 (round-robin over two workers);
+	// both must have been re-booted on the survivor.
+	if st.Reassignments != 2 {
+		t.Fatalf("reassignments = %d, want 2", st.Reassignments)
+	}
+	if res.Counters[telemetry.CtrWorkerDeaths] != 1 || res.Counters[telemetry.CtrReassignments] != 2 {
+		t.Fatalf("telemetry counters missing the failure: %+v", res.Counters)
+	}
+
+	var alive, dead int
+	for _, ws := range coord.Workers() {
+		if ws.Alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	if alive != 1 || dead != 1 {
+		t.Fatalf("worker status: %d alive, %d dead, want 1/1", alive, dead)
+	}
+}
+
+// TestRunLocalCancellation checks ctx cancellation propagates through
+// the distributed path the same way it does through parallel.Run: a
+// partial, well-formed Result alongside ctx.Err().
+func TestRunLocalCancellation(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := parallel.Options{Mode: parallel.ModeCMFuzz, VirtualHours: 0.25, Seed: 5, Concurrency: 1}
+	if _, _, err := dist.RunLocal(ctx, sub, opts, 2, dist.Config{HeartbeatInterval: -1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package dist runs a parallel fuzzing campaign across worker processes.
+//
+// A coordinator owns everything global — the scheduling plan, the
+// virtual-clock event loop, the union coverage map, the sampled series,
+// the bug ledger, and telemetry — while workers own whole instances
+// (engine, booted target, mutation RNG, saturation tracker) and execute
+// the exact same per-instance code the in-process campaign uses
+// (parallel.Host / parallel.Instance). The coordinator drives workers in
+// lockstep over a length-prefixed binary protocol, so a distributed
+// campaign and parallel.Run produce byte-identical Results for the same
+// seed: same coverage series, same ledger order, same counters.
+//
+// Coverage travels as deltas (coverage.EncodeDelta over dirty words
+// only), so sync payloads are proportional to newly found edges, not to
+// the 64 Ki map.
+//
+// Failure handling is first-class: workers heartbeat, every RPC carries
+// a deadline, and when a worker dies its instances are re-booted on
+// survivors from their original specs at the clock they had reached
+// (corpus progress on the dead worker is lost; the re-boot is counted in
+// telemetry).
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame layout: u32 big-endian length (of type byte + payload), u8
+// message type, payload. The length guard bounds a hostile or corrupt
+// peer to maxFrame before any allocation happens.
+const maxFrame = 64 << 20
+
+// protocolVersion gates the Hello/Welcome handshake; coordinator and
+// worker must agree exactly.
+const protocolVersion = 1
+
+// Message types.
+const (
+	msgHello byte = iota + 1
+	msgWelcome
+	msgAssign
+	msgAssignOK
+	msgBoot
+	msgBootResult
+	msgStep
+	msgStepResult
+	msgExport
+	msgSeeds
+	msgImport
+	msgImportOK
+	msgFinalize
+	msgInstanceResult
+	msgPing
+	msgPong
+	msgShutdown
+	msgError
+)
+
+var errFrameTooLarge = errors.New("dist: frame exceeds size limit")
+
+// writeFrame sends one framed message. The header and payload go out in
+// a single Write so a concurrent deadline cannot split a frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return errFrameTooLarge
+	}
+	buf := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)+1))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one framed message.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("dist: zero-length frame")
+	}
+	if n > maxFrame {
+		return 0, nil, errFrameTooLarge
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}

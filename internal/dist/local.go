@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
+)
+
+// RunLocal runs a distributed campaign entirely in-process: a
+// coordinator plus `workers` worker loops, connected over net.Pipe.
+// It exists for `cmfuzz campaign -dist N`, for CI smoke tests, and as
+// the deterministic harness the failure-path tests build on — the
+// pipes are synchronous, so there is no kernel socket buffering to
+// make timings (and thus failure interleavings) flaky.
+//
+// The Result is byte-identical to parallel.Run(ctx, sub, opts) for the
+// same options and seed, whatever the worker count.
+func RunLocal(ctx context.Context, sub subject.Subject, opts parallel.Options, workers int, cfg Config) (*parallel.Result, *Coordinator, error) {
+	if workers <= 0 {
+		workers = 2
+	}
+	resolve := func(name string) (subject.Subject, error) {
+		if info := sub.Info(); name != info.Protocol {
+			return nil, fmt.Errorf("dist: local worker asked for subject %q, running %q", name, info.Protocol)
+		}
+		return sub, nil
+	}
+	coord := NewCoordinator(sub, opts, cfg)
+	serveErr := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		cConn, wConn := net.Pipe()
+		w := NewWorker(WorkerConfig{Name: fmt.Sprintf("local-%d", i), Resolve: resolve})
+		// The worker speaks first (Hello), and net.Pipe writes block
+		// until read, so Serve must be running before AddConn.
+		go func() { serveErr <- w.Serve(wConn) }()
+		if err := coord.AddConn(cConn); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := coord.Run(ctx)
+	// Workers exit on the Shutdown frames (or closed pipes) Run sends
+	// on its way out; drain so no goroutine outlives the call.
+	for i := 0; i < workers; i++ {
+		<-serveErr
+	}
+	return res, coord, err
+}

@@ -1,0 +1,536 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/schedule"
+	"cmfuzz/internal/fuzz"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/wire"
+)
+
+// ErrProto reports a structurally invalid protocol payload.
+var ErrProto = errors.New("dist: malformed message")
+
+// The codecs below use internal/wire. Every map is serialized in sorted
+// key order so encodings are canonical; floats travel as IEEE-754 bits
+// so the worker and coordinator compute with identical values.
+
+func putF64(w *wire.Writer, f float64) { w.U64(math.Float64bits(f)) }
+func getF64(r *wire.Reader) float64    { return math.Float64frombits(r.U64()) }
+func getBool(r *wire.Reader) bool      { return r.U8() != 0 }
+func putI64(w *wire.Writer, v int64)   { w.U64(uint64(v)) }
+func getI64(r *wire.Reader) int64      { return int64(r.U64()) }
+
+func putBool(w *wire.Writer, b bool) {
+	if b {
+		w.U8(1)
+		return
+	}
+	w.U8(0)
+}
+
+func putStrings(w *wire.Writer, ss []string) {
+	w.U16(uint16(len(ss)))
+	for _, s := range ss {
+		w.String16(s)
+	}
+}
+
+func getStrings(r *wire.Reader) []string {
+	n := int(r.U16())
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	out := make([]string, 0, min(n, 1024))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, r.String16())
+	}
+	return out
+}
+
+func putAssignment(w *wire.Writer, a configmodel.Assignment) {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U16(uint16(len(keys)))
+	for _, k := range keys {
+		w.String16(k)
+		w.String16(a[k])
+	}
+}
+
+func getAssignment(r *wire.Reader) configmodel.Assignment {
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil
+	}
+	a := make(configmodel.Assignment, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String16()
+		a[k] = r.String16()
+	}
+	return a
+}
+
+// --- Hello / Welcome ---
+
+type hello struct {
+	Name    string
+	Version byte
+}
+
+func encodeHello(h hello) []byte {
+	w := &wire.Writer{}
+	w.U8(h.Version)
+	w.String16(h.Name)
+	return w.Bytes()
+}
+
+func decodeHello(p []byte) (hello, error) {
+	r := wire.NewReader(p)
+	h := hello{Version: r.U8(), Name: r.String16()}
+	return h, r.Err()
+}
+
+// --- Assign ---
+
+type assign struct {
+	Subject string
+	Opts    parallel.Options
+	Specs   []parallel.InstanceSpec
+}
+
+func encodeOptions(w *wire.Writer, o parallel.Options) {
+	w.U8(byte(o.Mode))
+	w.U32(uint32(o.Instances))
+	putF64(w, o.VirtualHours)
+	putI64(w, o.Seed)
+	putF64(w, o.StepCost)
+	putF64(w, o.ByteCost)
+	putF64(w, o.SyncInterval)
+	putF64(w, o.SaturationWindow)
+	w.U32(uint32(o.SaturationMinGain))
+	w.U32(uint32(o.MaxValues))
+	w.U8(byte(o.Allocator))
+	putBool(w, o.DisableConfigMutation)
+	putF64(w, o.SampleEvery)
+	putBool(w, o.RawRelationWeighting)
+	putBool(w, o.PeachSharedSchedules)
+	w.U32(uint32(o.Concurrency))
+}
+
+func decodeOptions(r *wire.Reader) parallel.Options {
+	return parallel.Options{
+		Mode:                  parallel.Mode(r.U8()),
+		Instances:             int(r.U32()),
+		VirtualHours:          getF64(r),
+		Seed:                  getI64(r),
+		StepCost:              getF64(r),
+		ByteCost:              getF64(r),
+		SyncInterval:          getF64(r),
+		SaturationWindow:      getF64(r),
+		SaturationMinGain:     int(r.U32()),
+		MaxValues:             int(r.U32()),
+		Allocator:             parallel.Allocator(r.U8()),
+		DisableConfigMutation: getBool(r),
+		SampleEvery:           getF64(r),
+		RawRelationWeighting:  getBool(r),
+		PeachSharedSchedules:  getBool(r),
+		Concurrency:           int(r.U32()),
+	}
+}
+
+func encodeSpec(w *wire.Writer, s parallel.InstanceSpec) {
+	w.U32(uint32(s.Index))
+	putAssignment(w, s.Config)
+	putStrings(w, s.Group.Members)
+	w.U16(uint16(len(s.Paths)))
+	for _, p := range s.Paths {
+		putStrings(w, p.States)
+		putStrings(w, p.Models)
+	}
+	putI64(w, s.EngineSeed)
+	putI64(w, s.RngSeed)
+}
+
+func decodeSpec(r *wire.Reader) parallel.InstanceSpec {
+	s := parallel.InstanceSpec{
+		Index:  int(r.U32()),
+		Config: getAssignment(r),
+		Group:  schedule.Group{Members: getStrings(r)},
+	}
+	n := int(r.U16())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		s.Paths = append(s.Paths, fuzz.Path{States: getStrings(r), Models: getStrings(r)})
+	}
+	s.EngineSeed = getI64(r)
+	s.RngSeed = getI64(r)
+	return s
+}
+
+func encodeAssign(a assign) []byte {
+	w := &wire.Writer{}
+	w.String16(a.Subject)
+	encodeOptions(w, a.Opts)
+	w.U16(uint16(len(a.Specs)))
+	for _, s := range a.Specs {
+		encodeSpec(w, s)
+	}
+	return w.Bytes()
+}
+
+func decodeAssign(p []byte) (assign, error) {
+	r := wire.NewReader(p)
+	a := assign{Subject: r.String16(), Opts: decodeOptions(r)}
+	n := int(r.U16())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		a.Specs = append(a.Specs, decodeSpec(r))
+	}
+	if r.Err() != nil {
+		return assign{}, r.Err()
+	}
+	if !r.Empty() {
+		return assign{}, ErrProto
+	}
+	return a, nil
+}
+
+// --- Boot ---
+
+type bootReq struct {
+	Index       int
+	ResumeClock float64 // nonzero when re-booting a lost instance
+}
+
+func encodeBootReq(b bootReq) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(b.Index))
+	putF64(w, b.ResumeClock)
+	return w.Bytes()
+}
+
+func decodeBootReq(p []byte) (bootReq, error) {
+	r := wire.NewReader(p)
+	b := bootReq{Index: int(r.U32()), ResumeClock: getF64(r)}
+	return b, r.Err()
+}
+
+// crashRec is one buffered CrashSink record, replayed into the
+// coordinator's ledger in order.
+type crashRec struct {
+	Crash    bugs.Crash
+	Instance int
+	T        float64
+	Config   string
+}
+
+func putCrashRec(w *wire.Writer, c crashRec) {
+	w.String16(c.Crash.Protocol)
+	w.U8(byte(c.Crash.Kind))
+	w.String16(c.Crash.Function)
+	w.String32(c.Crash.Detail)
+	w.U32(uint32(c.Instance))
+	putF64(w, c.T)
+	w.String32(c.Config)
+}
+
+func getCrashRec(r *wire.Reader) crashRec {
+	return crashRec{
+		Crash: bugs.Crash{
+			Protocol: r.String16(),
+			Kind:     bugs.Kind(r.U8()),
+			Function: r.String16(),
+			Detail:   r.String32(),
+		},
+		Instance: int(r.U32()),
+		T:        getF64(r),
+		Config:   r.String32(),
+	}
+}
+
+func putCrashRecs(w *wire.Writer, cs []crashRec) {
+	w.U16(uint16(len(cs)))
+	for _, c := range cs {
+		putCrashRec(w, c)
+	}
+}
+
+func getCrashRecs(r *wire.Reader) []crashRec {
+	n := int(r.U16())
+	var out []crashRec
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, getCrashRec(r))
+	}
+	return out
+}
+
+type bootResult struct {
+	Err        string // empty on success
+	Config     string
+	StartEdges int
+	Delta      []byte // full engine map (EncodeDelta against nil)
+	Crashes    []crashRec
+}
+
+func encodeBootResult(b bootResult) []byte {
+	w := &wire.Writer{}
+	w.String32(b.Err)
+	w.String32(b.Config)
+	w.U32(uint32(b.StartEdges))
+	w.Bytes32(b.Delta)
+	putCrashRecs(w, b.Crashes)
+	return w.Bytes()
+}
+
+func decodeBootResult(p []byte) (bootResult, error) {
+	r := wire.NewReader(p)
+	b := bootResult{
+		Err:        r.String32(),
+		Config:     r.String32(),
+		StartEdges: int(r.U32()),
+		Delta:      r.Bytes32(),
+		Crashes:    getCrashRecs(r),
+	}
+	return b, r.Err()
+}
+
+// --- Step ---
+
+type stepReq struct{ Index int }
+
+func encodeStepReq(s stepReq) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(s.Index))
+	return w.Bytes()
+}
+
+func decodeStepReq(p []byte) (stepReq, error) {
+	r := wire.NewReader(p)
+	s := stepReq{Index: int(r.U32())}
+	return s, r.Err()
+}
+
+// mutation mirrors parallel.MutationOutcome plus the crash records the
+// restarts produced.
+type mutation struct {
+	Outcome parallel.MutationOutcome
+	Crashes []crashRec
+}
+
+type stepResult struct {
+	Bytes    int // drives the coordinator's clock advance
+	NewEdges int
+	Crash    *bugs.Crash
+	Delta    []byte // new-coverage words, empty unless NewEdges > 0
+	Execs    int
+	Corpus   int
+	Coverage int
+	SatFired bool
+	SatEdges int
+	Mutation *mutation
+	Config   string // configuration after the step (post-mutation)
+}
+
+func putMutEvent(w *wire.Writer, e parallel.MutEvent) {
+	w.String16(string(e.Type))
+	w.String16(e.Entity)
+	w.String16(e.Value)
+	w.String32(e.Config)
+	w.String32(e.Detail)
+}
+
+func getMutEvent(r *wire.Reader) parallel.MutEvent {
+	return parallel.MutEvent{
+		Type:   telemetry.Type(r.String16()),
+		Entity: r.String16(),
+		Value:  r.String16(),
+		Config: r.String32(),
+		Detail: r.String32(),
+	}
+}
+
+func encodeStepResult(s stepResult) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(s.Bytes))
+	w.U32(uint32(s.NewEdges))
+	putBool(w, s.Crash != nil)
+	if s.Crash != nil {
+		w.String16(s.Crash.Protocol)
+		w.U8(byte(s.Crash.Kind))
+		w.String16(s.Crash.Function)
+		w.String32(s.Crash.Detail)
+	}
+	w.Bytes32(s.Delta)
+	putI64(w, int64(s.Execs))
+	w.U32(uint32(s.Corpus))
+	w.U32(uint32(s.Coverage))
+	putBool(w, s.SatFired)
+	w.U32(uint32(s.SatEdges))
+	putBool(w, s.Mutation != nil)
+	if m := s.Mutation; m != nil {
+		w.U16(uint16(len(m.Outcome.Events)))
+		for _, e := range m.Outcome.Events {
+			putMutEvent(w, e)
+		}
+		w.U8(byte(m.Outcome.Mutations))
+		w.U8(byte(m.Outcome.Boots))
+		w.U8(byte(m.Outcome.RestartFails))
+		w.U8(byte(m.Outcome.Fallbacks))
+		putBool(w, m.Outcome.Restarted)
+		putCrashRecs(w, m.Crashes)
+	}
+	w.String32(s.Config)
+	return w.Bytes()
+}
+
+func decodeStepResult(p []byte) (stepResult, error) {
+	r := wire.NewReader(p)
+	s := stepResult{
+		Bytes:    int(r.U32()),
+		NewEdges: int(r.U32()),
+	}
+	if getBool(r) {
+		s.Crash = &bugs.Crash{
+			Protocol: r.String16(),
+			Kind:     bugs.Kind(r.U8()),
+			Function: r.String16(),
+			Detail:   r.String32(),
+		}
+	}
+	s.Delta = r.Bytes32()
+	s.Execs = int(getI64(r))
+	s.Corpus = int(r.U32())
+	s.Coverage = int(r.U32())
+	s.SatFired = getBool(r)
+	s.SatEdges = int(r.U32())
+	if getBool(r) {
+		m := &mutation{}
+		n := int(r.U16())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Outcome.Events = append(m.Outcome.Events, getMutEvent(r))
+		}
+		m.Outcome.Mutations = int(r.U8())
+		m.Outcome.Boots = int(r.U8())
+		m.Outcome.RestartFails = int(r.U8())
+		m.Outcome.Fallbacks = int(r.U8())
+		m.Outcome.Restarted = getBool(r)
+		m.Crashes = getCrashRecs(r)
+		s.Mutation = m
+	}
+	s.Config = r.String32()
+	return s, r.Err()
+}
+
+// --- Export / Import ---
+
+type exportReq struct {
+	Index int
+	Max   int
+}
+
+func encodeExportReq(e exportReq) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(e.Index))
+	w.U8(byte(e.Max))
+	return w.Bytes()
+}
+
+func decodeExportReq(p []byte) (exportReq, error) {
+	r := wire.NewReader(p)
+	e := exportReq{Index: int(r.U32()), Max: int(r.U8())}
+	return e, r.Err()
+}
+
+func putSeeds(w *wire.Writer, seeds []fuzz.Seed) {
+	w.U16(uint16(len(seeds)))
+	for _, s := range seeds {
+		w.U16(uint16(len(s.Msgs)))
+		for _, m := range s.Msgs {
+			w.Bytes32(m)
+		}
+		w.U32(uint32(s.Gain))
+	}
+}
+
+func getSeeds(r *wire.Reader) []fuzz.Seed {
+	n := int(r.U16())
+	var out []fuzz.Seed
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var s fuzz.Seed
+		msgs := int(r.U16())
+		for j := 0; j < msgs && r.Err() == nil; j++ {
+			s.Msgs = append(s.Msgs, r.Bytes32())
+		}
+		s.Gain = int(r.U32())
+		out = append(out, s)
+	}
+	return out
+}
+
+func encodeSeeds(seeds []fuzz.Seed) []byte {
+	w := &wire.Writer{}
+	putSeeds(w, seeds)
+	return w.Bytes()
+}
+
+func decodeSeeds(p []byte) ([]fuzz.Seed, error) {
+	r := wire.NewReader(p)
+	s := getSeeds(r)
+	return s, r.Err()
+}
+
+type importReq struct {
+	Index int
+	Seeds []fuzz.Seed
+}
+
+func encodeImportReq(i importReq) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(i.Index))
+	putSeeds(w, i.Seeds)
+	return w.Bytes()
+}
+
+func decodeImportReq(p []byte) (importReq, error) {
+	r := wire.NewReader(p)
+	i := importReq{Index: int(r.U32()), Seeds: getSeeds(r)}
+	return i, r.Err()
+}
+
+// --- Finalize ---
+
+func encodeInstanceResult(ir parallel.InstanceResult) []byte {
+	w := &wire.Writer{}
+	w.U32(uint32(ir.Index))
+	w.String32(ir.Config)
+	putStrings(w, ir.Group)
+	w.U32(uint32(ir.FinalBranches))
+	putI64(w, int64(ir.Execs))
+	w.U32(uint32(ir.Crashes))
+	w.U32(uint32(ir.ConfigMutations))
+	w.U32(uint32(ir.RestartFailures))
+	return w.Bytes()
+}
+
+func decodeInstanceResult(p []byte) (parallel.InstanceResult, error) {
+	r := wire.NewReader(p)
+	ir := parallel.InstanceResult{
+		Index:           int(r.U32()),
+		Config:          r.String32(),
+		Group:           getStrings(r),
+		FinalBranches:   int(r.U32()),
+		Execs:           int(getI64(r)),
+		Crashes:         int(r.U32()),
+		ConfigMutations: int(r.U32()),
+		RestartFailures: int(r.U32()),
+	}
+	return ir, r.Err()
+}

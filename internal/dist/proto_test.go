@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/schedule"
+	"cmfuzz/internal/fuzz"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/telemetry"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: got type %d payload %q", i, typ, got)
+		}
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, msgStep, make([]byte, maxFrame)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(msgStep)})
+	if _, _, err := readFrame(&hdr); err == nil {
+		t.Fatal("oversized length header accepted")
+	}
+	zero := bytes.NewBuffer([]byte{0, 0, 0, 0, 0})
+	if _, _, err := readFrame(zero); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	in := assign{
+		Subject: "DNS",
+		Opts: parallel.Options{
+			Mode: parallel.ModeCMFuzz, Instances: 4, VirtualHours: 1.5, Seed: 42,
+			StepCost: 2, ByteCost: 0.00002, SyncInterval: 600,
+			SaturationWindow: 1800, SaturationMinGain: 8, MaxValues: 4,
+			Allocator: parallel.AllocRandom, DisableConfigMutation: true,
+			SampleEvery: 300, RawRelationWeighting: true, PeachSharedSchedules: true,
+			Concurrency: 3,
+		},
+		Specs: []parallel.InstanceSpec{
+			{
+				Index:  0,
+				Config: configmodel.Assignment{"b": "2", "a": "1"},
+				Group:  schedule.Group{Members: []string{"a", "b"}},
+				Paths: []fuzz.Path{
+					{States: []string{"s0", "s1"}, Models: []string{"m0"}},
+				},
+				EngineSeed: 7919, RngSeed: 104729,
+			},
+			{Index: 1, Config: configmodel.Assignment{}, EngineSeed: -5, RngSeed: -9},
+		},
+	}
+	out, err := decodeAssign(encodeAssign(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Subject != in.Subject || !reflect.DeepEqual(out.Opts, in.Opts) {
+		t.Fatalf("options diverged: %+v vs %+v", out.Opts, in.Opts)
+	}
+	if len(out.Specs) != len(in.Specs) {
+		t.Fatalf("spec count %d, want %d", len(out.Specs), len(in.Specs))
+	}
+	for i := range in.Specs {
+		want := in.Specs[i]
+		got := out.Specs[i]
+		if len(want.Config) == 0 {
+			want.Config = got.Config // empty map vs nil: same assignment
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("spec %d diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestStepResultRoundTrip(t *testing.T) {
+	in := stepResult{
+		Bytes: 77, NewEdges: 3,
+		Crash: &bugs.Crash{Protocol: "DNS", Kind: bugs.Kind(2), Function: "parse", Detail: "oob"},
+		Delta: []byte{1, 2, 3},
+		Execs: 900, Corpus: 12, Coverage: 345,
+		SatFired: true, SatEdges: 345,
+		Mutation: &mutation{
+			Outcome: parallel.MutationOutcome{
+				Events: []parallel.MutEvent{
+					{Type: telemetry.EvRestartFail, Entity: "tcp", Value: "off", Detail: "conflict"},
+					{Type: telemetry.EvMutation, Entity: "udp", Value: "on", Config: "udp=on"},
+				},
+				Mutations: 1, Boots: 1, RestartFails: 1, Restarted: true,
+			},
+			Crashes: []crashRec{{
+				Crash:    bugs.Crash{Protocol: "DNS", Kind: bugs.Kind(1), Function: "boot", Detail: "x"},
+				Instance: 2, T: 123.5, Config: "udp=on",
+			}},
+		},
+		Config: "udp=on",
+	}
+	out, err := decodeStepResult(encodeStepResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("step result diverged:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestBootResultRoundTrip(t *testing.T) {
+	in := bootResult{
+		Err: "", Config: "a=1 b=2", StartEdges: 41, Delta: []byte{9, 8, 7},
+		Crashes: []crashRec{{Crash: bugs.Crash{Protocol: "MQTT", Function: "f"}, Instance: 1, T: 0, Config: "a=1"}},
+	}
+	out, err := decodeBootResult(encodeBootResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("boot result diverged:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestSeedsRoundTrip(t *testing.T) {
+	in := []fuzz.Seed{
+		{Msgs: [][]byte{{1, 2}, {3}}, Gain: 5},
+		{Msgs: [][]byte{{}}, Gain: 0},
+	}
+	out, err := decodeSeeds(encodeSeeds(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("seed count %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Gain != in[i].Gain || len(out[i].Msgs) != len(in[i].Msgs) {
+			t.Fatalf("seed %d diverged: %+v vs %+v", i, out[i], in[i])
+		}
+		for j := range in[i].Msgs {
+			if !bytes.Equal(out[i].Msgs[j], in[i].Msgs[j]) {
+				t.Fatalf("seed %d msg %d diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestInstanceResultRoundTrip(t *testing.T) {
+	in := parallel.InstanceResult{
+		Index: 3, Config: "x=y", Group: []string{"x", "z"},
+		FinalBranches: 512, Execs: 100000, Crashes: 4, ConfigMutations: 7, RestartFailures: 1,
+	}
+	out, err := decodeInstanceResult(encodeInstanceResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("instance result diverged:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+// TestDecodeMalformed feeds truncated and corrupt payloads to every
+// decoder: they must return an error (or a harmless zero value), never
+// panic or over-allocate.
+func TestDecodeMalformed(t *testing.T) {
+	good := [][]byte{
+		encodeAssign(assign{Subject: "DNS", Specs: []parallel.InstanceSpec{{Index: 1}}}),
+		encodeStepResult(stepResult{Bytes: 1, Config: "c"}),
+		encodeBootResult(bootResult{Config: "c", Delta: []byte{1}}),
+		encodeSeeds([]fuzz.Seed{{Msgs: [][]byte{{1}}, Gain: 1}}),
+		encodeInstanceResult(parallel.InstanceResult{Index: 1}),
+		encodeHello(hello{Name: "w", Version: 1}),
+	}
+	decoders := []func([]byte) error{
+		func(p []byte) error { _, err := decodeAssign(p); return err },
+		func(p []byte) error { _, err := decodeStepResult(p); return err },
+		func(p []byte) error { _, err := decodeBootResult(p); return err },
+		func(p []byte) error { _, err := decodeSeeds(p); return err },
+		func(p []byte) error { _, err := decodeInstanceResult(p); return err },
+		func(p []byte) error { _, err := decodeHello(p); return err },
+	}
+	for gi, g := range good {
+		for _, dec := range decoders {
+			for cut := 0; cut < len(g); cut++ {
+				dec(g[:cut]) // must not panic
+			}
+			mutated := append([]byte(nil), g...)
+			for i := range mutated {
+				mutated[i] ^= 0xFF
+				dec(mutated)
+				mutated[i] ^= 0xFF
+			}
+			_ = gi
+		}
+	}
+}

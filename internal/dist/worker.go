@@ -1,0 +1,275 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
+)
+
+// bufferSink is the worker-side CrashSink: it buffers crash records so
+// they can ride back to the coordinator in the next reply and be
+// replayed into the authoritative ledger in event-loop order.
+type bufferSink struct{ recs []crashRec }
+
+func (b *bufferSink) Record(c *bugs.Crash, instance int, t float64, config string) bool {
+	b.recs = append(b.recs, crashRec{Crash: *c, Instance: instance, T: t, Config: config})
+	return true
+}
+
+// WorkerConfig parameterizes a worker node.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs and metrics.
+	Name string
+	// Resolve maps the subject name carried in the Assign message to a
+	// local subject implementation. Both sides must resolve the same
+	// name to behaviorally identical subjects or determinism is lost.
+	Resolve func(name string) (subject.Subject, error)
+}
+
+// A Worker owns whole campaign instances — engine, booted target,
+// mutation RNG, saturation tracker — and executes RPCs from the
+// coordinator. It runs the identical per-instance code the in-process
+// campaign uses; only the global bookkeeping lives on the coordinator.
+type Worker struct {
+	cfg      WorkerConfig
+	host     *parallel.Host
+	opts     parallel.Options
+	specs    map[int]parallel.InstanceSpec
+	insts    map[int]*parallel.Instance
+	reported map[int]*coverage.Map // coverage already flushed to the coordinator
+}
+
+// NewWorker returns a worker ready to Serve a coordinator connection.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg}
+}
+
+// Serve runs the worker protocol over conn until the coordinator sends
+// Shutdown or the connection drops. It sends the Hello immediately, so
+// the coordinator's accept path can complete the handshake.
+func (w *Worker) Serve(conn net.Conn) error {
+	defer conn.Close()
+	defer w.closeInstances()
+	if err := writeFrame(conn, msgHello, encodeHello(hello{Name: w.cfg.Name, Version: protocolVersion})); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, _, err := readFrame(br)
+	if err != nil {
+		return err
+	}
+	if typ != msgWelcome {
+		return fmt.Errorf("dist: worker handshake: got message %d, want Welcome", typ)
+	}
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if typ == msgShutdown {
+			return nil
+		}
+		rtyp, reply, herr := w.handle(typ, payload)
+		if herr != nil {
+			// Report the failure; the coordinator decides whether the
+			// campaign survives. The protocol stream stays aligned
+			// because every request still gets exactly one reply.
+			if werr := writeFrame(conn, msgError, []byte(herr.Error())); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err := writeFrame(conn, rtyp, reply); err != nil {
+			return err
+		}
+	}
+}
+
+func (w *Worker) closeInstances() {
+	for _, in := range w.insts {
+		in.Close()
+	}
+}
+
+func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
+	switch typ {
+	case msgPing:
+		return msgPong, nil, nil
+
+	case msgAssign:
+		a, err := decodeAssign(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if w.cfg.Resolve == nil {
+			return 0, nil, errors.New("dist: worker has no subject resolver")
+		}
+		sub, err := w.cfg.Resolve(a.Subject)
+		if err != nil {
+			return 0, nil, fmt.Errorf("dist: resolve subject %q: %w", a.Subject, err)
+		}
+		host, err := parallel.NewHost(sub, a.Opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		w.host = host
+		w.opts = host.Opts
+		w.specs = make(map[int]parallel.InstanceSpec, len(a.Specs))
+		for _, s := range a.Specs {
+			w.specs[s.Index] = s
+		}
+		w.insts = make(map[int]*parallel.Instance)
+		w.reported = make(map[int]*coverage.Map)
+		return msgAssignOK, nil, nil
+
+	case msgBoot:
+		b, err := decodeBootReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		spec, ok := w.specs[b.Index]
+		if !ok || w.host == nil {
+			return 0, nil, fmt.Errorf("dist: boot for unassigned instance %d", b.Index)
+		}
+		sink := &bufferSink{}
+		in, err := w.host.Boot(spec, sink)
+		if err != nil {
+			return msgBootResult, encodeBootResult(bootResult{Err: err.Error(), Crashes: sink.recs}), nil
+		}
+		in.SetClock(b.ResumeClock)
+		w.insts[b.Index] = in
+		// The boot delta carries the full startup map (delta against
+		// nothing); from here on only new words travel.
+		delta := coverage.EncodeDelta(in.CoverageMap(), nil)
+		rep := coverage.NewMap()
+		rep.Union(in.CoverageMap())
+		w.reported[b.Index] = rep
+		return msgBootResult, encodeBootResult(bootResult{
+			Config:     in.ConfigString(),
+			StartEdges: in.StartupEdges(),
+			Delta:      delta,
+			Crashes:    sink.recs,
+		}), nil
+
+	case msgStep:
+		s, err := decodeStepReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := w.insts[s.Index]
+		if in == nil {
+			return 0, nil, fmt.Errorf("dist: step for unbooted instance %d", s.Index)
+		}
+		return msgStepResult, encodeStepResult(w.step(in, s.Index)), nil
+
+	case msgExport:
+		e, err := decodeExportReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := w.insts[e.Index]
+		if in == nil {
+			return 0, nil, fmt.Errorf("dist: export for unbooted instance %d", e.Index)
+		}
+		return msgSeeds, encodeSeeds(in.ExportSeeds(e.Max)), nil
+
+	case msgImport:
+		i, err := decodeImportReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		in := w.insts[i.Index]
+		if in == nil {
+			return 0, nil, fmt.Errorf("dist: import for unbooted instance %d", i.Index)
+		}
+		in.ImportSeeds(i.Seeds)
+		return msgImportOK, nil, nil
+
+	case msgFinalize:
+		f, err := decodeStepReq(payload) // same shape: one index
+		if err != nil {
+			return 0, nil, err
+		}
+		in := w.insts[f.Index]
+		if in == nil {
+			return 0, nil, fmt.Errorf("dist: finalize for unbooted instance %d", f.Index)
+		}
+		return msgInstanceResult, encodeInstanceResult(in.Result()), nil
+
+	default:
+		return 0, nil, fmt.Errorf("dist: unexpected message type %d", typ)
+	}
+}
+
+// step runs one engine step plus — exactly as the in-process event loop
+// would after the step — the saturation observation and any resulting
+// configuration mutation. The saturation check and mutation commute with
+// the coordinator's seed sync (sync touches only corpora; mutation
+// touches only this instance's rng, target, and engine map), so folding
+// them into the step reply preserves byte identity while halving the
+// RPCs per iteration.
+func (w *Worker) step(in *parallel.Instance, index int) stepResult {
+	step := in.Step()
+	r := stepResult{Bytes: step.Bytes, NewEdges: step.NewEdges, Crash: step.Crash}
+	if step.NewEdges > 0 {
+		em := in.CoverageMap()
+		r.Delta = coverage.EncodeDelta(em, w.reported[index])
+		w.reported[index].Union(em)
+	}
+	st := in.Stats()
+	r.Execs = st.Execs
+	r.Corpus = st.CorpusSize
+	r.Coverage = in.Coverage()
+	if w.opts.Mode == parallel.ModeCMFuzz && !w.opts.DisableConfigMutation {
+		if in.ObserveSaturation() {
+			r.SatFired = true
+			r.SatEdges = in.Coverage()
+			sink := &bufferSink{}
+			out := in.Mutate(sink)
+			r.Mutation = &mutation{Outcome: out, Crashes: sink.recs}
+			in.ResetSaturation()
+		}
+	}
+	r.Config = in.ConfigString()
+	return r
+}
+
+// Dial connects to a coordinator at addr, retrying with jittered
+// exponential backoff: each failed attempt doubles the base delay (50ms
+// up to 5s) and adds up to 100% jitter, so a fleet of workers restarted
+// together does not stampede the coordinator.
+func Dial(addr string, attempts int, seed int64) (net.Conn, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if i == attempts-1 {
+			break
+		}
+		time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+	return nil, fmt.Errorf("dist: dial %s after %d attempts: %w", addr, attempts, lastErr)
+}

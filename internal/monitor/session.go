@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/metrics"
 	"cmfuzz/internal/telemetry/trace"
 )
 
@@ -40,6 +41,10 @@ type Session struct {
 	// Progress is the live run board behind /status (nil without
 	// -monitor).
 	Progress *telemetry.Progress
+	// Registry backs the monitor's /metrics endpoint (nil without
+	// -monitor). Callers with extra sources — a distributed-campaign
+	// coordinator, say — register them here after StartSession.
+	Registry *metrics.Registry
 	// Server is the running HTTP monitor (nil without -monitor).
 	Server *Server
 
@@ -74,9 +79,9 @@ func StartSession(cfg SessionConfig) (*Session, error) {
 	}
 	if cfg.MonitorAddr != "" {
 		s.Progress = telemetry.NewProgress()
-		reg := NewRegistry(s.Recorder, s.Progress)
+		s.Registry = NewRegistry(s.Recorder, s.Progress)
 		srv, err := Start(cfg.MonitorAddr, Options{
-			Registry: reg,
+			Registry: s.Registry,
 			Status:   StatusFunc(s.Progress, s.Recorder),
 		})
 		if err != nil {

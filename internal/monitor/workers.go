@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/telemetry/metrics"
+)
+
+// RegisterWorkers publishes a distributed campaign's worker fleet on
+// reg, from a snapshot function (typically Coordinator.Workers):
+//
+//	cmfuzz_workers_alive                 workers currently responding
+//	cmfuzz_sync_bytes_total              corpus-sync traffic, all workers
+//	cmfuzz_worker_alive{...}             1 while the worker responds
+//	cmfuzz_worker_execs_per_second{...}  per-worker throughput between scrapes
+//	cmfuzz_worker_sync_bytes{...}        per-worker corpus-sync traffic
+//	cmfuzz_worker_heartbeat_age_seconds{...}  time since the last reply
+//
+// Per-worker series are labeled worker=<index>,name=<reported name>;
+// the index disambiguates fleets whose nodes report the same name.
+// Like RegisterExecRate, the throughput gauge is the exec-count delta
+// between consecutive scrapes over the wall time between them, 0 on the
+// first scrape or after a reset. A nil now uses time.Now; tests inject
+// a fake clock. Nil registry or snapshot is a no-op.
+func RegisterWorkers(reg *metrics.Registry, snap func() []dist.WorkerStatus, now func() time.Time) {
+	if reg == nil || snap == nil {
+		return
+	}
+	if now == nil {
+		now = time.Now
+	}
+	reg.GaugeFunc("cmfuzz_workers_alive",
+		"Distributed-campaign workers currently responding.", func() float64 {
+			alive := 0
+			for _, ws := range snap() {
+				if ws.Alive {
+					alive++
+				}
+			}
+			return float64(alive)
+		})
+	reg.CounterFunc("cmfuzz_sync_bytes_total",
+		"Corpus-sync bytes shipped between coordinator and workers.", func() float64 {
+			total := int64(0)
+			for _, ws := range snap() {
+				total += ws.SyncBytes
+			}
+			return float64(total)
+		})
+
+	var mu sync.Mutex
+	var lastT time.Time
+	lastExecs := map[int]int64{}
+	reg.Collect(func(set func(name, help string, value float64, labels ...metrics.Label)) {
+		workers := snap()
+		mu.Lock()
+		t := now()
+		prevT := lastT
+		dt := t.Sub(prevT).Seconds()
+		lastT = t
+		for i, ws := range workers {
+			wl := metrics.L("worker", strconv.Itoa(i))
+			nl := metrics.L("name", ws.Name)
+			set("cmfuzz_worker_alive", "1 while the worker responds to the coordinator.",
+				boolTo01(ws.Alive), wl, nl)
+			set("cmfuzz_worker_sync_bytes", "Corpus-sync bytes shipped to and from this worker.",
+				float64(ws.SyncBytes), wl, nl)
+			rate := 0.0
+			if prev, ok := lastExecs[i]; ok && !prevT.IsZero() && ws.Execs >= prev && dt > 0 {
+				rate = float64(ws.Execs-prev) / dt
+			}
+			lastExecs[i] = ws.Execs
+			set("cmfuzz_worker_execs_per_second",
+				"Protocol executions per wall-clock second on this worker, between scrapes.",
+				rate, wl, nl)
+			age := 0.0
+			if ws.LastReply.UnixNano() > 0 {
+				age = max(t.Sub(ws.LastReply).Seconds(), 0)
+			}
+			set("cmfuzz_worker_heartbeat_age_seconds",
+				"Seconds since the worker's last reply (RPC or heartbeat).", age, wl, nl)
+		}
+		mu.Unlock()
+	})
+}

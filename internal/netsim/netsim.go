@@ -8,6 +8,12 @@
 // stream segment) invokes the bound handler inline and returns its
 // responses, so campaigns driven by a virtual clock replay identically
 // for a given seed.
+//
+// Impairment knobs follow the same discipline. SetLoss drops datagrams
+// with a seeded probability and never touches streams (TCP's stand-in
+// stays reliable); SetLatency charges a seeded per-delivery delay to a
+// virtual ledger instead of sleeping. Both draw from their own rng
+// streams, so enabling one never perturbs the other's sequence.
 package netsim
 
 import (
@@ -66,6 +72,12 @@ type Stats struct {
 	DatagramsDelivered int
 	SegmentsDelivered  int
 	ConnsOpened        int
+
+	// LatencyAccrued is the total simulated delivery delay, in virtual
+	// seconds, charged by SetLatency across every delivered datagram and
+	// stream segment. The fabric never sleeps; campaigns fold this into
+	// their virtual clocks.
+	LatencyAccrued float64
 }
 
 // A Fabric owns a set of isolated namespaces.
@@ -121,6 +133,9 @@ type Namespace struct {
 	nextConn  int
 	loss      float64
 	rng       *rand.Rand
+	latBase   float64
+	latJitter float64
+	latRng    *rand.Rand
 	stats     Stats
 }
 
@@ -128,13 +143,56 @@ type Namespace struct {
 func (ns *Namespace) Name() string { return ns.name }
 
 // SetLoss configures a deterministic datagram loss probability in [0,1],
-// driven by the given seed. Loss applies to datagrams only; stream
-// segments are reliable, as TCP would be.
+// driven by the given seed. The contract:
+//
+//   - Loss applies to datagrams only. Stream segments are reliable, as
+//     TCP would be: no loss probability ever drops a Conn.Send, so
+//     stream subjects (MQTT, AMQP) see every byte in order.
+//   - A drop is decided before routing, the way a lost packet never
+//     reaches the destination host: a dropped datagram returns
+//     (nil, nil) even when no endpoint is bound at dst, and the bound
+//     handler (if any) is not invoked.
+//   - Drops count in Stats.DatagramsDropped (and DatagramsSent, never
+//     DatagramsDelivered).
+//   - The drop sequence is a pure function of (p, seed) and the send
+//     sequence; it shares no state with the SetLatency rng, so the two
+//     knobs compose without perturbing each other.
+//
+// Calling SetLoss again resets the sequence from the new seed.
 func (ns *Namespace) SetLoss(p float64, seed int64) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	ns.loss = p
 	ns.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetLatency configures a simulated one-way delivery delay, in virtual
+// seconds: every delivered datagram and stream segment is charged base
+// plus a uniform draw in [0, jitter) from a rng stream seeded by seed
+// (independent of the SetLoss stream). The fabric stays synchronous —
+// nothing sleeps; the accumulated delay is reported in
+// Stats.LatencyAccrued for virtual-clock campaigns to spend. Dropped
+// datagrams are charged nothing. Calling SetLatency again resets the
+// jitter sequence from the new seed.
+func (ns *Namespace) SetLatency(base, jitter float64, seed int64) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.latBase = base
+	ns.latJitter = jitter
+	ns.latRng = rand.New(rand.NewSource(seed))
+}
+
+// chargeLatencyLocked accrues one delivery's simulated delay. Callers
+// hold ns.mu.
+func (ns *Namespace) chargeLatencyLocked() {
+	if ns.latBase == 0 && ns.latJitter == 0 {
+		return
+	}
+	d := ns.latBase
+	if ns.latJitter > 0 && ns.latRng != nil {
+		d += ns.latRng.Float64() * ns.latJitter
+	}
+	ns.stats.LatencyAccrued += d
 }
 
 // Stats returns a snapshot of the namespace's traffic counters.
@@ -179,6 +237,7 @@ func (ns *Namespace) SendDatagram(src Addr, dst Addr, payload []byte) ([][]byte,
 		return nil, ErrUnroutable
 	}
 	ns.stats.DatagramsDelivered++
+	ns.chargeLatencyLocked()
 	ns.mu.Unlock()
 	return h.OnDatagram(src, payload), nil
 }
@@ -271,6 +330,7 @@ func (c *Conn) Send(data []byte) ([][]byte, error) {
 	}
 	c.ns.mu.Lock()
 	c.ns.stats.SegmentsDelivered++
+	c.ns.chargeLatencyLocked()
 	c.ns.mu.Unlock()
 	return c.handler.OnData(c, data), nil
 }

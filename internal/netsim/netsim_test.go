@@ -192,6 +192,157 @@ func TestAddrString(t *testing.T) {
 	}
 }
 
+// TestSetLossContract pins the documented loss semantics: total loss
+// drops every datagram before routing (nil responses, nil error, no
+// handler invocation, even toward unbound ports) while stream segments
+// keep flowing untouched.
+func TestSetLossContract(t *testing.T) {
+	ns := NewFabric().Namespace("lossy")
+	ns.SetLoss(1.0, 1)
+	handled := 0
+	if err := ns.BindDatagram(53, DatagramHandlerFunc(func(src Addr, p []byte) [][]byte {
+		handled++
+		return [][]byte{p}
+	})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		resp, err := ns.SendDatagram(Addr{}, Addr{Port: 53}, []byte{byte(i)})
+		if resp != nil || err != nil {
+			t.Fatalf("send %d under total loss = %q, %v; want nil, nil", i, resp, err)
+		}
+	}
+	// Drop is decided before routing: an unbound port looks the same as
+	// a bound one under total loss (the packet never arrives to find out).
+	if resp, err := ns.SendDatagram(Addr{}, Addr{Port: 9}, nil); resp != nil || err != nil {
+		t.Fatalf("unbound send under total loss = %q, %v; want nil, nil", resp, err)
+	}
+	if handled != 0 {
+		t.Fatalf("handler invoked %d times under total loss", handled)
+	}
+	st := ns.Stats()
+	if st.DatagramsSent != 51 || st.DatagramsDropped != 51 || st.DatagramsDelivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Streams are exempt: loss=1 must not drop a single segment.
+	h := &recordingStream{}
+	if err := ns.Listen(1883, h); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ns.Dial(1883)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := c.Send([]byte{byte(i)})
+		if err != nil || len(resp) != 1 {
+			t.Fatalf("segment %d lost under datagram loss: %q, %v", i, resp, err)
+		}
+	}
+	if len(h.data) != 20 || ns.Stats().SegmentsDelivered != 20 {
+		t.Fatalf("stream saw %d/20 segments (stats %+v)", len(h.data), ns.Stats())
+	}
+}
+
+// TestLatencyDeterministic pins the latency knob: the accrued virtual
+// delay is a pure function of (base, jitter, seed) and the delivery
+// sequence, identical across runs with the same seed and different
+// across seeds.
+func TestLatencyDeterministic(t *testing.T) {
+	run := func(seed int64) float64 {
+		ns := NewFabric().Namespace("slow")
+		ns.SetLatency(0.010, 0.005, seed)
+		if err := ns.BindDatagram(1, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ns.Listen(2, &recordingStream{}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := ns.Dial(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ns.Stats().LatencyAccrued
+	}
+	a1, a2 := run(7), run(7)
+	if a1 != a2 {
+		t.Fatalf("latency not deterministic under fixed seed: %v vs %v", a1, a2)
+	}
+	// 200 deliveries at 10ms base + [0,5)ms jitter.
+	if lo, hi := 2.0, 3.0; a1 < lo || a1 > hi {
+		t.Fatalf("accrued latency %v outside [%v, %v]", a1, lo, hi)
+	}
+	if b := run(8); b == a1 {
+		t.Fatalf("different seeds accrued identical jitter: %v", b)
+	}
+}
+
+// TestLatencyBaseOnly checks the jitter-free path is exact arithmetic
+// and that dropped datagrams are charged nothing.
+func TestLatencyBaseOnly(t *testing.T) {
+	ns := NewFabric().Namespace("fixed")
+	ns.SetLatency(0.25, 0, 1) // binary-exact so accumulation is exact arithmetic
+	ns.SetLoss(1.0, 1)
+	if err := ns.BindDatagram(1, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ns.SendDatagram(Addr{}, Addr{Port: 1}, nil) // all dropped
+	}
+	if acc := ns.Stats().LatencyAccrued; acc != 0 {
+		t.Fatalf("dropped datagrams accrued latency %v", acc)
+	}
+	ns.SetLoss(0, 1)
+	for i := 0; i < 10; i++ {
+		if _, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc, want := ns.Stats().LatencyAccrued, 2.5; acc != want {
+		t.Fatalf("accrued = %v, want exactly %v", acc, want)
+	}
+}
+
+// TestLossLatencyIndependent checks the two knobs draw from separate
+// rng streams: enabling latency must not change which datagrams the
+// loss knob drops.
+func TestLossLatencyIndependent(t *testing.T) {
+	pattern := func(withLatency bool) []bool {
+		ns := NewFabric().Namespace("both")
+		ns.SetLoss(0.5, 42)
+		if withLatency {
+			ns.SetLatency(0.001, 0.001, 99)
+		}
+		if err := ns.BindDatagram(1, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			resp, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = resp != nil
+		}
+		return out
+	}
+	plain, withLat := pattern(false), pattern(true)
+	for i := range plain {
+		if plain[i] != withLat[i] {
+			t.Fatalf("drop pattern diverged at datagram %d once latency was enabled", i)
+		}
+	}
+}
+
 func TestCloseListenerUnroutes(t *testing.T) {
 	ns := NewFabric().Namespace("a")
 	if err := ns.Listen(2, &recordingStream{}); err != nil {

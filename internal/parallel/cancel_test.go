@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// countdownCtx is a context that cancels itself on the nth Done() poll.
+// Run polls Done() once per event-loop iteration, so the cancellation
+// lands at a deterministic point in the campaign — no timers, no flakes.
+type countdownCtx struct {
+	context.Context
+	mu    sync.Mutex
+	polls int
+	limit int
+	done  chan struct{}
+}
+
+func newCountdownCtx(limit int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), limit: limit, done: make(chan struct{})}
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	if c.polls == c.limit {
+		close(c.done)
+	}
+	return c.done
+}
+
+func (c *countdownCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// TestRunCancelledMidCampaign pins the cancellation contract: a run cut
+// off mid-loop returns ctx.Err() alongside a partial but well-formed
+// Result — truncated series, per-instance summaries, and a final sample
+// at the watermark actually reached rather than the horizon.
+func TestRunCancelledMidCampaign(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	ctx := newCountdownCtx(400)
+	res, err := Run(ctx, sub, Options{Mode: ModeCMFuzz, VirtualHours: 24, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled mid-loop run returned no partial result")
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("partial result has %d instance summaries, want 4", len(res.Instances))
+	}
+	pts := res.Series.Points()
+	if len(pts) == 0 {
+		t.Fatal("partial result has an empty series")
+	}
+	last := pts[len(pts)-1]
+	if horizon := 24 * 3600.0; last.T >= horizon {
+		t.Fatalf("partial series reaches T=%.0f, want < horizon %.0f", last.T, horizon)
+	}
+	if last.Count != res.FinalBranches {
+		t.Fatalf("final series count %d != FinalBranches %d", last.Count, res.FinalBranches)
+	}
+	if res.FinalBranches == 0 || res.TotalExecs == 0 {
+		t.Fatalf("partial result recorded no work: %d branches, %d execs",
+			res.FinalBranches, res.TotalExecs)
+	}
+
+	// The same seed run to completion must strictly extend the partial
+	// run: more virtual time, at least as much coverage.
+	full, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FinalBranches < res.FinalBranches {
+		t.Fatalf("full run found %d branches, partial %d", full.FinalBranches, res.FinalBranches)
+	}
+	if full.TotalExecs <= res.TotalExecs {
+		t.Fatalf("full run executed %d, partial %d", full.TotalExecs, res.TotalExecs)
+	}
+}
+
+// TestRunCancelledBeforeStart: a context cancelled before the event loop
+// begins yields no result at all.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, mustSubject(t, "DNS"), Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("pre-cancelled run returned a result")
+	}
+}

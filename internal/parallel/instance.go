@@ -1,0 +1,306 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/core/configmodel"
+	"cmfuzz/internal/core/schedule"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/fuzz"
+	"cmfuzz/internal/telemetry"
+)
+
+// A CrashSink receives crash records as instances hit them. *bugs.Ledger
+// satisfies it; a distributed worker substitutes a buffering sink that
+// ships the records to the coordinator, which replays them into the one
+// authoritative ledger in event-loop order. The return value reports
+// whether the crash was new to the sink (ledger dedup).
+type CrashSink interface {
+	Record(c *bugs.Crash, instance int, t float64, config string) bool
+}
+
+// An Instance is one running parallel fuzzing instance: an engine bound
+// to a booted subject target inside its own netsim namespace, plus the
+// virtual clock and saturation state the campaign loop schedules it by.
+// Booting equal specs on equal hosts yields instances whose step
+// sequences are bit-for-bit identical, which is what lets a distributed
+// worker stand in for the in-process loop.
+type Instance struct {
+	host         *Host
+	index        int
+	clock        float64
+	nextSync     float64
+	engine       *fuzz.Engine
+	target       *netTarget
+	cfg          configmodel.Assignment
+	group        schedule.Group
+	sat          *coverage.Saturation
+	rng          *rand.Rand
+	muts         int
+	crashes      int
+	restartFails int
+	startEdges   int
+}
+
+// Boot starts the instance described by spec: repair the scheduled
+// configuration if it conflicts, boot the target (falling back to
+// defaults as a last resort), and seed the engine with the startup
+// coverage. Startup crashes go to sink.
+func (h *Host) Boot(spec InstanceSpec, sink CrashSink) (*Instance, error) {
+	ns := h.Fabric.Namespace(fmt.Sprintf("inst%d", spec.Index))
+	cfg := repairConfig(h.Sub, spec.Config, h.Defaults)
+	target, startCov, err := bootTarget(h.Sub, ns, cfg, sink, spec.Index)
+	if err != nil {
+		// Still conflicting after repair: last-resort defaults.
+		cfg = h.Defaults.Clone()
+		target, startCov, err = bootTarget(h.Sub, ns, cfg, sink, spec.Index)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: instance %d failed to start: %w", spec.Index, err)
+		}
+	}
+	eng := fuzz.NewEngine(fuzz.Config{
+		Models:     h.Pit.DataModels,
+		StateModel: h.StateModel,
+		Seed:       spec.EngineSeed,
+		FixedPaths: spec.Paths,
+	}, target)
+	eng.Absorb(startCov)
+	return &Instance{
+		host:       h,
+		index:      spec.Index,
+		nextSync:   h.Opts.SyncInterval,
+		engine:     eng,
+		target:     target,
+		cfg:        cfg,
+		group:      spec.Group,
+		sat:        &coverage.Saturation{Window: h.Opts.SaturationWindow, MinGain: h.Opts.SaturationMinGain, MinGainFrac: 0.01},
+		rng:        rand.New(rand.NewSource(spec.RngSeed)),
+		startEdges: startCov.Count(),
+	}, nil
+}
+
+// Step runs one engine step and advances the instance's virtual clock by
+// the campaign cost model. A crashing step bumps the instance crash
+// counter; recording it in the ledger is the scheduler's job (the record
+// must land in global event-loop order, which only the scheduler knows).
+func (in *Instance) Step() fuzz.StepResult {
+	step := in.engine.Step()
+	in.clock += in.host.Opts.StepCost + in.host.Opts.ByteCost*float64(step.Bytes)
+	if step.Crash != nil {
+		in.crashes++
+	}
+	return step
+}
+
+// ObserveSaturation feeds the instance's current coverage into its
+// saturation tracker and reports whether the tracker now considers the
+// instance saturated.
+func (in *Instance) ObserveSaturation() bool {
+	in.sat.Observe(in.clock, in.engine.Coverage())
+	return in.sat.Saturated(in.clock)
+}
+
+// ResetSaturation restarts the saturation window (after a configuration
+// mutation attempt).
+func (in *Instance) ResetSaturation() { in.sat.Reset(in.clock) }
+
+// Accessors used by the campaign loop, the progress board, and the
+// distributed coordinator/worker pair.
+
+// Index returns the instance's campaign slot.
+func (in *Instance) Index() int { return in.index }
+
+// Clock returns the instance's virtual clock in seconds.
+func (in *Instance) Clock() float64 { return in.clock }
+
+// SetClock overrides the virtual clock. The distributed coordinator uses
+// it when re-booting a lost instance on a surviving worker: the fresh
+// instance must resume at the clock the dead worker had reached.
+func (in *Instance) SetClock(c float64) { in.clock = c }
+
+// NextSync returns the next scheduled seed-synchronization time.
+func (in *Instance) NextSync() float64 { return in.nextSync }
+
+// SetNextSync overrides the sync schedule (coordinator-owned in
+// distributed runs).
+func (in *Instance) SetNextSync(t float64) { in.nextSync = t }
+
+// Coverage returns the instance's own edge count.
+func (in *Instance) Coverage() int { return in.engine.Coverage() }
+
+// CoverageMap exposes the engine's live coverage map (read-only use).
+func (in *Instance) CoverageMap() *coverage.Map { return in.engine.CoverageMap() }
+
+// Stats returns the engine's execution statistics.
+func (in *Instance) Stats() fuzz.Stats { return in.engine.Stats() }
+
+// ExportSeeds returns up to max of the instance's best corpus entries.
+func (in *Instance) ExportSeeds(max int) []fuzz.Seed { return in.engine.ExportSeeds(max) }
+
+// ImportSeeds merges seeds from other instances into the corpus.
+func (in *Instance) ImportSeeds(seeds []fuzz.Seed) { in.engine.ImportSeeds(seeds) }
+
+// ConfigString renders the instance's current configuration assignment.
+func (in *Instance) ConfigString() string { return in.cfg.String() }
+
+// StartupEdges returns the coverage the target's boot alone produced.
+func (in *Instance) StartupEdges() int { return in.startEdges }
+
+// Crashes returns how many crashing steps the instance has hit.
+func (in *Instance) Crashes() int { return in.crashes }
+
+// Mutations returns how many configuration mutations have stuck.
+func (in *Instance) Mutations() int { return in.muts }
+
+// Result summarizes the instance for the campaign Result.
+func (in *Instance) Result() InstanceResult {
+	st := in.engine.Stats()
+	return InstanceResult{
+		Index:           in.index,
+		Config:          in.cfg.String(),
+		Group:           in.group.Members,
+		FinalBranches:   in.engine.Coverage(),
+		Execs:           st.Execs,
+		Crashes:         in.crashes,
+		ConfigMutations: in.muts,
+		RestartFailures: in.restartFails,
+	}
+}
+
+// A MutEvent is one telemetry event a configuration mutation produced,
+// in order. The scheduler stamps instance and clock when emitting, so the
+// same outcome renders identically whether the mutation ran in-process
+// or on a remote worker.
+type MutEvent struct {
+	Type   telemetry.Type
+	Entity string
+	Value  string
+	Config string
+	Detail string
+}
+
+// A MutationOutcome reports what a Mutate call did: the ordered
+// telemetry events plus the counter deltas, and whether the target was
+// actually restarted (so the caller knows fresh startup coverage was
+// absorbed and the configuration changed).
+type MutationOutcome struct {
+	Events       []MutEvent
+	Mutations    int
+	Boots        int
+	RestartFails int
+	Fallbacks    int
+	Restarted    bool
+}
+
+// Mutate applies the paper's Values-guided configuration mutation: pick
+// a MUTABLE entity (preferring the instance's assigned group), set a
+// different typical value, and restart the instance under the new
+// configuration. A mutation that produces a conflicting configuration
+// (or crashes during startup — a config-parsing defect) is reverted; if
+// even the reverted configuration fails to boot, the instance falls back
+// to defaults. When a restart happened, the fresh startup coverage has
+// already been absorbed into the engine on return.
+func (in *Instance) Mutate(sink CrashSink) MutationOutcome {
+	var out MutationOutcome
+	h := in.host
+	candidates := mutableIn(h.Model, in.group.Members)
+	if len(candidates) == 0 {
+		candidates = h.Model.Mutable()
+	}
+	if len(candidates) == 0 {
+		return out
+	}
+	e := candidates[in.rng.Intn(len(candidates))]
+	if len(e.Values) == 0 {
+		return out
+	}
+	newVal := e.Values[in.rng.Intn(len(e.Values))]
+	if in.cfg[e.Name] == newVal {
+		return out
+	}
+	old, had := in.cfg[e.Name]
+	in.cfg[e.Name] = newVal
+
+	restarted := func() MutationOutcome {
+		out.Boots++
+		out.Restarted = true
+		if in.engine != nil { // engine-less instances appear only in unit tests
+			in.engine.Absorb(in.target.startup)
+		}
+		return out
+	}
+
+	if err := in.target.restart(h.Sub, in.cfg, sink, in.index, in.clock); err != nil {
+		in.restartFails++
+		out.RestartFails++
+		out.Events = append(out.Events, MutEvent{Type: telemetry.EvRestartFail,
+			Entity: e.Name, Value: newVal, Detail: err.Error()})
+		// Conflicting mutation: revert and restart under the old config.
+		if had {
+			in.cfg[e.Name] = old
+		} else {
+			delete(in.cfg, e.Name)
+		}
+		if err := in.target.restart(h.Sub, in.cfg, sink, in.index, in.clock); err != nil {
+			in.restartFails++
+			out.RestartFails++
+			out.Events = append(out.Events, MutEvent{Type: telemetry.EvRestartFail,
+				Config: in.cfg.String(), Detail: "revert failed: " + err.Error()})
+			// Both the mutated and the reverted restart failed; without a
+			// fallback the instance would keep stepping against a dead
+			// target for the rest of the campaign. Boot the defaults,
+			// which every subject's conformance suite guarantees start.
+			in.cfg = h.Model.Defaults()
+			err := in.target.restart(h.Sub, in.cfg, sink, in.index, in.clock)
+			if err != nil {
+				in.restartFails++
+				out.RestartFails++
+			}
+			out.Events = append(out.Events, MutEvent{Type: telemetry.EvFallback,
+				Config: in.cfg.String(), Detail: fallbackDetail(err)})
+			out.Fallbacks++
+			if err != nil {
+				return out
+			}
+			return restarted()
+		}
+		return restarted()
+	}
+	in.muts++
+	out.Mutations++
+	out.Events = append(out.Events, MutEvent{Type: telemetry.EvMutation,
+		Entity: e.Name, Value: newVal, Config: in.cfg.String()})
+	return restarted()
+}
+
+// Close tears the instance's target down.
+func (in *Instance) Close() {
+	if in.target != nil && in.target.inst != nil {
+		in.target.inst.Close()
+	}
+}
+
+// EmitMutation renders a MutationOutcome into the telemetry stream
+// exactly as the historical inline mutation code did: events in order
+// with the instance/clock stamp, then the counter deltas. Zero deltas
+// are skipped so an uninstrumented-looking counter map stays identical.
+func EmitMutation(tel *telemetry.Recorder, index int, t float64, out MutationOutcome) {
+	for _, ev := range out.Events {
+		tel.Emit(telemetry.Event{T: t, Type: ev.Type, Instance: index,
+			Entity: ev.Entity, Value: ev.Value, Config: ev.Config, Detail: ev.Detail})
+	}
+	if out.RestartFails > 0 {
+		tel.Count(telemetry.CtrRestartFailures, out.RestartFails)
+	}
+	if out.Fallbacks > 0 {
+		tel.Count(telemetry.CtrFallbacks, out.Fallbacks)
+	}
+	if out.Mutations > 0 {
+		tel.Count(telemetry.CtrMutations, out.Mutations)
+	}
+	if out.Boots > 0 {
+		tel.Count(telemetry.CtrBoots, out.Boots)
+	}
+}

@@ -16,22 +16,23 @@
 // and deterministically for a fixed seed. Every instance runs inside its
 // own netsim namespace, reproducing the paper's network-namespace
 // isolation.
+//
+// The campaign is factored into Host/Plan/Boot/Instance primitives so
+// the distributed coordinator (internal/dist) can run the identical
+// per-instance code on worker nodes: Run here and a coordinator driving
+// remote workers execute the same step, sync, and mutation sequences and
+// produce byte-identical Results for the same seed.
 package parallel
 
 import (
 	"container/heap"
-	"fmt"
-	"math/rand"
+	"context"
 	"sort"
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/core/configmodel"
-	"cmfuzz/internal/core/configspec"
-	"cmfuzz/internal/core/relation"
 	"cmfuzz/internal/core/schedule"
 	"cmfuzz/internal/coverage"
-	"cmfuzz/internal/fuzz"
-	"cmfuzz/internal/netsim"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
 	"cmfuzz/internal/telemetry/trace"
@@ -212,25 +213,9 @@ type Result struct {
 	Counters telemetry.Counters
 }
 
-// instance is one running parallel fuzzing instance.
-type instance struct {
-	index        int
-	clock        float64
-	nextSync     float64
-	engine       *fuzz.Engine
-	target       *netTarget
-	cfg          configmodel.Assignment
-	group        schedule.Group
-	sat          *coverage.Saturation
-	rng          *rand.Rand
-	muts         int
-	crashes      int
-	restartFails int
-}
-
 // instanceHeap orders instances by virtual clock (ties on index), so the
 // interleaving is deterministic.
-type instanceHeap []*instance
+type instanceHeap []*Instance
 
 func (h instanceHeap) Len() int { return len(h) }
 func (h instanceHeap) Less(i, j int) bool {
@@ -240,7 +225,7 @@ func (h instanceHeap) Less(i, j int) bool {
 	return h[i].index < h[j].index
 }
 func (h instanceHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *instanceHeap) Push(x any)   { *h = append(*h, x.(*instance)) }
+func (h *instanceHeap) Push(x any)   { *h = append(*h, x.(*Instance)) }
 func (h *instanceHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -250,18 +235,20 @@ func (h *instanceHeap) Pop() any {
 }
 
 // Run executes one parallel fuzzing campaign of sub under opts.
-func Run(sub subject.Subject, opts Options) (*Result, error) {
-	opts.setDefaults()
-	info := sub.Info()
-
-	pit, err := fuzz.ParsePit(sub.PitXML())
+//
+// Cancelling ctx stops the campaign at the next event-loop iteration;
+// Run then finalizes the partial result (series observed at the current
+// watermark, per-instance summaries, counters) and returns it alongside
+// ctx.Err(), so callers can still write well-formed artifacts for the
+// portion that ran. Cancellation before the event loop starts returns
+// (nil, ctx.Err()).
+func Run(ctx context.Context, sub subject.Subject, opts Options) (*Result, error) {
+	host, err := NewHost(sub, opts)
 	if err != nil {
-		return nil, fmt.Errorf("parallel: %s pit: %w", info.Protocol, err)
+		return nil, err
 	}
-	// Document order, not map iteration: a Pit with several state models
-	// must yield the same model every run or SPFuzz path partitions (and
-	// every engine walk) stop reproducing.
-	sm := pit.DefaultStateModel()
+	opts = host.Opts
+	info := sub.Info()
 	tel := opts.Telemetry
 	prog := opts.Progress
 	if opts.Label == "" {
@@ -270,132 +257,46 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 	prog.StartRun(opts.Label, opts.Mode.String(), info.Protocol, opts.VirtualHours*3600, opts.Instances)
 	defer prog.EndRun(opts.Label)
 
-	// Configuration model identification (CMFuzz) / defaults (baselines).
-	items := configspec.Extract(sub.ConfigInput())
-	model := configmodel.Build(items)
-	defaults := model.Defaults()
-
 	res := &Result{
 		Mode:          opts.Mode,
 		Subject:       info,
 		Series:        &coverage.Series{},
 		Bugs:          bugs.NewLedger(),
-		ModelEntities: model.Len(),
+		ModelEntities: host.Model.Len(),
 	}
 
-	// Per-instance configurations and path restrictions by mode.
-	configs := make([]configmodel.Assignment, opts.Instances)
-	groups := make([]schedule.Group, opts.Instances)
-	paths := make([][]fuzz.Path, opts.Instances)
-	switch opts.Mode {
-	case ModeCMFuzz:
-		weighting := relation.WeightInteraction
-		if opts.RawRelationWeighting {
-			weighting = relation.WeightRawCoverage
-		}
-		// The probe closure runs concurrently across the executor's
-		// workers; each call boots its own throwaway instance, and a
-		// startup crash (a configuration-parsing defect hit while
-		// probing) is filed in the concurrency-safe ledger and scored as
-		// a failed startup rather than tearing the campaign down.
-		rel := relation.Quantify(model, func(cfg configmodel.Assignment) int {
-			cov := 0
-			if crash := bugs.Capture(func() { cov = subject.Probe(sub, map[string]string(cfg)) }); crash != nil {
-				res.Bugs.Record(crash, -1, 0, cfg.String())
-				return 0
-			}
-			return cov
-		}, relation.Options{MaxValues: opts.MaxValues, Weighting: weighting, Workers: opts.Concurrency, Telemetry: tel, Trace: opts.Trace})
-		res.RelationEdges = rel.Graph.EdgeCount()
-		res.Probes = rel.Probes
-		allocName := map[Allocator]string{AllocRandom: "random", AllocRoundRobin: "round-robin"}[opts.Allocator]
-		if allocName == "" {
-			allocName = "cohesive"
-		}
-		alloc := schedule.Instrumented(opts.Trace, allocName, len(rel.Graph.Nodes()), func() []schedule.Group {
-			switch opts.Allocator {
-			case AllocRandom:
-				return schedule.RandomAllocate(rel.Graph, opts.Instances, opts.Seed)
-			case AllocRoundRobin:
-				return schedule.RoundRobinAllocate(rel.Graph, opts.Instances)
-			default:
-				return schedule.Allocate(rel.Graph, opts.Instances)
-			}
-		})
-		res.Groups = alloc
-		for i := range configs {
-			if i < len(alloc) {
-				groups[i] = alloc[i]
-				configs[i] = schedule.GroupAssignment(model, rel, alloc[i])
-			} else {
-				configs[i] = defaults.Clone()
-			}
-			tel.Emit(telemetry.Event{Type: telemetry.EvGroup, Instance: i,
-				Group: groups[i].Members, Config: configs[i].String()})
-		}
-	case ModeSPFuzz:
-		var all []fuzz.Path
-		if sm != nil {
-			all = sm.Paths(12, 64)
-		}
-		for i := range configs {
-			configs[i] = defaults.Clone()
-			for j := i; j < len(all); j += opts.Instances {
-				paths[i] = append(paths[i], all[j])
-			}
-		}
-	default: // Peach
-		for i := range configs {
-			configs[i] = defaults.Clone()
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+
+	// Mode-dependent scheduling: relation probing + cohesive grouping
+	// (CMFuzz), path partitioning (SPFuzz), defaults (Peach).
+	plan := host.Plan(res.Bugs, tel, opts.Trace)
+	res.RelationEdges = plan.RelationEdges
+	res.Probes = plan.Probes
+	res.Groups = plan.Groups
 
 	// Boot instances, each in its own namespace.
-	fabric := netsim.NewFabric()
-	insts := make([]*instance, 0, opts.Instances)
-	for i := 0; i < opts.Instances; i++ {
-		bootSpan := opts.Trace.Child("instance.boot", trace.A("instance", i))
-		ns := fabric.Namespace(fmt.Sprintf("inst%d", i))
-		configs[i] = repairConfig(sub, configs[i], defaults)
-		target, startCov, err := bootTarget(sub, ns, configs[i], res.Bugs, i)
-		if err != nil {
-			// Still conflicting after repair: last-resort defaults.
-			configs[i] = defaults.Clone()
-			target, startCov, err = bootTarget(sub, ns, configs[i], res.Bugs, i)
-			if err != nil {
-				bootSpan.End()
-				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
-			}
+	insts := make([]*Instance, 0, opts.Instances)
+	for _, spec := range plan.Specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		bootSpan.Set("edges", startCov.Count())
+		bootSpan := opts.Trace.Child("instance.boot", trace.A("instance", spec.Index))
+		in, err := host.Boot(spec, res.Bugs)
+		if err != nil {
+			bootSpan.End()
+			return nil, err
+		}
+		bootSpan.Set("edges", in.startEdges)
 		bootSpan.End()
-		tel.Emit(telemetry.Event{Type: telemetry.EvBoot, Instance: i,
-			Config: configs[i].String(), Edges: startCov.Count()})
+		tel.Emit(telemetry.Event{Type: telemetry.EvBoot, Instance: spec.Index,
+			Config: in.cfg.String(), Edges: in.startEdges})
 		tel.Count(telemetry.CtrBoots, 1)
 		if prog.Enabled() {
-			prog.SetInstanceConfig(opts.Label, i, configs[i].String())
+			prog.SetInstanceConfig(opts.Label, spec.Index, in.cfg.String())
 		}
-		engineSeed := opts.Seed*7919 + int64(i)
-		if opts.Mode == ModePeach && opts.PeachSharedSchedules {
-			engineSeed = opts.Seed*7919 + int64(i/2)
-		}
-		eng := fuzz.NewEngine(fuzz.Config{
-			Models:     pit.DataModels,
-			StateModel: sm,
-			Seed:       engineSeed,
-			FixedPaths: paths[i],
-		}, target)
-		eng.Absorb(startCov)
-		insts = append(insts, &instance{
-			index:    i,
-			nextSync: opts.SyncInterval,
-			engine:   eng,
-			target:   target,
-			cfg:      configs[i],
-			group:    groups[i],
-			sat:      &coverage.Saturation{Window: opts.SaturationWindow, MinGain: opts.SaturationMinGain, MinGainFrac: 0.01},
-			rng:      rand.New(rand.NewSource(opts.Seed*104729 + int64(i))),
-		})
+		insts = append(insts, in)
 	}
 
 	// The virtual-time event loop.
@@ -422,16 +323,23 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 		instSpans[in.index] = opts.Trace.Child("instance", trace.A("index", in.index))
 	}
 
+	cancelled := false
 	h := make(instanceHeap, len(insts))
 	copy(h, insts)
 	heap.Init(&h)
 	for h[0].clock < horizon {
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		default:
+		}
+		if cancelled {
+			break
+		}
 		in := h[0]
-		step := in.engine.Step()
-		in.clock += opts.StepCost + opts.ByteCost*float64(step.Bytes)
+		step := in.Step()
 
 		if step.Crash != nil {
-			in.crashes++
 			isNew := res.Bugs.Record(step.Crash, in.index, in.clock, in.cfg.String())
 			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvCrash, Instance: in.index,
 				Crash: step.Crash.ID(), New: isNew, Config: in.cfg.String()})
@@ -493,119 +401,46 @@ func Run(sub subject.Subject, opts Options) (*Result, error) {
 
 		// CMFuzz adaptive configuration mutation on saturation.
 		if opts.Mode == ModeCMFuzz && !opts.DisableConfigMutation {
-			in.sat.Observe(in.clock, in.engine.Coverage())
-			if in.sat.Saturated(in.clock) {
+			if in.ObserveSaturation() {
 				tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvSaturation, Instance: in.index,
 					Edges: in.engine.Coverage()})
 				tel.Count(telemetry.CtrSaturations, 1)
 				mut := instSpans[in.index].Child("config.mutate")
-				if mutateConfig(sub, model, in, res.Bugs, tel) {
-					in.engine.Absorb(in.target.startup)
-					if prog.Enabled() {
-						prog.SetInstanceConfig(opts.Label, in.index, in.cfg.String())
-					}
+				out := in.Mutate(res.Bugs)
+				EmitMutation(tel, in.index, in.clock, out)
+				if out.Restarted && prog.Enabled() {
+					prog.SetInstanceConfig(opts.Label, in.index, in.cfg.String())
 				}
 				mut.End()
-				in.sat.Reset(in.clock)
+				in.ResetSaturation()
 			}
 		}
 		heap.Fix(&h, 0)
 	}
 
-	// Finalize.
-	res.Series.Observe(horizon, global.Count())
+	// Finalize. A cancelled run observes the series at the watermark it
+	// actually reached instead of the horizon, so the partial artifact
+	// never claims coverage for virtual time that did not run.
+	finalT := horizon
+	if cancelled {
+		finalT = watermark
+	}
+	res.Series.Observe(finalT, global.Count())
 	res.FinalBranches = global.Count()
-	prog.SetUnion(opts.Label, horizon, global.Count())
+	prog.SetUnion(opts.Label, finalT, global.Count())
 	for _, in := range insts {
 		st := in.engine.Stats()
 		res.TotalExecs += st.Execs
 		instSpans[in.index].Set("edges", in.engine.Coverage())
 		instSpans[in.index].Set("execs", st.Execs)
 		instSpans[in.index].End()
-		res.Instances = append(res.Instances, InstanceResult{
-			Index:           in.index,
-			Config:          in.cfg.String(),
-			Group:           in.group.Members,
-			FinalBranches:   in.engine.Coverage(),
-			Execs:           st.Execs,
-			Crashes:         in.crashes,
-			ConfigMutations: in.muts,
-			RestartFailures: in.restartFails,
-		})
+		res.Instances = append(res.Instances, in.Result())
 	}
 	res.Counters = tel.Counters()
+	if cancelled {
+		return res, ctx.Err()
+	}
 	return res, nil
-}
-
-// mutateConfig applies the paper's Values-guided configuration mutation:
-// pick a MUTABLE entity (preferring the instance's assigned group), set a
-// different typical value, and restart the instance under the new
-// configuration. Returns whether a restart happened. A mutation that
-// produces a conflicting configuration (or crashes during startup — a
-// config-parsing defect) is reverted.
-func mutateConfig(sub subject.Subject, model *configmodel.Model, in *instance, ledger *bugs.Ledger, tel *telemetry.Recorder) bool {
-	candidates := mutableIn(model, in.group.Members)
-	if len(candidates) == 0 {
-		candidates = model.Mutable()
-	}
-	if len(candidates) == 0 {
-		return false
-	}
-	e := candidates[in.rng.Intn(len(candidates))]
-	if len(e.Values) == 0 {
-		return false
-	}
-	newVal := e.Values[in.rng.Intn(len(e.Values))]
-	if in.cfg[e.Name] == newVal {
-		return false
-	}
-	old, had := in.cfg[e.Name]
-	in.cfg[e.Name] = newVal
-
-	if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
-		in.restartFails++
-		tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvRestartFail, Instance: in.index,
-			Entity: e.Name, Value: newVal, Detail: err.Error()})
-		tel.Count(telemetry.CtrRestartFailures, 1)
-		// Conflicting mutation: revert and restart under the old config.
-		if had {
-			in.cfg[e.Name] = old
-		} else {
-			delete(in.cfg, e.Name)
-		}
-		if err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock); err != nil {
-			in.restartFails++
-			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvRestartFail, Instance: in.index,
-				Config: in.cfg.String(), Detail: "revert failed: " + err.Error()})
-			tel.Count(telemetry.CtrRestartFailures, 1)
-			// Both the mutated and the reverted restart failed; without a
-			// fallback the instance would keep stepping against a dead
-			// target for the rest of the campaign. Boot the defaults,
-			// which every subject's conformance suite guarantees start.
-			in.cfg = model.Defaults()
-			err := in.target.restart(sub, in.cfg, ledger, in.index, in.clock)
-			if err != nil {
-				in.restartFails++
-			}
-			tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvFallback, Instance: in.index,
-				Config: in.cfg.String(), Detail: fallbackDetail(err)})
-			tel.Count(telemetry.CtrFallbacks, 1)
-			if err != nil {
-				tel.Count(telemetry.CtrRestartFailures, 1)
-				return false
-			}
-			tel.Count(telemetry.CtrBoots, 1)
-			return true
-		}
-		tel.Count(telemetry.CtrBoots, 1)
-		return true
-	}
-	in.muts++
-	tel.Emit(telemetry.Event{T: in.clock, Type: telemetry.EvMutation, Instance: in.index,
-		Entity: e.Name, Value: newVal, Config: in.cfg.String()})
-	tel.Count(telemetry.CtrMutations, 1)
-	tel.Count(telemetry.CtrBoots, 1)
-	return true
 }
 
 // fallbackDetail summarizes the defaults-fallback outcome for telemetry.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestModeString(t *testing.T) {
 func TestRunAllSubjectsAllModes(t *testing.T) {
 	for _, sub := range protocols.All() {
 		for _, mode := range []Mode{ModeCMFuzz, ModePeach, ModeSPFuzz} {
-			res, err := Run(sub, Options{Mode: mode, VirtualHours: 0.25, Seed: 1})
+			res, err := Run(context.Background(), sub, Options{Mode: mode, VirtualHours: 0.25, Seed: 1})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", sub.Info().Protocol, mode, err)
 			}
@@ -56,11 +57,11 @@ func TestRunAllSubjectsAllModes(t *testing.T) {
 
 func TestRunDeterministic(t *testing.T) {
 	sub := mustSubject(t, "DNS")
-	a, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 7})
+	a, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 7})
+	b, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCMFuzzBeatsBaselinesOnDNS(t *testing.T) {
 	sub := mustSubject(t, "DNS")
 	results := map[Mode]*Result{}
 	for _, mode := range []Mode{ModeCMFuzz, ModePeach, ModeSPFuzz} {
-		r, err := Run(sub, Options{Mode: mode, VirtualHours: 2, Seed: 1})
+		r, err := Run(context.Background(), sub, Options{Mode: mode, VirtualHours: 2, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestCMFuzzBeatsBaselinesOnDNS(t *testing.T) {
 
 func TestCMFuzzSchedulesDistinctConfigs(t *testing.T) {
 	sub := mustSubject(t, "CoAP")
-	r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.25, Seed: 1})
+	r, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.25, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestCMFuzzSchedulesDistinctConfigs(t *testing.T) {
 
 func TestBaselinesRunDefaultConfigs(t *testing.T) {
 	sub := mustSubject(t, "MQTT")
-	r, err := Run(sub, Options{Mode: ModePeach, VirtualHours: 0.25, Seed: 1})
+	r, err := Run(context.Background(), sub, Options{Mode: ModePeach, VirtualHours: 0.25, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,14 +138,14 @@ func TestBaselinesRunDefaultConfigs(t *testing.T) {
 
 func TestConfigGatedBugsOnlyFoundByCMFuzz(t *testing.T) {
 	sub := mustSubject(t, "DNS")
-	cm, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 6, Seed: 1})
+	cm, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 6, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cm.Bugs.Len() == 0 {
 		t.Fatal("CMFuzz found no DNS bugs in 6 virtual hours")
 	}
-	pe, err := Run(sub, Options{Mode: ModePeach, VirtualHours: 6, Seed: 1})
+	pe, err := Run(context.Background(), sub, Options{Mode: ModePeach, VirtualHours: 6, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestConfigGatedBugsOnlyFoundByCMFuzz(t *testing.T) {
 
 func TestSPFuzzUsesPathPartition(t *testing.T) {
 	sub := mustSubject(t, "MQTT")
-	r, err := Run(sub, Options{Mode: ModeSPFuzz, VirtualHours: 0.25, Seed: 1})
+	r, err := Run(context.Background(), sub, Options{Mode: ModeSPFuzz, VirtualHours: 0.25, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSPFuzzUsesPathPartition(t *testing.T) {
 func TestAllocatorAblations(t *testing.T) {
 	sub := mustSubject(t, "DNS")
 	for _, alloc := range []Allocator{AllocCohesive, AllocRandom, AllocRoundRobin} {
-		r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.25, Seed: 1, Allocator: alloc})
+		r, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.25, Seed: 1, Allocator: alloc})
 		if err != nil {
 			t.Fatalf("allocator %d: %v", alloc, err)
 		}
@@ -182,7 +183,7 @@ func TestAllocatorAblations(t *testing.T) {
 
 func TestDisableConfigMutation(t *testing.T) {
 	sub := mustSubject(t, "CoAP")
-	r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 4, Seed: 1, DisableConfigMutation: true})
+	r, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 4, Seed: 1, DisableConfigMutation: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestDisableConfigMutation(t *testing.T) {
 
 func TestSeriesMonotone(t *testing.T) {
 	sub := mustSubject(t, "CoAP")
-	r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 3})
+	r, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: testHours, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func BenchmarkCampaignStepDNS(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.1, Seed: int64(i)}); err != nil {
+		if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.1, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -68,16 +69,17 @@ func TestMutateConfigFallsBackToDefaults(t *testing.T) {
 	// boots, so the mutated config (mode=v2) and the reverted config
 	// (mode=v1) both fail to restart.
 	sub.allow = func(cfg map[string]string) bool { return cfg["mode"] == "v0" }
-	in := &instance{index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
+	h := &Host{Sub: sub, Model: model, Defaults: model.Defaults()}
+	in := &Instance{host: h, index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
 	ledger := bugs.NewLedger()
 	ok := false
 	for tries := 0; tries < 32 && !ok; tries++ {
 		// Attempts that draw the current value return false without a
 		// restart; keep drawing until the mutation actually fires.
-		ok = mutateConfig(sub, model, in, ledger, nil)
+		ok = in.Mutate(ledger).Restarted
 	}
 	if !ok {
-		t.Fatal("mutateConfig never recovered the instance")
+		t.Fatal("Mutate never recovered the instance")
 	}
 	if in.cfg["mode"] != "v0" {
 		t.Fatalf("fallback config = %v, want the defaults", in.cfg)
@@ -110,13 +112,14 @@ func TestMutateConfigRevertStillWorks(t *testing.T) {
 
 	// Only the mutated value conflicts; the revert must succeed.
 	sub.allow = func(cfg map[string]string) bool { return cfg["mode"] != "v2" }
-	in := &instance{index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
+	h := &Host{Sub: sub, Model: model, Defaults: model.Defaults()}
+	in := &Instance{host: h, index: 0, target: target, cfg: cfg, rng: rand.New(rand.NewSource(1))}
 	ok := false
 	for tries := 0; tries < 32 && !ok; tries++ {
-		ok = mutateConfig(sub, model, in, bugs.NewLedger(), nil)
+		ok = in.Mutate(bugs.NewLedger()).Restarted
 	}
 	if !ok {
-		t.Fatal("mutateConfig never fired")
+		t.Fatal("Mutate never fired")
 	}
 	if in.cfg["mode"] != "v1" {
 		t.Fatalf("config after revert = %v, want mode=v1", in.cfg)
@@ -132,7 +135,7 @@ func TestMutateConfigRevertStillWorks(t *testing.T) {
 // every discovery-heavy early step.
 func TestSeriesSampleCoalescing(t *testing.T) {
 	sub := mustSubject(t, "DNS")
-	r, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 5})
+	r, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,12 +159,12 @@ func TestSeriesSampleCoalescing(t *testing.T) {
 // depend on the probe worker count.
 func TestRunIdenticalAcrossConcurrency(t *testing.T) {
 	sub := mustSubject(t, "DNS")
-	base, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: 1})
+	base, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, conc := range []int{2, 8} {
-		got, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: conc})
+		got, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 11, Concurrency: conc})
 		if err != nil {
 			t.Fatal(err)
 		}

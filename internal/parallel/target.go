@@ -24,9 +24,9 @@ type netTarget struct {
 // wires it to the namespace. It returns the target and the startup
 // coverage map. A crash during startup (a configuration-parsing defect)
 // is recorded in the ledger and reported as an error.
-func bootTarget(sub subject.Subject, ns *netsim.Namespace, cfg configmodel.Assignment, ledger *bugs.Ledger, index int) (*netTarget, *coverage.Map, error) {
+func bootTarget(sub subject.Subject, ns *netsim.Namespace, cfg configmodel.Assignment, sink CrashSink, index int) (*netTarget, *coverage.Map, error) {
 	t := &netTarget{ns: ns, info: sub.Info()}
-	if err := t.boot(sub, cfg, ledger, index, 0); err != nil {
+	if err := t.boot(sub, cfg, sink, index, 0); err != nil {
 		return nil, nil, err
 	}
 	// Namespace wiring: handlers read t.inst through the pointer, so a
@@ -47,7 +47,7 @@ func bootTarget(sub subject.Subject, ns *netsim.Namespace, cfg configmodel.Assig
 }
 
 // boot starts (or re-starts) the backing instance under cfg.
-func (t *netTarget) boot(sub subject.Subject, cfg configmodel.Assignment, ledger *bugs.Ledger, index int, now float64) error {
+func (t *netTarget) boot(sub subject.Subject, cfg configmodel.Assignment, sink CrashSink, index int, now float64) error {
 	inst := sub.NewInstance()
 	tr := coverage.NewTrace()
 	var startErr error
@@ -55,7 +55,7 @@ func (t *netTarget) boot(sub subject.Subject, cfg configmodel.Assignment, ledger
 		startErr = inst.Start(map[string]string(cfg), tr)
 	})
 	if crash != nil {
-		ledger.Record(crash, index, now, cfg.String())
+		sink.Record(crash, index, now, cfg.String())
 		return crash
 	}
 	if startErr != nil {
@@ -71,8 +71,8 @@ func (t *netTarget) boot(sub subject.Subject, cfg configmodel.Assignment, ledger
 
 // restart reboots the instance under a mutated configuration, keeping
 // the namespace wiring.
-func (t *netTarget) restart(sub subject.Subject, cfg configmodel.Assignment, ledger *bugs.Ledger, index int, now float64) error {
-	return t.boot(sub, cfg, ledger, index, now)
+func (t *netTarget) restart(sub subject.Subject, cfg configmodel.Assignment, sink CrashSink, index int, now float64) error {
+	return t.boot(sub, cfg, sink, index, now)
 }
 
 // streamAdapter exposes the target's instance as a netsim stream server.

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -68,7 +69,7 @@ func TestRunDeterministicWithTwoStateModels(t *testing.T) {
 	for _, mode := range []Mode{ModePeach, ModeSPFuzz} {
 		var base *Result
 		for try := 0; try < 8; try++ {
-			r, err := Run(twoSMSubject{}, Options{Mode: mode, VirtualHours: 0.05, Seed: 3})
+			r, err := Run(context.Background(), twoSMSubject{}, Options{Mode: mode, VirtualHours: 0.05, Seed: 3})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func TestSyncCatchUpAfterClockJump(t *testing.T) {
 	// several at once. With the pre-fix single-increment scheduling this
 	// mix produces back-to-back sync bursts that violate the grid check
 	// below (verified by reverting the catch-up loop).
-	_, err := Run(mustSubject(t, "DNS"), Options{
+	_, err := Run(context.Background(), mustSubject(t, "DNS"), Options{
 		Mode: ModePeach, VirtualHours: 0.5, Seed: 9,
 		SyncInterval: interval, StepCost: 2, ByteCost: 0.2,
 		Telemetry: rec,
@@ -143,12 +144,12 @@ func TestNilTelemetryByteIdentical(t *testing.T) {
 	sub := mustSubject(t, "DNS")
 	opts := Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 7}
 
-	plain, err := Run(sub, opts)
+	plain, err := Run(context.Background(), sub, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Telemetry = telemetry.New()
-	instrumented, err := Run(sub, opts)
+	instrumented, err := Run(context.Background(), sub, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestTelemetryStreamDeterministic(t *testing.T) {
 	sub := mustSubject(t, "CoAP")
 	stream := func() []byte {
 		rec := telemetry.New()
-		if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 4, Telemetry: rec}); err != nil {
+		if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 4, Telemetry: rec}); err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
@@ -224,7 +225,7 @@ func TestTelemetryStreamDeterministic(t *testing.T) {
 // against the aggregates the Result already reports.
 func TestTelemetryCountersMatchResult(t *testing.T) {
 	rec := telemetry.New()
-	res, err := Run(mustSubject(t, "MQTT"), Options{Mode: ModeCMFuzz, VirtualHours: 4, Seed: 2, Telemetry: rec})
+	res, err := Run(context.Background(), mustSubject(t, "MQTT"), Options{Mode: ModeCMFuzz, VirtualHours: 4, Seed: 2, Telemetry: rec})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1}); err != nil {
+			if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -267,7 +268,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rec := telemetry.New()
-			if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1, Telemetry: rec}); err != nil {
+			if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1, Telemetry: rec}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestNilTraceAndProgressByteIdentical(t *testing.T) {
 	sub := mustSubject(t, "DNS")
 	opts := Options{Mode: ModeCMFuzz, VirtualHours: 1, Seed: 7}
 
-	plain, err := Run(sub, opts)
+	plain, err := Run(context.Background(), sub, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestNilTraceAndProgressByteIdentical(t *testing.T) {
 	prog := telemetry.NewProgress()
 	opts.Trace = root
 	opts.Progress = prog
-	instrumented, err := Run(sub, opts)
+	instrumented, err := Run(context.Background(), sub, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestTraceSpanNesting(t *testing.T) {
 	sub := mustSubject(t, "DNS")
 	tr := trace.New()
 	root := tr.Start("fuzz")
-	if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.2, Seed: 3, Instances: 3, Trace: root}); err != nil {
+	if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.2, Seed: 3, Instances: 3, Trace: root}); err != nil {
 		t.Fatal(err)
 	}
 	root.End()
@@ -203,7 +204,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1}); err != nil {
+			if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -213,7 +214,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			tr := trace.New()
 			root := tr.Start("bench")
 			prog := telemetry.NewProgress()
-			if _, err := Run(sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1,
+			if _, err := Run(context.Background(), sub, Options{Mode: ModeCMFuzz, VirtualHours: 0.5, Seed: 1,
 				Trace: root, Progress: prog}); err != nil {
 				b.Fatal(err)
 			}

@@ -103,6 +103,11 @@ const (
 	CtrCrashesUnique   = "crashes_unique"
 	CtrProbeStartups   = "probe_startups"
 	CtrProbeCacheHits  = "probe_cache_hits"
+	// Distributed-campaign counters (internal/dist). Both fire only on
+	// worker failure, so a healthy distributed run keeps a counter map
+	// identical to the in-process campaign's.
+	CtrWorkerDeaths  = "worker_deaths"
+	CtrReassignments = "group_reassignments"
 )
 
 // Clone returns an independent copy of c.

@@ -195,6 +195,23 @@ func (r *Reader) Bytes16() []byte {
 // String16 reads a uint16-length-prefixed UTF-8 string.
 func (r *Reader) String16() string { return string(r.Bytes16()) }
 
+// Bytes32 reads a big-endian uint32 length prefix followed by that many
+// bytes (the framing primitive of the distributed campaign protocol,
+// whose corpus and coverage payloads outgrow a uint16 prefix). A prefix
+// larger than the remaining input fails with ErrTruncated before any
+// allocation, so a hostile length cannot balloon memory.
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	if r.err == nil && int64(n) > int64(r.Remaining()) {
+		r.Fail(ErrTruncated)
+		return nil
+	}
+	return r.Bytes(int(n))
+}
+
+// String32 reads a uint32-length-prefixed UTF-8 string.
+func (r *Reader) String32() string { return string(r.Bytes32()) }
+
 // A Writer encodes binary fields into a growing buffer. The zero value is
 // ready to use.
 type Writer struct {
@@ -269,3 +286,12 @@ func (w *Writer) Bytes16(b []byte) {
 
 // String16 appends a uint16-length-prefixed string.
 func (w *Writer) String16(s string) { w.Bytes16([]byte(s)) }
+
+// Bytes32 appends a big-endian uint32 length prefix followed by b.
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.Raw(b)
+}
+
+// String32 appends a uint32-length-prefixed string.
+func (w *Writer) String32(s string) { w.Bytes32([]byte(s)) }
