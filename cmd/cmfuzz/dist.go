@@ -41,7 +41,7 @@ func parseMode(name string) (parallel.Mode, error) {
 // cmdCoordinator runs the distributed campaign's coordinator: listen,
 // wait for the expected number of workers to attach, run the campaign,
 // and print the same summary `cmfuzz fuzz` prints — plus the
-// distribution bookkeeping (sync traffic, worker failures).
+// distribution bookkeeping (lease traffic, worker failures).
 func cmdCoordinator(args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
 	name := subjectFlag(fs)
@@ -126,14 +126,14 @@ func cmdCoordinator(args []string) error {
 			in.Index, in.FinalBranches, in.Execs, in.Crashes, in.ConfigMutations)
 	}
 	st := coord.Stats()
-	fmt.Printf("  sync traffic: %d bytes; worker deaths: %d; reassignments: %d\n",
+	fmt.Printf("  lease traffic: %d bytes; worker deaths: %d; reassignments: %d\n",
 		st.SyncBytes, st.WorkerDeaths, st.Reassignments)
 	for _, ws := range coord.Workers() {
 		state := "alive"
 		if !ws.Alive {
 			state = "dead"
 		}
-		fmt.Printf("  worker %-12s %-5s %9d execs %8d sync bytes\n", ws.Name, state, ws.Execs, ws.SyncBytes)
+		fmt.Printf("  worker %-12s %-5s %9d execs %8d lease bytes\n", ws.Name, state, ws.Execs, ws.SyncBytes)
 	}
 	if *outDir != "" {
 		if werr := campaign.WriteArtifacts(*outDir, res); werr != nil {

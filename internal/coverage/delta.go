@@ -21,25 +21,43 @@ var ErrBadDelta = errors.New("coverage: malformed delta")
 // base ∪ m. Words are emitted in ascending index order, so the encoding
 // of a given (m, base) pair is canonical.
 func EncodeDelta(m, base *Map) []byte {
+	return AppendDelta(nil, m, base, nil)
+}
+
+// AppendDelta is EncodeDelta with two hot-path affordances: the payload
+// is appended to dst (pass a reused scratch slice to keep per-call
+// allocations off the step loop), and a non-nil touched map restricts
+// the scan to touched's dirty words. The restriction is sound whenever
+// every word where m exceeds base is dirty in touched — e.g. when base
+// was equal to m before the single execution whose trace map touched
+// records — and then the output is byte-identical to the full scan,
+// because word values still come from m and touched's dirty words
+// iterate in the same ascending order.
+func AppendDelta(dst []byte, m, base, touched *Map) []byte {
 	if m == nil {
-		return nil
+		return dst
 	}
-	var out []byte
+	scan := m
+	if touched != nil {
+		scan = touched
+	}
 	var scratch [binary.MaxVarintLen32 + 8]byte
 	prev := -1
-	for _, w := range m.dirtyWords() {
-		mw := m.bits[w]
-		if base != nil {
-			if mw&^base.bits[w] == 0 {
+	for s, sw := range scan.summary {
+		for sw != 0 {
+			w := s*64 + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			mw := m.bits[w]
+			if mw == 0 || (base != nil && mw&^base.bits[w] == 0) {
 				continue
 			}
+			n := binary.PutUvarint(scratch[:], uint64(w-prev-1))
+			binary.BigEndian.PutUint64(scratch[n:], mw)
+			dst = append(dst, scratch[:n+8]...)
+			prev = w
 		}
-		n := binary.PutUvarint(scratch[:], uint64(w-prev-1))
-		binary.BigEndian.PutUint64(scratch[n:], mw)
-		out = append(out, scratch[:n+8]...)
-		prev = w
 	}
-	return out
+	return dst
 }
 
 // ApplyDelta merges a payload produced by EncodeDelta into m (ORing each
@@ -70,17 +88,4 @@ func (m *Map) ApplyDelta(data []byte) (int, error) {
 	}
 	m.count += added
 	return added, nil
-}
-
-// dirtyWords returns the indices of m's nonzero backing words in
-// ascending order, driven by the summary bitset.
-func (m *Map) dirtyWords() []int {
-	out := make([]int, 0, 64)
-	for s, sw := range m.summary {
-		for sw != 0 {
-			out = append(out, s*64+bits.TrailingZeros64(sw))
-			sw &= sw - 1
-		}
-	}
-	return out
 }

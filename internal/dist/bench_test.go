@@ -35,22 +35,23 @@ func BenchmarkInProcess(b *testing.B) {
 }
 
 // BenchmarkDistLoopback is the same campaign through a coordinator and
-// two net.Pipe workers — every step, sync, and mutation crossing the
-// wire protocol. The ns/op delta against BenchmarkInProcess is the full
-// cost of distribution; sync-bytes/op is the corpus+coverage traffic
-// the delta encoding actually shipped.
+// two net.Pipe workers on the lease protocol — one RPC round-trip per
+// sync interval, with every step record riding the consolidated lease
+// replies. The ns/op delta against BenchmarkInProcess is the full cost
+// of distribution; lease-bytes/op is the total lease traffic (seeds
+// out, step records and coverage deltas back).
 func BenchmarkDistLoopback(b *testing.B) {
 	sub := mustSubjectB(b, "DNS")
 	b.ReportAllocs()
-	var syncBytes int64
+	var leaseBytes int64
 	for i := 0; i < b.N; i++ {
 		_, coord, err := dist.RunLocal(context.Background(), sub, benchOpts(), 2, dist.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		syncBytes = coord.Stats().SyncBytes
+		leaseBytes = coord.Stats().SyncBytes
 	}
-	b.ReportMetric(float64(syncBytes), "sync-bytes/op")
+	b.ReportMetric(float64(leaseBytes), "lease-bytes/op")
 }
 
 func mustSubjectB(b *testing.B, name string) subject.Subject {

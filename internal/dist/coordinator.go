@@ -25,7 +25,8 @@ import (
 // not depend on any of these — they only decide how fast a dead worker
 // is noticed.
 type Config struct {
-	// RPCTimeout bounds every request/response exchange (default 30s).
+	// RPCTimeout bounds every request/response exchange, including the
+	// execution of a whole lease batch worker-side (default 30s).
 	RPCTimeout time.Duration
 	// HeartbeatInterval is how often idle workers are pinged
 	// (default 2s). Zero keeps the default; negative disables
@@ -60,6 +61,7 @@ type workerConn struct {
 	name string
 	conn net.Conn
 	br   *bufio.Reader
+	fw   frameWriter // reusable frame scratch, guarded by mu
 
 	mu        sync.Mutex
 	dead      atomic.Bool
@@ -89,7 +91,7 @@ func (wc *workerConn) rpcLocked(typ byte, payload []byte, want byte, timeout tim
 	}
 	wc.conn.SetDeadline(time.Now().Add(timeout))
 	defer wc.conn.SetDeadline(time.Time{})
-	if err := writeFrame(wc.conn, typ, payload); err != nil {
+	if err := wc.fw.write(wc.conn, typ, payload); err != nil {
 		wc.dead.Store(true)
 		return nil, err
 	}
@@ -125,11 +127,14 @@ type WorkerStatus struct {
 }
 
 // Stats aggregates the distributed-run bookkeeping that exists only in
-// dist (sync traffic, failures). It deliberately lives outside the
-// telemetry counter map: sync byte counts depend on wire encoding, and
+// dist (lease traffic, failures). It deliberately lives outside the
+// telemetry counter map: byte counts depend on wire encoding, and
 // folding them into counters would break the byte-identity guarantee
 // against in-process runs.
 type Stats struct {
+	// SyncBytes is the total lease traffic: request plus reply payload
+	// bytes across every lease RPC (the campaign's entire steady-state
+	// wire volume — seeds out, step records back).
 	SyncBytes     int64
 	WorkerDeaths  int
 	Reassignments int
@@ -153,6 +158,7 @@ type Coordinator struct {
 
 	stopHeartbeat chan struct{}
 	hbWG          sync.WaitGroup
+	dispWG        sync.WaitGroup
 }
 
 // NewCoordinator prepares a coordinator for one campaign of sub under
@@ -273,7 +279,11 @@ func (c *Coordinator) alive(from int) *workerConn {
 }
 
 // runState is the coordinator-owned per-instance campaign state — the
-// exact fields the in-process event loop keeps on its Instance structs.
+// exact fields the in-process event loop keeps on its Instance structs,
+// plus the replay bookkeeping the lease protocol needs: a corpus mirror
+// per instance (so sync exports are computed locally at the exact
+// event-loop position, without a wire round-trip) and the in-flight
+// lease batches being replayed.
 type runState struct {
 	host       *parallel.Host
 	opts       parallel.Options
@@ -283,12 +293,118 @@ type runState struct {
 	nextSync   []float64
 	crashes    []int
 	muts       []int
-	prevExecs  []int
+	execs      []int // replayed steps since (re)boot — the engine's Execs counter
+	curCov     []int // instance's own edge count at the replay position
 	curConfig  []string
 	startEdges []int
-	res        *parallel.Result
-	global     *coverage.Map
-	tel        *telemetry.Recorder
+	// mirror replays each instance's corpus: Add on every new-edges
+	// record, plus the sync imports, in the same order the worker-side
+	// engine applies them, so mirror.Export == worker ExportSeeds.
+	mirror  []*fuzz.Corpus
+	pending [][]fuzz.Seed // seeds collected at sync, shipped with the next lease
+	// batch/pos is the lease reply currently being replayed; inflight
+	// marks a dispatched lease whose reply has not been consumed.
+	batch    [][]leaseRecord
+	pos      []int
+	inflight []bool
+	replyCh  []chan leaseReply
+	jobs     []chan leaseJob // per-worker dispatcher queues, indexed by worker id
+	horizon  float64
+	res      *parallel.Result
+	global   *coverage.Map
+	tel      *telemetry.Recorder
+}
+
+// A leaseJob is one lease RPC queued on a worker's dispatcher.
+type leaseJob struct {
+	payload []byte
+	ch      chan leaseReply
+}
+
+// A leaseReply is a decoded lease result (or the transport/decode
+// failure that killed it).
+type leaseReply struct {
+	recs    []leaseRecord
+	syncDue bool
+	err     error
+}
+
+// dispatcher owns the lease traffic for one worker: jobs are executed
+// strictly in FIFO order (wc.mu serializes the round-trips against
+// heartbeats), so leases for different instances on the same worker
+// pipeline without interleaving frames. It exits when jobs closes.
+func (c *Coordinator) dispatcher(wc *workerConn, jobs <-chan leaseJob) {
+	defer c.dispWG.Done()
+	for job := range jobs {
+		p, err := wc.rpc(msgLease, job.payload, msgLeaseResult, c.cfg.RPCTimeout)
+		if err != nil {
+			job.ch <- leaseReply{err: err}
+			continue
+		}
+		recs, syncDue, err := decodeLeaseResult(p)
+		if err != nil {
+			wc.dead.Store(true)
+			job.ch <- leaseReply{err: err}
+			continue
+		}
+		if len(recs) == 0 {
+			// A lease always executes at least one step (the budget is
+			// checked after stepping); an empty reply means the worker
+			// lost its instance state.
+			wc.dead.Store(true)
+			job.ch <- leaseReply{err: errors.New("dist: empty lease reply")}
+			continue
+		}
+		wc.execs.Add(int64(len(recs)))
+		nb := int64(len(job.payload) + len(p))
+		wc.syncBytes.Add(nb)
+		c.syncBytes.Add(nb)
+		job.ch <- leaseReply{recs: recs, syncDue: syncDue}
+	}
+}
+
+// dispatch hands instance i its next lease: the seeds its last sync
+// collected, and a budget up to its next sync boundary or the horizon.
+func (c *Coordinator) dispatch(st *runState, i int) {
+	l := lease{Index: i, Boundary: st.nextSync[i], Horizon: st.horizon, Seeds: st.pending[i]}
+	st.pending[i] = nil
+	st.batch[i] = nil
+	st.pos[i] = 0
+	st.inflight[i] = true
+	st.jobs[st.owner[i].id] <- leaseJob{payload: encodeLease(l), ch: st.replyCh[i]}
+}
+
+// nextRecord returns instance i's next replay record, blocking on the
+// in-flight lease reply when the current batch is exhausted. A lease
+// that fails because its worker died is retried whole on a surviving
+// worker: the reply is all-or-nothing, so zero records were replayed
+// and the re-booted instance resumes at the lease's start clock — which
+// is exactly the coordinator's current clock for i.
+func (c *Coordinator) nextRecord(st *runState, i int) (*leaseRecord, bool, error) {
+	for st.pos[i] >= len(st.batch[i]) {
+		if !st.inflight[i] {
+			return nil, false, fmt.Errorf("dist: instance %d has no lease in flight", i)
+		}
+		rep := <-st.replyCh[i]
+		st.inflight[i] = false
+		if rep.err != nil {
+			wc := st.owner[i]
+			if !wc.dead.Load() {
+				return nil, false, rep.err // application error: campaign-fatal
+			}
+			c.markDead(wc, st.tel)
+			if rerr := c.reassign(st, i); rerr != nil {
+				return nil, false, rerr
+			}
+			c.dispatch(st, i)
+			continue
+		}
+		st.batch[i] = rep.recs
+		st.pos[i] = 0
+	}
+	rec := &st.batch[i][st.pos[i]]
+	st.pos[i]++
+	return rec, st.pos[i] >= len(st.batch[i]), nil
 }
 
 // markDead records a worker failure exactly once (campaign loop only).
@@ -328,6 +444,7 @@ func (c *Coordinator) bootOn(wc *workerConn, st *runState, i int, resumeClock fl
 	st.owner[i] = wc
 	st.curConfig[i] = br.Config
 	st.startEdges[i] = br.StartEdges
+	st.curCov[i] = br.StartEdges
 	return nil
 }
 
@@ -347,7 +464,10 @@ func (c *Coordinator) reassign(st *runState, i int) error {
 		err := c.bootOn(wc, st, i, st.clock[i])
 		if err == nil {
 			st.tel.Count(telemetry.CtrBoots, 1)
-			st.prevExecs[i] = 0
+			// The fresh instance starts with an empty corpus and a zeroed
+			// exec counter; the mirror must match it.
+			st.execs[i] = 0
+			st.mirror[i] = fuzz.NewCorpus(0)
 			return nil
 		}
 		if wc.dead.Load() {
@@ -394,7 +514,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		for _, wc := range c.workers {
 			if !wc.dead.Load() {
 				wc.mu.Lock()
-				writeFrame(wc.conn, msgShutdown, nil)
+				wc.fw.write(wc.conn, msgShutdown, nil)
 				wc.mu.Unlock()
 			}
 			wc.conn.Close()
@@ -463,12 +583,25 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		nextSync:   make([]float64, n),
 		crashes:    make([]int, n),
 		muts:       make([]int, n),
-		prevExecs:  make([]int, n),
+		execs:      make([]int, n),
+		curCov:     make([]int, n),
 		curConfig:  make([]string, n),
 		startEdges: make([]int, n),
+		mirror:     make([]*fuzz.Corpus, n),
+		pending:    make([][]fuzz.Seed, n),
+		batch:      make([][]leaseRecord, n),
+		pos:        make([]int, n),
+		inflight:   make([]bool, n),
+		replyCh:    make([]chan leaseReply, n),
+		jobs:       make([]chan leaseJob, len(c.workers)),
+		horizon:    opts.VirtualHours * 3600,
 		res:        res,
 		global:     coverage.NewMap(),
 		tel:        tel,
+	}
+	for i := 0; i < n; i++ {
+		st.mirror[i] = fuzz.NewCorpus(0)
+		st.replyCh[i] = make(chan leaseReply, 1)
 	}
 
 	// Boot every instance, round-robin across workers, in instance
@@ -507,7 +640,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		}
 	}
 
-	horizon := opts.VirtualHours * 3600
+	horizon := st.horizon
 	res.Series.Observe(0, st.global.Count())
 	lastSample := 0.0
 	watermark := 0.0
@@ -518,6 +651,32 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		instSpans[i] = opts.Trace.Child("instance", trace.A("index", i))
 	}
 
+	// One dispatcher per worker owns that connection's lease traffic, so
+	// leases for different instances pipeline while the event loop
+	// replays earlier records. The dispatchers drain before the fleet
+	// cleanup defer (registered above, so it runs after this one) sends
+	// Shutdown and closes the connections.
+	for wi := range c.workers {
+		st.jobs[wi] = make(chan leaseJob, n)
+		c.dispWG.Add(1)
+		go c.dispatcher(c.workers[wi], st.jobs[wi])
+	}
+	defer func() {
+		for _, jobs := range st.jobs {
+			close(jobs)
+		}
+		c.dispWG.Wait()
+	}()
+	for i := 0; i < n; i++ {
+		c.dispatch(st, i)
+	}
+
+	// The replay event loop. It is parallel.Run's loop statement for
+	// statement, with the engine step replaced by the next lease record:
+	// records arrive batched per instance but are consumed in global
+	// (clock, index) min-scan order — the heap order the in-process loop
+	// steps in — so every ledger entry, telemetry event, series sample,
+	// and counter lands identically.
 	cancelled := false
 	for {
 		i := 0
@@ -538,42 +697,37 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 			break
 		}
 
-		p, err := c.rpcI(st, i, msgStep, encodeStepReq(stepReq{Index: i}), msgStepResult)
+		rec, lastOfBatch, err := c.nextRecord(st, i)
 		if err != nil {
 			return nil, err
 		}
-		sr, err := decodeStepResult(p)
-		if err != nil {
-			c.markDead(st.owner[i], tel)
-			if rerr := c.reassign(st, i); rerr != nil {
-				return nil, rerr
-			}
-			continue
-		}
-		st.owner[i].execs.Add(int64(sr.Execs - st.prevExecs[i]))
-		st.prevExecs[i] = sr.Execs
-		st.clock[i] += opts.StepCost + opts.ByteCost*float64(sr.Bytes)
+		st.execs[i]++
+		st.clock[i] += opts.StepCost + opts.ByteCost*float64(rec.bytes)
 
-		if sr.Crash != nil {
+		if rec.crash != nil {
 			st.crashes[i]++
-			isNew := res.Bugs.Record(sr.Crash, i, st.clock[i], st.curConfig[i])
+			isNew := res.Bugs.Record(rec.crash, i, st.clock[i], st.curConfig[i])
 			tel.Emit(telemetry.Event{T: st.clock[i], Type: telemetry.EvCrash, Instance: i,
-				Crash: sr.Crash.ID(), New: isNew, Config: st.curConfig[i]})
+				Crash: rec.crash.ID(), New: isNew, Config: st.curConfig[i]})
 			tel.Count(telemetry.CtrCrashes, 1)
 			if isNew {
 				tel.Count(telemetry.CtrCrashesUnique, 1)
 			}
 		}
-		if sr.NewEdges > 0 {
-			if _, err := st.global.ApplyDelta(sr.Delta); err != nil {
+		if rec.newEdges > 0 {
+			if _, err := st.global.ApplyDelta(rec.delta); err != nil {
 				return nil, fmt.Errorf("dist: coverage delta from worker %q: %w", st.owner[i].name, err)
 			}
+			// The instance's own map grew by exactly newEdges, and its
+			// corpus gained the seed; replay both into the mirrors.
+			st.curCov[i] += rec.newEdges
+			st.mirror[i].Add(rec.seed)
 		}
 		if st.clock[i] > watermark {
 			watermark = st.clock[i]
 		}
 		if watermark-lastSample >= opts.SampleEvery ||
-			(sr.NewEdges > 0 && watermark-lastSample >= minSampleGap) {
+			(rec.newEdges > 0 && watermark-lastSample >= minSampleGap) {
 			res.Series.Observe(watermark, st.global.Count())
 			lastSample = watermark
 			tel.Emit(telemetry.Event{T: watermark, Type: telemetry.EvSample, Instance: i,
@@ -583,12 +737,16 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		}
 		if prog.Enabled() {
 			prog.StepInstance(opts.Label, i, st.clock[i],
-				sr.Coverage, sr.Execs, st.crashes[i], st.muts[i], sr.Corpus)
+				st.curCov[i], st.execs[i], st.crashes[i], st.muts[i], st.mirror[i].Len())
 		}
 
-		// Seed synchronization: export from every other instance (in
-		// index order, exactly as the in-process loop iterates), then
-		// one import into the stepping instance.
+		// Seed synchronization, replayed from the corpus mirrors: export
+		// from every other instance (in index order, exactly as the
+		// in-process loop iterates) at this exact event-loop position.
+		// The collected seeds merge into i's mirror now — matching the
+		// in-process ImportSeeds — and ship to i's engine with its next
+		// lease; i does not step again before that lease, so the
+		// deferred wire import is invisible.
 		if st.clock[i] >= st.nextSync[i] {
 			sync := instSpans[i].Child("sync")
 			var all []fuzz.Seed
@@ -596,27 +754,12 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 				if j == i {
 					continue
 				}
-				sp, err := c.rpcI(st, j, msgExport, encodeExportReq(exportReq{Index: j, Max: 4}), msgSeeds)
-				if err != nil {
-					sync.End()
-					return nil, err
-				}
-				seeds, err := decodeSeeds(sp)
-				if err != nil {
-					sync.End()
-					return nil, err
-				}
-				c.syncBytes.Add(int64(len(sp)))
-				st.owner[j].syncBytes.Add(int64(len(sp)))
-				all = append(all, seeds...)
+				all = append(all, st.mirror[j].Export(4)...)
 			}
-			importPayload := encodeImportReq(importReq{Index: i, Seeds: all})
-			if _, err := c.rpcI(st, i, msgImport, importPayload, msgImportOK); err != nil {
-				sync.End()
-				return nil, err
+			for _, s := range all {
+				st.mirror[i].Add(s)
 			}
-			c.syncBytes.Add(int64(len(importPayload)))
-			st.owner[i].syncBytes.Add(int64(len(importPayload)))
+			st.pending[i] = all
 			skipped := 0
 			for st.nextSync[i] += opts.SyncInterval; st.nextSync[i] <= st.clock[i]; st.nextSync[i] += opts.SyncInterval {
 				skipped++
@@ -631,14 +774,18 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 			sync.End()
 		}
 
-		// Saturation fired worker-side inside the same step exchange;
-		// replay its telemetry, ledger records, and counters here, in
-		// the same order the in-process loop emits them (after sync).
-		if sr.SatFired {
+		// Saturation fired worker-side inside the lease; replay its
+		// telemetry, ledger records, and counters here, in the same
+		// order the in-process loop emits them (after sync). Mutation
+		// commutes with sync — mutation touches the rng, target, and
+		// engine map; sync touches only corpora — so the worker running
+		// the mutation before the coordinator replays the sync does not
+		// reorder any observable effect.
+		if rec.satFired {
 			tel.Emit(telemetry.Event{T: st.clock[i], Type: telemetry.EvSaturation, Instance: i,
-				Edges: sr.SatEdges})
+				Edges: st.curCov[i]})
 			tel.Count(telemetry.CtrSaturations, 1)
-			if m := sr.Mutation; m != nil {
+			if m := rec.mutation; m != nil {
 				mut := instSpans[i].Child("config.mutate")
 				for _, cr := range m.Crashes {
 					crash := cr.Crash
@@ -647,12 +794,25 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 				st.muts[i] += m.Outcome.Mutations
 				parallel.EmitMutation(tel, i, st.clock[i], m.Outcome)
 				if m.Outcome.Restarted && prog.Enabled() {
-					prog.SetInstanceConfig(opts.Label, i, sr.Config)
+					prog.SetInstanceConfig(opts.Label, i, rec.config)
 				}
 				mut.End()
 			}
+			st.curConfig[i] = rec.config
+			// A restart absorbed fresh startup coverage into the
+			// instance's map; resync the replayed edge count to the
+			// post-absorb value the worker reported.
+			st.curCov[i] = rec.coverage
 		}
-		st.curConfig[i] = sr.Config
+
+		// Batch exhausted: hand the instance its next lease, unless it
+		// just ran out the campaign horizon. A horizon-crossing sync
+		// skips its import-only lease — the in-process loop does import
+		// there, but the instance never steps again, so the corpus
+		// difference is invisible in every artifact.
+		if lastOfBatch && st.clock[i] < horizon {
+			c.dispatch(st, i)
+		}
 	}
 
 	finalT := horizon
@@ -663,7 +823,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 	res.FinalBranches = st.global.Count()
 	prog.SetUnion(opts.Label, finalT, st.global.Count())
 	for i := 0; i < n; i++ {
-		p, err := c.rpcI(st, i, msgFinalize, encodeStepReq(stepReq{Index: i}), msgInstanceResult)
+		p, err := c.rpcI(st, i, msgFinalize, encodeIndexReq(indexReq{Index: i}), msgInstanceResult)
 		if err != nil {
 			return nil, err
 		}

@@ -57,9 +57,10 @@ func TestWorkerDeathReassignsInstances(t *testing.T) {
 		go func() { serveErr <- w.Serve(wConn) }()
 		conn := net.Conn(cConn)
 		if i == 0 {
-			// Enough writes to get through handshake, assign, and boots,
-			// then die while stepping.
-			conn = &faultConn{Conn: cConn, limit: 40}
+			// Enough writes to get through welcome, assign, both boots,
+			// and the first lease per owned instance (6 total), then die
+			// when the second round of leases is dispatched.
+			conn = &faultConn{Conn: cConn, limit: 6}
 		}
 		if err := coord.AddConn(conn); err != nil {
 			t.Fatal(err)
@@ -108,6 +109,82 @@ func TestWorkerDeathReassignsInstances(t *testing.T) {
 	}
 	if alive != 1 || dead != 1 {
 		t.Fatalf("worker status: %d alive, %d dead, want 1/1", alive, dead)
+	}
+}
+
+// readFaultConn fails every Read after `limit` successful ones: the
+// worker accepts the lease and goes silent, so the death surfaces while
+// the coordinator is waiting for a consolidated lease reply.
+type readFaultConn struct {
+	net.Conn
+	reads int
+	limit int
+}
+
+func (f *readFaultConn) Read(p []byte) (int, error) {
+	if f.reads >= f.limit {
+		return 0, errInjected
+	}
+	f.reads++
+	return f.Conn.Read(p)
+}
+
+// TestWorkerDeathMidLease kills a worker between lease dispatch and
+// lease reply. The reply is all-or-nothing, so zero records from the
+// broken lease may be replayed: the coordinator must re-boot the
+// instances at the lease's start clock on the survivor and still run
+// the campaign to the horizon.
+func TestWorkerDeathMidLease(t *testing.T) {
+	sub := mustSubject(t, "DNS")
+	rec := telemetry.New()
+	opts := parallel.Options{
+		Mode: parallel.ModeCMFuzz, VirtualHours: 0.25, Seed: 5, Concurrency: 1,
+		Telemetry: rec,
+	}
+	resolve := func(name string) (subject.Subject, error) { return protocols.ByName(name) }
+
+	coord := dist.NewCoordinator(sub, opts, dist.Config{HeartbeatInterval: -1})
+	serveErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cConn, wConn := net.Pipe()
+		w := dist.NewWorker(dist.WorkerConfig{Name: fmt.Sprintf("w%d", i), Resolve: resolve})
+		go func() { serveErr <- w.Serve(wConn) }()
+		conn := net.Conn(cConn)
+		if i == 0 {
+			// Reads 1-4 carry hello, assignOK, and both boot results; the
+			// read of the first lease reply fails, i.e. the worker dies
+			// mid-lease with the batch undelivered.
+			conn = &readFaultConn{Conn: cConn, limit: 4}
+		}
+		if err := coord.AddConn(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		<-serveErr
+	}
+
+	if len(res.Instances) != 4 {
+		t.Fatalf("got %d instance results, want 4", len(res.Instances))
+	}
+	last := res.Series.Points()[len(res.Series.Points())-1]
+	if want := opts.VirtualHours * 3600; last.T < want {
+		t.Fatalf("campaign stopped at %.1f virtual seconds, want %.1f", last.T, want)
+	}
+	st := coord.Stats()
+	if st.WorkerDeaths != 1 || st.Reassignments != 2 {
+		t.Fatalf("deaths/reassignments = %d/%d, want 1/2", st.WorkerDeaths, st.Reassignments)
+	}
+	// The re-boots happened at the lease start clock — virtual second
+	// zero here, since the very first lease reply was lost — so every
+	// instance still accounts for the whole horizon of virtual time.
+	if res.Counters[telemetry.CtrWorkerDeaths] != 1 || res.Counters[telemetry.CtrReassignments] != 2 {
+		t.Fatalf("telemetry counters missing the failure: %+v", res.Counters)
 	}
 }
 

@@ -5,20 +5,32 @@
 // the bug ledger, and telemetry — while workers own whole instances
 // (engine, booted target, mutation RNG, saturation tracker) and execute
 // the exact same per-instance code the in-process campaign uses
-// (parallel.Host / parallel.Instance). The coordinator drives workers in
-// lockstep over a length-prefixed binary protocol, so a distributed
-// campaign and parallel.Run produce byte-identical Results for the same
-// seed: same coverage series, same ledger order, same counters.
+// (parallel.Host / parallel.Instance).
+//
+// Workers run autonomously between scheduler touchpoints: the
+// coordinator ships a lease per instance (imported seeds plus a
+// virtual-clock budget up to the next sync boundary or the campaign
+// horizon) and the worker executes the whole batch locally, streaming
+// back one consolidated reply carrying every step's coverage delta,
+// crash record, corpus addition, and saturation/mutation outcome. The
+// coordinator replays those records into the global event loop in
+// virtual-clock order, computing seed-sync exports from per-instance
+// corpus mirrors, so a distributed campaign and parallel.Run produce
+// byte-identical Results for the same seed: same coverage series, same
+// ledger order, same counters — while paying one RPC round-trip per
+// sync interval instead of one per engine step.
 //
 // Coverage travels as deltas (coverage.EncodeDelta over dirty words
-// only), so sync payloads are proportional to newly found edges, not to
-// the 64 Ki map.
+// only), so lease payloads are proportional to newly found edges, not
+// to the 64 Ki map.
 //
 // Failure handling is first-class: workers heartbeat, every RPC carries
 // a deadline, and when a worker dies its instances are re-booted on
-// survivors from their original specs at the clock they had reached
-// (corpus progress on the dead worker is lost; the re-boot is counted in
-// telemetry).
+// survivors from their original specs at the clock they had reached. A
+// lease reply is all-or-nothing, so a worker that dies mid-lease loses
+// the whole batch and the re-boot resumes at the lease's start clock
+// (corpus progress on the dead worker is lost; the re-boot is counted
+// in telemetry).
 package dist
 
 import (
@@ -34,8 +46,8 @@ import (
 const maxFrame = 64 << 20
 
 // protocolVersion gates the Hello/Welcome handshake; coordinator and
-// worker must agree exactly.
-const protocolVersion = 1
+// worker must agree exactly. Version 2 is the lease protocol.
+const protocolVersion = 2
 
 // Message types.
 const (
@@ -45,12 +57,8 @@ const (
 	msgAssignOK
 	msgBoot
 	msgBootResult
-	msgStep
-	msgStepResult
-	msgExport
-	msgSeeds
-	msgImport
-	msgImportOK
+	msgLease
+	msgLeaseResult
 	msgFinalize
 	msgInstanceResult
 	msgPing
@@ -61,18 +69,37 @@ const (
 
 var errFrameTooLarge = errors.New("dist: frame exceeds size limit")
 
-// writeFrame sends one framed message. The header and payload go out in
-// a single Write so a concurrent deadline cannot split a frame.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
+// A frameWriter sends framed messages through a reusable scratch
+// buffer, so the lease loop does not allocate a fresh header+payload
+// copy per frame. The header and payload still go out in a single
+// Write, so a concurrent deadline cannot split a frame (and each frame
+// stays one Read on the far side of a net.Pipe, which the fault-
+// injection tests count on). Not safe for concurrent use; each
+// connection owns its own.
+type frameWriter struct {
+	buf []byte
+}
+
+func (f *frameWriter) write(w io.Writer, typ byte, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return errFrameTooLarge
 	}
-	buf := make([]byte, 5+len(payload))
+	need := 5 + len(payload)
+	if cap(f.buf) < need {
+		f.buf = make([]byte, need)
+	}
+	buf := f.buf[:need]
 	binary.BigEndian.PutUint32(buf, uint32(len(payload)+1))
 	buf[4] = typ
 	copy(buf[5:], payload)
 	_, err := w.Write(buf)
 	return err
+}
+
+// writeFrame sends one framed message through a throwaway frameWriter
+// (cold paths only; hot paths reuse a connection-owned frameWriter).
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	return (&frameWriter{}).write(w, typ, payload)
 }
 
 // readFrame reads one framed message.

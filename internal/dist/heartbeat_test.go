@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"cmfuzz/internal/parallel"
+)
+
+func pipeWorkerConn() (*workerConn, net.Conn) {
+	cConn, wConn := net.Pipe()
+	wc := &workerConn{id: 0, name: "w", conn: cConn, br: bufio.NewReaderSize(cConn, 64<<10)}
+	return wc, wConn
+}
+
+// TestStalePongSkipped pins the documented rpc behavior: a Pong that
+// arrives while a campaign RPC is waiting for its reply (a heartbeat
+// answered late) is skipped, not mistaken for the reply — Pongs are
+// empty and interchangeable, so dropping one loses nothing.
+func TestStalePongSkipped(t *testing.T) {
+	wc, peer := pipeWorkerConn()
+	defer peer.Close()
+	defer wc.conn.Close()
+
+	go func() {
+		if _, _, err := readFrame(peer); err != nil { // the Finalize request
+			t.Error(err)
+			return
+		}
+		// A stale Pong first, then the real reply.
+		if err := writeFrame(peer, msgPong, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := writeFrame(peer, msgInstanceResult, []byte{1, 2, 3}); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	p, err := wc.rpc(msgFinalize, nil, msgInstanceResult, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Fatalf("rpc returned %v, want the real reply after the stale Pong", p)
+	}
+	if wc.dead.Load() {
+		t.Fatal("stale Pong killed the connection")
+	}
+}
+
+// TestLatePongKillsWorker delays every Pong past the RPC deadline: the
+// heartbeat loop must declare the worker dead and subsequent RPCs must
+// fail fast with errWorkerDead rather than hang.
+func TestLatePongKillsWorker(t *testing.T) {
+	wc, peer := pipeWorkerConn()
+	defer peer.Close()
+	defer wc.conn.Close()
+
+	c := NewCoordinator(nil, parallel.Options{}, Config{
+		RPCTimeout: 50 * time.Millisecond, HeartbeatInterval: 10 * time.Millisecond, PingRetries: 1,
+	})
+	c.workers = append(c.workers, wc)
+
+	// The peer reads pings but answers far past the deadline.
+	go func() {
+		for {
+			if _, _, err := readFrame(peer); err != nil {
+				return
+			}
+			go func() {
+				time.Sleep(300 * time.Millisecond)
+				writeFrame(peer, msgPong, nil) // blocks or errors once the pipe dies; both fine
+			}()
+		}
+	}()
+
+	c.hbWG.Add(1)
+	go c.heartbeat(wc)
+	deadline := time.Now().Add(5 * time.Second)
+	for !wc.dead.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("late Pongs never killed the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(c.stopHeartbeat)
+	c.hbWG.Wait()
+
+	if _, err := wc.rpc(msgPing, nil, msgPong, time.Second); !errors.Is(err, errWorkerDead) {
+		t.Fatalf("rpc on dead worker = %v, want errWorkerDead", err)
+	}
+}

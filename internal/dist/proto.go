@@ -223,20 +223,28 @@ func decodeBootReq(p []byte) (bootReq, error) {
 	return b, r.Err()
 }
 
-// crashRec is one buffered CrashSink record, replayed into the
-// coordinator's ledger in order.
-type crashRec struct {
-	Crash    bugs.Crash
-	Instance int
-	T        float64
-	Config   string
+// crashRec is one buffered CrashSink record (parallel.RecordingSink's
+// element type), replayed into the coordinator's ledger in order.
+type crashRec = parallel.CrashRec
+
+func putCrash(w *wire.Writer, c *bugs.Crash) {
+	w.String16(c.Protocol)
+	w.U8(byte(c.Kind))
+	w.String16(c.Function)
+	w.String32(c.Detail)
+}
+
+func getCrash(r *wire.Reader) bugs.Crash {
+	return bugs.Crash{
+		Protocol: r.String16(),
+		Kind:     bugs.Kind(r.U8()),
+		Function: r.String16(),
+		Detail:   r.String32(),
+	}
 }
 
 func putCrashRec(w *wire.Writer, c crashRec) {
-	w.String16(c.Crash.Protocol)
-	w.U8(byte(c.Crash.Kind))
-	w.String16(c.Crash.Function)
-	w.String32(c.Crash.Detail)
+	putCrash(w, &c.Crash)
 	w.U32(uint32(c.Instance))
 	putF64(w, c.T)
 	w.String32(c.Config)
@@ -244,12 +252,7 @@ func putCrashRec(w *wire.Writer, c crashRec) {
 
 func getCrashRec(r *wire.Reader) crashRec {
 	return crashRec{
-		Crash: bugs.Crash{
-			Protocol: r.String16(),
-			Kind:     bugs.Kind(r.U8()),
-			Function: r.String16(),
-			Detail:   r.String32(),
-		},
+		Crash:    getCrash(r),
 		Instance: int(r.U32()),
 		T:        getF64(r),
 		Config:   r.String32(),
@@ -302,19 +305,20 @@ func decodeBootResult(p []byte) (bootResult, error) {
 	return b, r.Err()
 }
 
-// --- Step ---
+// --- Lease ---
 
-type stepReq struct{ Index int }
+// indexReq addresses a single instance (Finalize).
+type indexReq struct{ Index int }
 
-func encodeStepReq(s stepReq) []byte {
+func encodeIndexReq(s indexReq) []byte {
 	w := &wire.Writer{}
 	w.U32(uint32(s.Index))
 	return w.Bytes()
 }
 
-func decodeStepReq(p []byte) (stepReq, error) {
+func decodeIndexReq(p []byte) (indexReq, error) {
 	r := wire.NewReader(p)
-	s := stepReq{Index: int(r.U32())}
+	s := indexReq{Index: int(r.U32())}
 	return s, r.Err()
 }
 
@@ -323,20 +327,6 @@ func decodeStepReq(p []byte) (stepReq, error) {
 type mutation struct {
 	Outcome parallel.MutationOutcome
 	Crashes []crashRec
-}
-
-type stepResult struct {
-	Bytes    int // drives the coordinator's clock advance
-	NewEdges int
-	Crash    *bugs.Crash
-	Delta    []byte // new-coverage words, empty unless NewEdges > 0
-	Execs    int
-	Corpus   int
-	Coverage int
-	SatFired bool
-	SatEdges int
-	Mutation *mutation
-	Config   string // configuration after the step (post-mutation)
 }
 
 func putMutEvent(w *wire.Writer, e parallel.MutEvent) {
@@ -357,96 +347,183 @@ func getMutEvent(r *wire.Reader) parallel.MutEvent {
 	}
 }
 
-func encodeStepResult(s stepResult) []byte {
+// A lease hands one instance a batch of work: seeds to import first
+// (the previous sync's collection, empty on the first lease), then run
+// autonomously until the virtual clock crosses Boundary (the instance's
+// next sync point) or Horizon, whichever comes first.
+type lease struct {
+	Index    int
+	Boundary float64
+	Horizon  float64
+	Seeds    []fuzz.Seed
+}
+
+func encodeLease(l lease) []byte {
 	w := &wire.Writer{}
-	w.U32(uint32(s.Bytes))
-	w.U32(uint32(s.NewEdges))
-	putBool(w, s.Crash != nil)
-	if s.Crash != nil {
-		w.String16(s.Crash.Protocol)
-		w.U8(byte(s.Crash.Kind))
-		w.String16(s.Crash.Function)
-		w.String32(s.Crash.Detail)
+	w.U32(uint32(l.Index))
+	putF64(w, l.Boundary)
+	putF64(w, l.Horizon)
+	putSeeds(w, l.Seeds)
+	return w.Bytes()
+}
+
+func decodeLease(p []byte) (lease, error) {
+	r := wire.NewReader(p)
+	l := lease{
+		Index:    int(r.U32()),
+		Boundary: getF64(r),
+		Horizon:  getF64(r),
+		Seeds:    getSeeds(r),
 	}
-	w.Bytes32(s.Delta)
-	putI64(w, int64(s.Execs))
-	w.U32(uint32(s.Corpus))
-	w.U32(uint32(s.Coverage))
-	putBool(w, s.SatFired)
-	w.U32(uint32(s.SatEdges))
-	putBool(w, s.Mutation != nil)
-	if m := s.Mutation; m != nil {
-		w.U16(uint16(len(m.Outcome.Events)))
-		for _, e := range m.Outcome.Events {
+	if r.Err() != nil {
+		return lease{}, r.Err()
+	}
+	if !r.Empty() {
+		return lease{}, ErrProto
+	}
+	return l, nil
+}
+
+// Per-step record encoding inside a lease reply. A flags byte leads
+// each record so the common case (no crash, no new edges, no
+// saturation) costs two bytes: flags + a varint byte count.
+const (
+	leaseFlagCrash = 1 << 0
+	leaseFlagEdges = 1 << 1
+	leaseFlagSat   = 1 << 2
+
+	leaseFlagsKnown = leaseFlagCrash | leaseFlagEdges | leaseFlagSat
+
+	// leaseEnd terminates the record stream (it cannot collide with a
+	// flags byte, whose unknown bits are rejected).
+	leaseEnd byte = 0xFF
+)
+
+// A leaseRecord is the decoded form of one worker step, ready for the
+// coordinator to replay.
+type leaseRecord struct {
+	bytes    int
+	newEdges int
+	crash    *bugs.Crash
+	delta    []byte
+	seed     fuzz.Seed
+	satFired bool
+	mutation *mutation
+	config   string // assignment after the mutation attempt
+	coverage int    // post-absorb edge count, only when satFired
+}
+
+// appendLeaseStep encodes one step record onto w. The worker calls it
+// from StepN's afterRecord hook, so the reply is built incrementally in
+// a reused encoder instead of being assembled from per-step slices.
+func appendLeaseStep(w *wire.Writer, rec *parallel.LeaseStep) {
+	var flags byte
+	if rec.Crash != nil {
+		flags |= leaseFlagCrash
+	}
+	if rec.NewEdges > 0 {
+		flags |= leaseFlagEdges
+	}
+	if rec.SatFired {
+		flags |= leaseFlagSat
+	}
+	w.U8(flags)
+	w.Varint(uint32(rec.Bytes))
+	if rec.Crash != nil {
+		putCrash(w, rec.Crash)
+	}
+	if rec.NewEdges > 0 {
+		w.Varint(uint32(rec.NewEdges))
+		w.Bytes32(rec.Delta)
+		// Seed.Gain is NewEdges by construction, so only the messages
+		// travel. Sequences are at most a handful of messages (the
+		// engine caps path length), so a one-byte count suffices.
+		w.U8(byte(len(rec.Seed.Msgs)))
+		for _, m := range rec.Seed.Msgs {
+			w.Bytes32(m)
+		}
+	}
+	if rec.SatFired {
+		m := rec.Mutation
+		w.U16(uint16(len(m.Events)))
+		for _, e := range m.Events {
 			putMutEvent(w, e)
 		}
-		w.U8(byte(m.Outcome.Mutations))
-		w.U8(byte(m.Outcome.Boots))
-		w.U8(byte(m.Outcome.RestartFails))
-		w.U8(byte(m.Outcome.Fallbacks))
-		putBool(w, m.Outcome.Restarted)
-		putCrashRecs(w, m.Crashes)
+		w.U8(byte(m.Mutations))
+		w.U8(byte(m.Boots))
+		w.U8(byte(m.RestartFails))
+		w.U8(byte(m.Fallbacks))
+		putBool(w, m.Restarted)
+		putCrashRecs(w, rec.MutationCrashes)
+		w.String32(rec.Config)
+		w.Varint(uint32(rec.Coverage))
 	}
-	w.String32(s.Config)
-	return w.Bytes()
 }
 
-func decodeStepResult(p []byte) (stepResult, error) {
+// decodeLeaseResult parses a consolidated lease reply: step records up
+// to the leaseEnd terminator, then whether the instance stopped at its
+// sync boundary (false means it ran out the campaign horizon).
+func decodeLeaseResult(p []byte) ([]leaseRecord, bool, error) {
 	r := wire.NewReader(p)
-	s := stepResult{
-		Bytes:    int(r.U32()),
-		NewEdges: int(r.U32()),
-	}
-	if getBool(r) {
-		s.Crash = &bugs.Crash{
-			Protocol: r.String16(),
-			Kind:     bugs.Kind(r.U8()),
-			Function: r.String16(),
-			Detail:   r.String32(),
+	var recs []leaseRecord
+	for {
+		flags := r.U8()
+		if r.Err() != nil {
+			return nil, false, r.Err()
 		}
-	}
-	s.Delta = r.Bytes32()
-	s.Execs = int(getI64(r))
-	s.Corpus = int(r.U32())
-	s.Coverage = int(r.U32())
-	s.SatFired = getBool(r)
-	s.SatEdges = int(r.U32())
-	if getBool(r) {
-		m := &mutation{}
-		n := int(r.U16())
-		for i := 0; i < n && r.Err() == nil; i++ {
-			m.Outcome.Events = append(m.Outcome.Events, getMutEvent(r))
+		if flags == leaseEnd {
+			break
 		}
-		m.Outcome.Mutations = int(r.U8())
-		m.Outcome.Boots = int(r.U8())
-		m.Outcome.RestartFails = int(r.U8())
-		m.Outcome.Fallbacks = int(r.U8())
-		m.Outcome.Restarted = getBool(r)
-		m.Crashes = getCrashRecs(r)
-		s.Mutation = m
+		if flags&^byte(leaseFlagsKnown) != 0 {
+			return nil, false, ErrProto
+		}
+		rec := leaseRecord{bytes: int(r.Varint())}
+		if flags&leaseFlagCrash != 0 {
+			c := getCrash(r)
+			rec.crash = &c
+		}
+		if flags&leaseFlagEdges != 0 {
+			rec.newEdges = int(r.Varint())
+			if r.Err() == nil && rec.newEdges == 0 {
+				return nil, false, ErrProto
+			}
+			rec.delta = r.Bytes32()
+			msgs := int(r.U8())
+			for j := 0; j < msgs && r.Err() == nil; j++ {
+				rec.seed.Msgs = append(rec.seed.Msgs, r.Bytes32())
+			}
+			rec.seed.Gain = rec.newEdges
+		}
+		if flags&leaseFlagSat != 0 {
+			rec.satFired = true
+			m := &mutation{}
+			n := int(r.U16())
+			for i := 0; i < n && r.Err() == nil; i++ {
+				m.Outcome.Events = append(m.Outcome.Events, getMutEvent(r))
+			}
+			m.Outcome.Mutations = int(r.U8())
+			m.Outcome.Boots = int(r.U8())
+			m.Outcome.RestartFails = int(r.U8())
+			m.Outcome.Fallbacks = int(r.U8())
+			m.Outcome.Restarted = getBool(r)
+			m.Crashes = getCrashRecs(r)
+			rec.mutation = m
+			rec.config = r.String32()
+			rec.coverage = int(r.Varint())
+		}
+		if r.Err() != nil {
+			return nil, false, r.Err()
+		}
+		recs = append(recs, rec)
 	}
-	s.Config = r.String32()
-	return s, r.Err()
-}
-
-// --- Export / Import ---
-
-type exportReq struct {
-	Index int
-	Max   int
-}
-
-func encodeExportReq(e exportReq) []byte {
-	w := &wire.Writer{}
-	w.U32(uint32(e.Index))
-	w.U8(byte(e.Max))
-	return w.Bytes()
-}
-
-func decodeExportReq(p []byte) (exportReq, error) {
-	r := wire.NewReader(p)
-	e := exportReq{Index: int(r.U32()), Max: int(r.U8())}
-	return e, r.Err()
+	syncDue := getBool(r)
+	if r.Err() != nil {
+		return nil, false, r.Err()
+	}
+	if !r.Empty() {
+		return nil, false, ErrProto
+	}
+	return recs, syncDue, nil
 }
 
 func putSeeds(w *wire.Writer, seeds []fuzz.Seed) {
@@ -473,36 +550,6 @@ func getSeeds(r *wire.Reader) []fuzz.Seed {
 		out = append(out, s)
 	}
 	return out
-}
-
-func encodeSeeds(seeds []fuzz.Seed) []byte {
-	w := &wire.Writer{}
-	putSeeds(w, seeds)
-	return w.Bytes()
-}
-
-func decodeSeeds(p []byte) ([]fuzz.Seed, error) {
-	r := wire.NewReader(p)
-	s := getSeeds(r)
-	return s, r.Err()
-}
-
-type importReq struct {
-	Index int
-	Seeds []fuzz.Seed
-}
-
-func encodeImportReq(i importReq) []byte {
-	w := &wire.Writer{}
-	w.U32(uint32(i.Index))
-	putSeeds(w, i.Seeds)
-	return w.Bytes()
-}
-
-func decodeImportReq(p []byte) (importReq, error) {
-	r := wire.NewReader(p)
-	i := importReq{Index: int(r.U32()), Seeds: getSeeds(r)}
-	return i, r.Err()
 }
 
 // --- Finalize ---

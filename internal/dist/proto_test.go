@@ -11,6 +11,7 @@ import (
 	"cmfuzz/internal/fuzz"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/wire"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -33,11 +34,11 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRejectsOversize(t *testing.T) {
-	if err := writeFrame(&bytes.Buffer{}, msgStep, make([]byte, maxFrame)); err == nil {
+	if err := writeFrame(&bytes.Buffer{}, msgLease, make([]byte, maxFrame)); err == nil {
 		t.Fatal("oversized frame accepted")
 	}
 	var hdr bytes.Buffer
-	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(msgStep)})
+	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(msgLease)})
 	if _, _, err := readFrame(&hdr); err == nil {
 		t.Fatal("oversized length header accepted")
 	}
@@ -93,34 +94,116 @@ func TestAssignRoundTrip(t *testing.T) {
 	}
 }
 
-func TestStepResultRoundTrip(t *testing.T) {
-	in := stepResult{
-		Bytes: 77, NewEdges: 3,
-		Crash: &bugs.Crash{Protocol: "DNS", Kind: bugs.Kind(2), Function: "parse", Detail: "oob"},
-		Delta: []byte{1, 2, 3},
-		Execs: 900, Corpus: 12, Coverage: 345,
-		SatFired: true, SatEdges: 345,
-		Mutation: &mutation{
-			Outcome: parallel.MutationOutcome{
+func TestLeaseRoundTrip(t *testing.T) {
+	in := lease{
+		Index: 2, Boundary: 600, Horizon: 1800,
+		Seeds: []fuzz.Seed{
+			{Msgs: [][]byte{{1, 2}, {3}}, Gain: 5},
+			{Msgs: [][]byte{{}}, Gain: 0},
+		},
+	}
+	out, err := decodeLease(encodeLease(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Index != in.Index || out.Boundary != in.Boundary || out.Horizon != in.Horizon {
+		t.Fatalf("lease header diverged: %+v vs %+v", out, in)
+	}
+	if len(out.Seeds) != len(in.Seeds) {
+		t.Fatalf("seed count %d, want %d", len(out.Seeds), len(in.Seeds))
+	}
+	for i := range in.Seeds {
+		if out.Seeds[i].Gain != in.Seeds[i].Gain || len(out.Seeds[i].Msgs) != len(in.Seeds[i].Msgs) {
+			t.Fatalf("seed %d diverged: %+v vs %+v", i, out.Seeds[i], in.Seeds[i])
+		}
+		for j := range in.Seeds[i].Msgs {
+			if !bytes.Equal(out.Seeds[i].Msgs[j], in.Seeds[i].Msgs[j]) {
+				t.Fatalf("seed %d msg %d diverged", i, j)
+			}
+		}
+	}
+	if _, err := decodeLease(append(encodeLease(in), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// encodeLeaseResult assembles a reply the way the worker does: records
+// through appendLeaseStep, then the terminator and syncDue flag.
+func encodeLeaseResult(steps []parallel.LeaseStep, syncDue bool) []byte {
+	w := &wire.Writer{}
+	for i := range steps {
+		appendLeaseStep(w, &steps[i])
+	}
+	w.U8(leaseEnd)
+	putBool(w, syncDue)
+	return w.Bytes()
+}
+
+func TestLeaseResultRoundTrip(t *testing.T) {
+	steps := []parallel.LeaseStep{
+		{Bytes: 41}, // bare step: no crash, no edges, no saturation
+		{
+			Bytes: 77, NewEdges: 3,
+			Crash: &bugs.Crash{Protocol: "DNS", Kind: bugs.Kind(2), Function: "parse", Detail: "oob"},
+			Seed:  fuzz.Seed{Msgs: [][]byte{{1, 2}, {3}}, Gain: 3},
+			Delta: []byte{1, 2, 3},
+		},
+		{
+			Bytes: 9, SatFired: true,
+			Mutation: &parallel.MutationOutcome{
 				Events: []parallel.MutEvent{
 					{Type: telemetry.EvRestartFail, Entity: "tcp", Value: "off", Detail: "conflict"},
 					{Type: telemetry.EvMutation, Entity: "udp", Value: "on", Config: "udp=on"},
 				},
 				Mutations: 1, Boots: 1, RestartFails: 1, Restarted: true,
 			},
-			Crashes: []crashRec{{
+			MutationCrashes: []crashRec{{
 				Crash:    bugs.Crash{Protocol: "DNS", Kind: bugs.Kind(1), Function: "boot", Detail: "x"},
 				Instance: 2, T: 123.5, Config: "udp=on",
 			}},
+			Config: "udp=on", Coverage: 345,
 		},
-		Config: "udp=on",
 	}
-	out, err := decodeStepResult(encodeStepResult(in))
+	recs, syncDue, err := decodeLeaseResult(encodeLeaseResult(steps, true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(out, in) {
-		t.Fatalf("step result diverged:\n got %+v\nwant %+v", out, in)
+	if !syncDue {
+		t.Fatal("syncDue lost")
+	}
+	if len(recs) != len(steps) {
+		t.Fatalf("record count %d, want %d", len(recs), len(steps))
+	}
+	if recs[0].bytes != 41 || recs[0].crash != nil || recs[0].newEdges != 0 || recs[0].satFired {
+		t.Fatalf("bare record diverged: %+v", recs[0])
+	}
+	r1 := recs[1]
+	if r1.bytes != 77 || r1.newEdges != 3 || !reflect.DeepEqual(r1.crash, steps[1].Crash) ||
+		!bytes.Equal(r1.delta, steps[1].Delta) || r1.seed.Gain != 3 || len(r1.seed.Msgs) != 2 {
+		t.Fatalf("edge+crash record diverged: %+v", r1)
+	}
+	r2 := recs[2]
+	if !r2.satFired || r2.config != "udp=on" || r2.coverage != 345 ||
+		!reflect.DeepEqual(r2.mutation.Outcome, *steps[2].Mutation) ||
+		!reflect.DeepEqual(r2.mutation.Crashes, steps[2].MutationCrashes) {
+		t.Fatalf("saturation record diverged: %+v", r2)
+	}
+
+	// Unknown flag bits and an edges flag without edges are protocol
+	// violations, not silent zero values.
+	if _, _, err := decodeLeaseResult([]byte{0x08, 0x00, leaseEnd, 0}); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+	bad := &wire.Writer{}
+	bad.U8(leaseFlagEdges)
+	bad.Varint(1) // bytes
+	bad.Varint(0) // newEdges == 0 contradicts the flag
+	bad.Bytes32(nil)
+	bad.U8(0)
+	bad.U8(leaseEnd)
+	putBool(bad, false)
+	if _, _, err := decodeLeaseResult(bad.Bytes()); err == nil {
+		t.Fatal("edges flag with zero newEdges accepted")
 	}
 }
 
@@ -135,30 +218,6 @@ func TestBootResultRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out, in) {
 		t.Fatalf("boot result diverged:\n got %+v\nwant %+v", out, in)
-	}
-}
-
-func TestSeedsRoundTrip(t *testing.T) {
-	in := []fuzz.Seed{
-		{Msgs: [][]byte{{1, 2}, {3}}, Gain: 5},
-		{Msgs: [][]byte{{}}, Gain: 0},
-	}
-	out, err := decodeSeeds(encodeSeeds(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out) != len(in) {
-		t.Fatalf("seed count %d, want %d", len(out), len(in))
-	}
-	for i := range in {
-		if out[i].Gain != in[i].Gain || len(out[i].Msgs) != len(in[i].Msgs) {
-			t.Fatalf("seed %d diverged: %+v vs %+v", i, out[i], in[i])
-		}
-		for j := range in[i].Msgs {
-			if !bytes.Equal(out[i].Msgs[j], in[i].Msgs[j]) {
-				t.Fatalf("seed %d msg %d diverged", i, j)
-			}
-		}
 	}
 }
 
@@ -182,17 +241,20 @@ func TestInstanceResultRoundTrip(t *testing.T) {
 func TestDecodeMalformed(t *testing.T) {
 	good := [][]byte{
 		encodeAssign(assign{Subject: "DNS", Specs: []parallel.InstanceSpec{{Index: 1}}}),
-		encodeStepResult(stepResult{Bytes: 1, Config: "c"}),
+		encodeLease(lease{Index: 1, Boundary: 600, Horizon: 1800, Seeds: []fuzz.Seed{{Msgs: [][]byte{{1}}, Gain: 1}}}),
+		encodeLeaseResult([]parallel.LeaseStep{
+			{Bytes: 1},
+			{Bytes: 2, NewEdges: 1, Seed: fuzz.Seed{Msgs: [][]byte{{1}}, Gain: 1}, Delta: []byte{1}},
+		}, true),
 		encodeBootResult(bootResult{Config: "c", Delta: []byte{1}}),
-		encodeSeeds([]fuzz.Seed{{Msgs: [][]byte{{1}}, Gain: 1}}),
 		encodeInstanceResult(parallel.InstanceResult{Index: 1}),
 		encodeHello(hello{Name: "w", Version: 1}),
 	}
 	decoders := []func([]byte) error{
 		func(p []byte) error { _, err := decodeAssign(p); return err },
-		func(p []byte) error { _, err := decodeStepResult(p); return err },
+		func(p []byte) error { _, err := decodeLease(p); return err },
+		func(p []byte) error { _, _, err := decodeLeaseResult(p); return err },
 		func(p []byte) error { _, err := decodeBootResult(p); return err },
-		func(p []byte) error { _, err := decodeSeeds(p); return err },
 		func(p []byte) error { _, err := decodeInstanceResult(p); return err },
 		func(p []byte) error { _, err := decodeHello(p); return err },
 	}

@@ -7,23 +7,15 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
+	"syscall"
 	"time"
 
-	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/coverage"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/wire"
 )
-
-// bufferSink is the worker-side CrashSink: it buffers crash records so
-// they can ride back to the coordinator in the next reply and be
-// replayed into the authoritative ledger in event-loop order.
-type bufferSink struct{ recs []crashRec }
-
-func (b *bufferSink) Record(c *bugs.Crash, instance int, t float64, config string) bool {
-	b.recs = append(b.recs, crashRec{Crash: *c, Instance: instance, T: t, Config: config})
-	return true
-}
 
 // WorkerConfig parameterizes a worker node.
 type WorkerConfig struct {
@@ -39,13 +31,30 @@ type WorkerConfig struct {
 // mutation RNG, saturation tracker — and executes RPCs from the
 // coordinator. It runs the identical per-instance code the in-process
 // campaign uses; only the global bookkeeping lives on the coordinator.
+// Between scheduler touchpoints it executes whole leases autonomously:
+// import seeds, step until the boundary, stream every record back in
+// one reply.
 type Worker struct {
 	cfg      WorkerConfig
 	host     *parallel.Host
 	opts     parallel.Options
 	specs    map[int]parallel.InstanceSpec
 	insts    map[int]*parallel.Instance
-	reported map[int]*coverage.Map // coverage already flushed to the coordinator
+	reported map[int]*repState // coverage already flushed to the coordinator
+	fw       frameWriter       // reusable frame scratch (Serve is single-threaded)
+	enc      wire.Writer       // reusable lease-reply encoder
+	deltaBuf []byte            // reusable delta scratch; valid per step, copied into enc
+}
+
+// repState tracks what coverage an instance has already shipped. The
+// mirror map stays equal to the engine map between new-edges steps, so
+// a step's delta normally needs to visit only the words that step's
+// trace touched; fullScan flags the one exception — a mutation restart
+// absorbed startup coverage outside any step, so the next delta must
+// diff the whole engine map again.
+type repState struct {
+	m        *coverage.Map
+	fullScan bool
 }
 
 // NewWorker returns a worker ready to Serve a coordinator connection.
@@ -53,18 +62,44 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{cfg: cfg}
 }
 
+// isDisconnect reports whether err is one of the shapes an abrupt peer
+// disconnect takes: clean EOF, EOF mid-frame (coordinator died between
+// header and payload), or local/remote teardown of the socket. A worker
+// that outlives its coordinator should exit cleanly, not with a
+// confusing transport error after a healthy campaign.
+func isDisconnect(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// Pre-go1.16 teardown surfaces as a bare *net.OpError string.
+	return strings.Contains(err.Error(), "use of closed network connection")
+}
+
 // Serve runs the worker protocol over conn until the coordinator sends
 // Shutdown or the connection drops. It sends the Hello immediately, so
-// the coordinator's accept path can complete the handshake.
+// the coordinator's accept path can complete the handshake. Abrupt
+// disconnects (coordinator death, conn teardown) exit cleanly after
+// instances are closed.
 func (w *Worker) Serve(conn net.Conn) error {
 	defer conn.Close()
 	defer w.closeInstances()
-	if err := writeFrame(conn, msgHello, encodeHello(hello{Name: w.cfg.Name, Version: protocolVersion})); err != nil {
+	if err := w.fw.write(conn, msgHello, encodeHello(hello{Name: w.cfg.Name, Version: protocolVersion})); err != nil {
+		if isDisconnect(err) {
+			return nil
+		}
 		return err
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	typ, _, err := readFrame(br)
 	if err != nil {
+		if isDisconnect(err) {
+			return nil
+		}
 		return err
 	}
 	if typ != msgWelcome {
@@ -73,7 +108,7 @@ func (w *Worker) Serve(conn net.Conn) error {
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
+			if isDisconnect(err) {
 				return nil
 			}
 			return err
@@ -86,12 +121,18 @@ func (w *Worker) Serve(conn net.Conn) error {
 			// Report the failure; the coordinator decides whether the
 			// campaign survives. The protocol stream stays aligned
 			// because every request still gets exactly one reply.
-			if werr := writeFrame(conn, msgError, []byte(herr.Error())); werr != nil {
+			if werr := w.fw.write(conn, msgError, []byte(herr.Error())); werr != nil {
+				if isDisconnect(werr) {
+					return nil
+				}
 				return werr
 			}
 			continue
 		}
-		if err := writeFrame(conn, rtyp, reply); err != nil {
+		if err := w.fw.write(conn, rtyp, reply); err != nil {
+			if isDisconnect(err) {
+				return nil
+			}
 			return err
 		}
 	}
@@ -124,6 +165,9 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
+		// A re-Assign replaces the instance map; close what the previous
+		// campaign booted first or its live targets leak.
+		w.closeInstances()
 		w.host = host
 		w.opts = host.Opts
 		w.specs = make(map[int]parallel.InstanceSpec, len(a.Specs))
@@ -131,7 +175,7 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 			w.specs[s.Index] = s
 		}
 		w.insts = make(map[int]*parallel.Instance)
-		w.reported = make(map[int]*coverage.Map)
+		w.reported = make(map[int]*repState)
 		return msgAssignOK, nil, nil
 
 	case msgBoot:
@@ -143,10 +187,10 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if !ok || w.host == nil {
 			return 0, nil, fmt.Errorf("dist: boot for unassigned instance %d", b.Index)
 		}
-		sink := &bufferSink{}
+		sink := &parallel.RecordingSink{}
 		in, err := w.host.Boot(spec, sink)
 		if err != nil {
-			return msgBootResult, encodeBootResult(bootResult{Err: err.Error(), Crashes: sink.recs}), nil
+			return msgBootResult, encodeBootResult(bootResult{Err: err.Error(), Crashes: sink.Recs}), nil
 		}
 		in.SetClock(b.ResumeClock)
 		w.insts[b.Index] = in
@@ -155,50 +199,63 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		delta := coverage.EncodeDelta(in.CoverageMap(), nil)
 		rep := coverage.NewMap()
 		rep.Union(in.CoverageMap())
-		w.reported[b.Index] = rep
+		w.reported[b.Index] = &repState{m: rep}
 		return msgBootResult, encodeBootResult(bootResult{
 			Config:     in.ConfigString(),
 			StartEdges: in.StartupEdges(),
 			Delta:      delta,
-			Crashes:    sink.recs,
+			Crashes:    sink.Recs,
 		}), nil
 
-	case msgStep:
-		s, err := decodeStepReq(payload)
+	case msgLease:
+		l, err := decodeLease(payload)
 		if err != nil {
 			return 0, nil, err
 		}
-		in := w.insts[s.Index]
+		in := w.insts[l.Index]
 		if in == nil {
-			return 0, nil, fmt.Errorf("dist: step for unbooted instance %d", s.Index)
+			return 0, nil, fmt.Errorf("dist: lease for unbooted instance %d", l.Index)
 		}
-		return msgStepResult, encodeStepResult(w.step(in, s.Index)), nil
-
-	case msgExport:
-		e, err := decodeExportReq(payload)
-		if err != nil {
-			return 0, nil, err
+		if len(l.Seeds) > 0 {
+			in.ImportSeeds(l.Seeds)
 		}
-		in := w.insts[e.Index]
-		if in == nil {
-			return 0, nil, fmt.Errorf("dist: export for unbooted instance %d", e.Index)
+		rep := w.reported[l.Index]
+		w.enc.Reset()
+		// afterStep fires before any mutation absorbs restart coverage,
+		// which is where the in-process loop unions into the global map
+		// — the delta must be snapshotted there, so a restart's startup
+		// coverage rides the NEXT new-edges delta exactly as it does
+		// in-process. Normally rep.m equals the engine map going into
+		// the step, so the delta lives entirely in words the step's own
+		// trace touched and the encoder can skip the full-map scan; a
+		// preceding restart breaks that equality and forces one full
+		// diff (the fullScan flag, set when a saturation event fires).
+		afterStep := func(rec *parallel.LeaseStep) {
+			if rec.NewEdges > 0 {
+				em := in.CoverageMap()
+				touched := in.TraceMap()
+				if rep.fullScan {
+					touched = nil
+					rep.fullScan = false
+				}
+				w.deltaBuf = coverage.AppendDelta(w.deltaBuf[:0], em, rep.m, touched)
+				rec.Delta = w.deltaBuf
+				rep.m.ApplyDelta(rec.Delta)
+			}
 		}
-		return msgSeeds, encodeSeeds(in.ExportSeeds(e.Max)), nil
-
-	case msgImport:
-		i, err := decodeImportReq(payload)
-		if err != nil {
-			return 0, nil, err
+		afterRecord := func(rec *parallel.LeaseStep) {
+			if rec.SatFired {
+				rep.fullScan = true
+			}
+			appendLeaseStep(&w.enc, rec)
 		}
-		in := w.insts[i.Index]
-		if in == nil {
-			return 0, nil, fmt.Errorf("dist: import for unbooted instance %d", i.Index)
-		}
-		in.ImportSeeds(i.Seeds)
-		return msgImportOK, nil, nil
+		syncDue := in.StepN(l.Boundary, l.Horizon, afterStep, afterRecord)
+		w.enc.U8(leaseEnd)
+		putBool(&w.enc, syncDue)
+		return msgLeaseResult, w.enc.Bytes(), nil
 
 	case msgFinalize:
-		f, err := decodeStepReq(payload) // same shape: one index
+		f, err := decodeIndexReq(payload)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -211,39 +268,6 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 	default:
 		return 0, nil, fmt.Errorf("dist: unexpected message type %d", typ)
 	}
-}
-
-// step runs one engine step plus — exactly as the in-process event loop
-// would after the step — the saturation observation and any resulting
-// configuration mutation. The saturation check and mutation commute with
-// the coordinator's seed sync (sync touches only corpora; mutation
-// touches only this instance's rng, target, and engine map), so folding
-// them into the step reply preserves byte identity while halving the
-// RPCs per iteration.
-func (w *Worker) step(in *parallel.Instance, index int) stepResult {
-	step := in.Step()
-	r := stepResult{Bytes: step.Bytes, NewEdges: step.NewEdges, Crash: step.Crash}
-	if step.NewEdges > 0 {
-		em := in.CoverageMap()
-		r.Delta = coverage.EncodeDelta(em, w.reported[index])
-		w.reported[index].Union(em)
-	}
-	st := in.Stats()
-	r.Execs = st.Execs
-	r.Corpus = st.CorpusSize
-	r.Coverage = in.Coverage()
-	if w.opts.Mode == parallel.ModeCMFuzz && !w.opts.DisableConfigMutation {
-		if in.ObserveSaturation() {
-			r.SatFired = true
-			r.SatEdges = in.Coverage()
-			sink := &bufferSink{}
-			out := in.Mutate(sink)
-			r.Mutation = &mutation{Outcome: out, Crashes: sink.recs}
-			in.ResetSaturation()
-		}
-	}
-	r.Config = in.ConfigString()
-	return r
 }
 
 // Dial connects to a coordinator at addr, retrying with jittered

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmfuzz/internal/bugs"
+	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/protocols"
+	"cmfuzz/internal/subject"
+)
+
+// countingSubject wraps a real subject and counts instances that are
+// currently open (started and not yet closed).
+type countingSubject struct {
+	subject.Subject
+	open atomic.Int32
+}
+
+func (s *countingSubject) NewInstance() subject.Instance {
+	return &countingInstance{Instance: s.Subject.NewInstance(), open: &s.open}
+}
+
+type countingInstance struct {
+	subject.Instance
+	open    *atomic.Int32
+	counted bool
+}
+
+func (in *countingInstance) Start(cfg map[string]string, tr *coverage.Trace) error {
+	err := in.Instance.Start(cfg, tr)
+	if err == nil && !in.counted {
+		in.counted = true
+		in.open.Add(1)
+	}
+	return err
+}
+
+func (in *countingInstance) Close() {
+	if in.counted {
+		in.counted = false
+		in.open.Add(-1)
+	}
+	in.Instance.Close()
+}
+
+// TestReassignClosesPreviousInstances pins the msgAssign lifecycle fix:
+// a second Assign must Close every instance the first campaign booted
+// before replacing the instance map, or their targets leak.
+func TestReassignClosesPreviousInstances(t *testing.T) {
+	base, err := protocols.ByName("DNS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingSubject{Subject: base}
+	w := NewWorker(WorkerConfig{
+		Name:    "w",
+		Resolve: func(string) (subject.Subject, error) { return cs, nil },
+	})
+
+	opts := parallel.Options{
+		Mode: parallel.ModePeach, Instances: 2, VirtualHours: 0.1, Seed: 1, Concurrency: 1,
+	}
+	host, err := parallel.NewHost(cs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := host.Plan(bugs.NewLedger(), nil, nil)
+	payload := encodeAssign(assign{Subject: "DNS", Opts: opts, Specs: plan.Specs})
+
+	bootAll := func() {
+		if typ, _, err := w.handle(msgAssign, payload); err != nil || typ != msgAssignOK {
+			t.Fatalf("assign: type %d, err %v", typ, err)
+		}
+		for i := 0; i < 2; i++ {
+			typ, p, err := w.handle(msgBoot, encodeBootReq(bootReq{Index: i}))
+			if err != nil || typ != msgBootResult {
+				t.Fatalf("boot %d: type %d, err %v", i, typ, err)
+			}
+			br, err := decodeBootResult(p)
+			if err != nil || br.Err != "" {
+				t.Fatalf("boot %d failed: %v %q", i, err, br.Err)
+			}
+		}
+	}
+
+	bootAll()
+	if got := cs.open.Load(); got != 2 {
+		t.Fatalf("open instances after first campaign = %d, want 2", got)
+	}
+	// Re-Assign: the two live targets from the first campaign must be
+	// closed before the fresh instance map replaces them.
+	bootAll()
+	if got := cs.open.Load(); got != 2 {
+		t.Fatalf("open instances after re-assign = %d, want 2 (previous campaign leaked)", got)
+	}
+	w.closeInstances()
+	if got := cs.open.Load(); got != 0 {
+		t.Fatalf("open instances after close = %d, want 0", got)
+	}
+}
+
+// TestServeNormalizesAbruptDisconnect pins the Serve exit-path fix: a
+// coordinator that vanishes — cleanly, mid-frame, or by conn teardown —
+// must yield a nil Serve error, not a transport error after a healthy
+// campaign.
+func TestServeNormalizesAbruptDisconnect(t *testing.T) {
+	cases := []struct {
+		name string
+		peer func(t *testing.T, conn net.Conn)
+	}{
+		{"clean close after welcome", func(t *testing.T, conn net.Conn) {
+			if _, _, err := readFrame(conn); err != nil { // hello
+				t.Error(err)
+			}
+			if err := writeFrame(conn, msgWelcome, nil); err != nil {
+				t.Error(err)
+			}
+			conn.Close()
+		}},
+		{"mid-frame death", func(t *testing.T, conn net.Conn) {
+			if _, _, err := readFrame(conn); err != nil {
+				t.Error(err)
+			}
+			if err := writeFrame(conn, msgWelcome, nil); err != nil {
+				t.Error(err)
+			}
+			// Three bytes of a five-byte header, then death: the worker
+			// sees io.ErrUnexpectedEOF, not io.EOF.
+			conn.Write([]byte{0, 0, 0})
+			conn.Close()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cConn, wConn := net.Pipe()
+			done := make(chan error, 1)
+			w := NewWorker(WorkerConfig{Name: "w"})
+			go func() { done <- w.Serve(wConn) }()
+			tc.peer(t, cConn)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("Serve returned %v, want nil", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("Serve did not exit")
+			}
+		})
+	}
+
+	// Sanity: isDisconnect covers the error shapes the satellite names.
+	for _, err := range []error{io.EOF, io.ErrUnexpectedEOF, io.ErrClosedPipe, net.ErrClosed} {
+		if !isDisconnect(err) {
+			t.Fatalf("isDisconnect(%v) = false", err)
+		}
+	}
+	if isDisconnect(errInjectedDist) {
+		t.Fatal("isDisconnect treats an arbitrary error as a disconnect")
+	}
+}
+
+var errInjectedDist = errTest("boom")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -1,0 +1,81 @@
+package fuzz
+
+// DefaultMaxCorpus bounds a seed pool when no explicit cap is given
+// (Config.MaxCorpus zero, NewCorpus given max <= 0).
+const DefaultMaxCorpus = 256
+
+// A Corpus is a bounded, gain-ranked seed pool. The engine owns one per
+// instance; the distributed coordinator keeps a mirror per remote
+// instance, fed from the seed additions workers stream back in their
+// lease replies, so sync exports can be computed coordinator-side at
+// the exact event-loop position without a wire round-trip. Engine and
+// mirror run the same insertion, eviction, and export code, which is
+// what keeps a mirror bit-for-bit equal to the worker-side pool.
+type Corpus struct {
+	seeds []Seed
+	max   int
+}
+
+// NewCorpus returns an empty corpus holding at most max seeds
+// (DefaultMaxCorpus when max <= 0).
+func NewCorpus(max int) *Corpus {
+	if max <= 0 {
+		max = DefaultMaxCorpus
+	}
+	return &Corpus{max: max}
+}
+
+// Len returns the number of seeds held.
+func (c *Corpus) Len() int { return len(c.seeds) }
+
+// At returns the seed at index i.
+func (c *Corpus) At(i int) Seed { return c.seeds[i] }
+
+// Add inserts s, evicting the seed with the smallest discovery gain
+// when the pool is full. Ties keep the earliest-inserted weak seed,
+// so insertion order fully determines the pool's contents.
+func (c *Corpus) Add(s Seed) {
+	if len(c.seeds) >= c.max {
+		weakest := 0
+		for i, cs := range c.seeds {
+			if cs.Gain < c.seeds[weakest].Gain {
+				weakest = i
+			}
+		}
+		c.seeds[weakest] = s
+		return
+	}
+	c.seeds = append(c.seeds, s)
+}
+
+// Export returns up to max of the highest-gain seeds (the AFL/Peach
+// parallel-mode synchronization mechanism). Ties keep the lower index
+// (strict > comparison), so the export set and order are deterministic
+// functions of insertion order.
+func (c *Corpus) Export(max int) []Seed {
+	if max <= 0 || len(c.seeds) == 0 {
+		return nil
+	}
+	idx := make([]int, len(c.seeds))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: top-gain seeds first.
+	for i := 0; i < len(idx) && i < max; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if c.seeds[idx[j]].Gain > c.seeds[idx[best]].Gain {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if len(idx) > max {
+		idx = idx[:max]
+	}
+	out := make([]Seed, len(idx))
+	for i, j := range idx {
+		out[i] = c.seeds[j]
+	}
+	return out
+}

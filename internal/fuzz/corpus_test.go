@@ -1,0 +1,88 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+func seedOf(gain int, tag byte) Seed {
+	return Seed{Msgs: [][]byte{{tag}}, Gain: gain}
+}
+
+func TestCorpusAddEvictsWeakest(t *testing.T) {
+	c := NewCorpus(3)
+	c.Add(seedOf(5, 'a'))
+	c.Add(seedOf(1, 'b'))
+	c.Add(seedOf(3, 'c'))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Pool full: the gain-1 seed at index 1 must give way.
+	c.Add(seedOf(9, 'd'))
+	if c.Len() != 3 {
+		t.Fatalf("len after eviction = %d, want 3", c.Len())
+	}
+	gains := []int{c.At(0).Gain, c.At(1).Gain, c.At(2).Gain}
+	if gains[0] != 5 || gains[1] != 9 || gains[2] != 3 {
+		t.Fatalf("pool after eviction = %v, want [5 9 3]", gains)
+	}
+	// Gain ties evict the earliest weak seed, so two pools built by the
+	// same Add sequence stay identical slot for slot.
+	c.Add(seedOf(3, 'e'))
+	if got := c.At(2).Msgs[0][0]; got != 'e' {
+		t.Fatalf("tie eviction replaced slot holding %q, want 'c' slot", got)
+	}
+}
+
+func TestCorpusExportOrderDeterministic(t *testing.T) {
+	c := NewCorpus(0) // DefaultMaxCorpus
+	c.Add(seedOf(2, 'a'))
+	c.Add(seedOf(7, 'b'))
+	c.Add(seedOf(7, 'c'))
+	c.Add(seedOf(4, 'd'))
+	got := c.Export(3)
+	if len(got) != 3 {
+		t.Fatalf("export len = %d, want 3", len(got))
+	}
+	// Highest gain first; the 7/7 tie keeps insertion order.
+	want := []byte{'b', 'c', 'd'}
+	for i, s := range got {
+		if !bytes.Equal(s.Msgs[0], []byte{want[i]}) {
+			t.Fatalf("export[%d] = %q, want %q", i, s.Msgs[0], want[i])
+		}
+	}
+	if c.Export(0) != nil || NewCorpus(4).Export(3) != nil {
+		t.Fatal("empty exports must be nil")
+	}
+}
+
+// TestCorpusMirrorsEngine pins the property the distributed coordinator
+// relies on: replaying an engine's corpus additions and imports into a
+// standalone Corpus reproduces the engine's pool exactly, so mirror
+// exports equal worker exports.
+func TestCorpusMirrorsEngine(t *testing.T) {
+	cfg := toyConfig(1)
+	cfg.MaxCorpus = 8
+	eng := NewEngine(cfg, &toyTarget{})
+	mirror := NewCorpus(8)
+	for i := 0; i < 200; i++ {
+		step := eng.Step()
+		if step.NewEdges > 0 {
+			mirror.Add(eng.LastSeed())
+		}
+	}
+	a, b := eng.ExportSeeds(4), mirror.Export(4)
+	if len(a) != len(b) {
+		t.Fatalf("export sizes diverged: engine %d, mirror %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Gain != b[i].Gain || len(a[i].Msgs) != len(b[i].Msgs) {
+			t.Fatalf("export %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Msgs {
+			if !bytes.Equal(a[i].Msgs[j], b[i].Msgs[j]) {
+				t.Fatalf("export %d msg %d diverged", i, j)
+			}
+		}
+	}
+}

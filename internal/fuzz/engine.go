@@ -89,7 +89,7 @@ func (c *Config) setDefaults() {
 		c.MaxWalkSteps = 8
 	}
 	if c.MaxCorpus == 0 {
-		c.MaxCorpus = 256
+		c.MaxCorpus = DefaultMaxCorpus
 	}
 }
 
@@ -125,13 +125,14 @@ type StepResult struct {
 // corpus slot are deep-copied out of the scratch first, so corpus seeds
 // never alias reused buffers.
 type Engine struct {
-	cfg    Config
-	target Target
-	rng    *rand.Rand
-	trace  *coverage.Trace
-	global *coverage.Map
-	corpus []Seed
-	stats  Stats
+	cfg      Config
+	target   Target
+	rng      *rand.Rand
+	trace    *coverage.Trace
+	global   *coverage.Map
+	corpus   *Corpus
+	lastSeed Seed // most recent corpus addition; see LastSeed
+	stats    Stats
 
 	// Hot-path scratch, reused across Steps.
 	arena      *Arena
@@ -151,6 +152,7 @@ func NewEngine(cfg Config, target Target) *Engine {
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		trace:  coverage.NewTrace(),
 		global: coverage.NewMap(),
+		corpus: NewCorpus(cfg.MaxCorpus),
 		arena:  NewArena(),
 	}
 	if cfg.StateModel != nil {
@@ -171,6 +173,12 @@ func (e *Engine) Coverage() int { return e.global.Count() }
 // not modify).
 func (e *Engine) CoverageMap() *coverage.Map { return e.global }
 
+// TraceMap returns the per-exec trace map of the most recent Step
+// (live; do not modify). It is valid only until the next Step resets
+// it; the distributed worker reads it there to bound delta encoding to
+// the words the execution actually touched.
+func (e *Engine) TraceMap() *coverage.Map { return e.trace.Map() }
+
 // Absorb folds an externally produced coverage map (typically startup
 // coverage from booting the instance) into the cumulative instance map
 // and returns how many edges were new.
@@ -179,9 +187,15 @@ func (e *Engine) Absorb(m *coverage.Map) int { return e.global.Union(m) }
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats
-	s.CorpusSize = len(e.corpus)
+	s.CorpusSize = e.corpus.Len()
 	return s
 }
+
+// LastSeed returns the most recent corpus addition. It is meaningful
+// only immediately after a Step that reported NewEdges > 0; the
+// distributed worker reads it there to ship the addition to the
+// coordinator's corpus mirror.
+func (e *Engine) LastSeed() Seed { return e.lastSeed }
 
 // Step executes one fuzzing iteration: build a message sequence
 // (structured generation or corpus havoc), run it, fold its coverage into
@@ -189,15 +203,15 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Step() StepResult {
 	var seq [][]byte
 	switch {
-	case len(e.corpus) == 0 || e.rng.Float64() < e.cfg.GenProb:
+	case e.corpus.Len() == 0 || e.rng.Float64() < e.cfg.GenProb:
 		seq = e.generate()
-	case len(e.corpus) >= 2 && e.rng.Float64() < 0.2:
+	case e.corpus.Len() >= 2 && e.rng.Float64() < 0.2:
 		// Splice two corpus seeds: the head of one sequence followed by
 		// the tail of another, recombining progress from synchronized
 		// siblings.
-		seq = e.splice(e.corpus[e.rng.Intn(len(e.corpus))], e.corpus[e.rng.Intn(len(e.corpus))])
+		seq = e.splice(e.corpus.At(e.rng.Intn(e.corpus.Len())), e.corpus.At(e.rng.Intn(e.corpus.Len())))
 	default:
-		seq = e.havoc(e.corpus[e.rng.Intn(len(e.corpus))])
+		seq = e.havoc(e.corpus.At(e.rng.Intn(e.corpus.Len())))
 	}
 
 	e.trace.Reset()
@@ -216,7 +230,8 @@ func (e *Engine) Step() StepResult {
 	if newEdges > 0 {
 		// The sequence earned a corpus slot: copy it out of the reused
 		// step buffers so the seed owns its bytes.
-		e.addSeed(Seed{Msgs: cloneMsgs(seq), Gain: newEdges})
+		e.lastSeed = Seed{Msgs: cloneMsgs(seq), Gain: newEdges}
+		e.corpus.Add(e.lastSeed)
 	}
 	return res
 }
@@ -351,56 +366,15 @@ func (e *Engine) splice(a, b Seed) [][]byte {
 	return e.havoc(Seed{Msgs: seq})
 }
 
-func (e *Engine) addSeed(s Seed) {
-	if len(e.corpus) >= e.cfg.MaxCorpus {
-		// Evict the weakest seed (smallest discovery gain).
-		weakest := 0
-		for i, c := range e.corpus {
-			if c.Gain < e.corpus[weakest].Gain {
-				weakest = i
-			}
-		}
-		e.corpus[weakest] = s
-		return
-	}
-	e.corpus = append(e.corpus, s)
-}
-
 // ExportSeeds returns up to max of the engine's highest-gain seeds for
 // synchronization with sibling instances (the AFL/Peach parallel-mode
 // mechanism the baselines use).
-func (e *Engine) ExportSeeds(max int) []Seed {
-	if max <= 0 || len(e.corpus) == 0 {
-		return nil
-	}
-	idx := make([]int, len(e.corpus))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection sort: top-gain seeds first.
-	for i := 0; i < len(idx) && i < max; i++ {
-		best := i
-		for j := i + 1; j < len(idx); j++ {
-			if e.corpus[idx[j]].Gain > e.corpus[idx[best]].Gain {
-				best = j
-			}
-		}
-		idx[i], idx[best] = idx[best], idx[i]
-	}
-	if len(idx) > max {
-		idx = idx[:max]
-	}
-	out := make([]Seed, len(idx))
-	for i, j := range idx {
-		out[i] = e.corpus[j]
-	}
-	return out
-}
+func (e *Engine) ExportSeeds(max int) []Seed { return e.corpus.Export(max) }
 
 // ImportSeeds folds synchronized seeds from a sibling instance into the
 // corpus.
 func (e *Engine) ImportSeeds(seeds []Seed) {
 	for _, s := range seeds {
-		e.addSeed(s)
+		e.corpus.Add(s)
 	}
 }

@@ -13,10 +13,10 @@ import (
 // reg, from a snapshot function (typically Coordinator.Workers):
 //
 //	cmfuzz_workers_alive                 workers currently responding
-//	cmfuzz_sync_bytes_total              corpus-sync traffic, all workers
+//	cmfuzz_sync_bytes_total              lease traffic, all workers
 //	cmfuzz_worker_alive{...}             1 while the worker responds
 //	cmfuzz_worker_execs_per_second{...}  per-worker throughput between scrapes
-//	cmfuzz_worker_sync_bytes{...}        per-worker corpus-sync traffic
+//	cmfuzz_worker_sync_bytes{...}        per-worker lease traffic
 //	cmfuzz_worker_heartbeat_age_seconds{...}  time since the last reply
 //
 // Per-worker series are labeled worker=<index>,name=<reported name>;
@@ -42,8 +42,10 @@ func RegisterWorkers(reg *metrics.Registry, snap func() []dist.WorkerStatus, now
 			}
 			return float64(alive)
 		})
+	// Metric names predate the lease protocol; they keep the sync_bytes
+	// spelling so existing dashboards and alerts stay valid.
 	reg.CounterFunc("cmfuzz_sync_bytes_total",
-		"Corpus-sync bytes shipped between coordinator and workers.", func() float64 {
+		"Lease request and reply bytes shipped between coordinator and workers.", func() float64 {
 			total := int64(0)
 			for _, ws := range snap() {
 				total += ws.SyncBytes
@@ -66,7 +68,7 @@ func RegisterWorkers(reg *metrics.Registry, snap func() []dist.WorkerStatus, now
 			nl := metrics.L("name", ws.Name)
 			set("cmfuzz_worker_alive", "1 while the worker responds to the coordinator.",
 				boolTo01(ws.Alive), wl, nl)
-			set("cmfuzz_worker_sync_bytes", "Corpus-sync bytes shipped to and from this worker.",
+			set("cmfuzz_worker_sync_bytes", "Lease request and reply bytes shipped to and from this worker.",
 				float64(ws.SyncBytes), wl, nl)
 			rate := 0.0
 			if prev, ok := lastExecs[i]; ok && !prevT.IsZero() && ws.Execs >= prev && dt > 0 {

@@ -21,6 +21,28 @@ type CrashSink interface {
 	Record(c *bugs.Crash, instance int, t float64, config string) bool
 }
 
+// A CrashRec is one buffered crash record: the crash plus the stamp a
+// CrashSink.Record call would have received. Transports ship these and
+// replay them into the authoritative ledger in event-loop order.
+type CrashRec struct {
+	Crash    bugs.Crash
+	Instance int
+	T        float64
+	Config   string
+}
+
+// A RecordingSink buffers crash records instead of deduplicating them.
+// Distributed workers hand one to Boot/Mutate and ship the records back
+// to the coordinator, whose ledger performs the authoritative dedup.
+type RecordingSink struct{ Recs []CrashRec }
+
+// Record appends the crash and reports it as new (dedup is deferred to
+// whoever replays the buffer).
+func (b *RecordingSink) Record(c *bugs.Crash, instance int, t float64, config string) bool {
+	b.Recs = append(b.Recs, CrashRec{Crash: *c, Instance: instance, T: t, Config: config})
+	return true
+}
+
 // An Instance is one running parallel fuzzing instance: an engine bound
 // to a booted subject target inside its own netsim namespace, plus the
 // virtual clock and saturation state the campaign loop schedules it by.
@@ -94,6 +116,82 @@ func (in *Instance) Step() fuzz.StepResult {
 	return step
 }
 
+// A LeaseStep is the full record of one autonomous step: what Step
+// returned, the corpus addition it caused (if any), and the saturation
+// mutation it triggered (if any). The distributed worker streams one per
+// step back to the coordinator, which replays them into the global
+// event loop in virtual-clock order; Delta is transport scratch the
+// in-process loop leaves nil.
+type LeaseStep struct {
+	Bytes    int
+	NewEdges int
+	Crash    *bugs.Crash
+	// Seed is the corpus addition this step produced; zero unless
+	// NewEdges > 0.
+	Seed fuzz.Seed
+	// Delta carries the encoded coverage delta for transports. The
+	// afterStep callback fills it in; StepN itself never touches it.
+	Delta []byte
+	// Saturation-mutation fields, set only when SatFired is true.
+	SatFired        bool
+	Mutation        *MutationOutcome
+	MutationCrashes []CrashRec
+	Config          string // assignment after the mutation attempt
+	Coverage        int    // edge count after absorbing restart coverage
+}
+
+// StepN runs the instance autonomously until its clock crosses boundary
+// (the next sync point) or horizon, whichever comes first, invoking the
+// callbacks once per step. It is the worker half of the lease protocol:
+// the loop body is `Step` plus the saturation/mutation check, i.e.
+// exactly what the in-process event loop does between scheduler
+// touchpoints, so a coordinator replaying the records reproduces the
+// in-process run bit for bit.
+//
+// afterStep fires after the engine step but before any configuration
+// mutation — the point where the in-process loop unions new coverage
+// into the global map — so transports must snapshot coverage deltas
+// there: a mutation restart absorbs startup coverage that must ride the
+// NEXT new-edges delta, as it does in-process. afterRecord fires once
+// the record is complete (mutation included). Mutation and seed sync
+// commute — mutation touches rng/target/engine state, sync touches only
+// the corpus — so running the whole batch before the coordinator
+// processes syncs does not reorder observable effects.
+//
+// The return value reports whether the instance stopped at boundary
+// (sync due) rather than at horizon.
+func (in *Instance) StepN(boundary, horizon float64, afterStep, afterRecord func(*LeaseStep)) (syncDue bool) {
+	opts := in.host.Opts
+	mutate := opts.Mode == ModeCMFuzz && !opts.DisableConfigMutation
+	for in.clock < horizon {
+		step := in.Step()
+		rec := LeaseStep{Bytes: step.Bytes, NewEdges: step.NewEdges, Crash: step.Crash}
+		if step.NewEdges > 0 {
+			rec.Seed = in.engine.LastSeed()
+		}
+		if afterStep != nil {
+			afterStep(&rec)
+		}
+		if mutate && in.ObserveSaturation() {
+			rec.SatFired = true
+			sink := &RecordingSink{}
+			out := in.Mutate(sink)
+			rec.Mutation = &out
+			rec.MutationCrashes = sink.Recs
+			rec.Config = in.cfg.String()
+			rec.Coverage = in.engine.Coverage()
+			in.ResetSaturation()
+		}
+		if afterRecord != nil {
+			afterRecord(&rec)
+		}
+		if in.clock >= boundary {
+			return true
+		}
+	}
+	return false
+}
+
 // ObserveSaturation feeds the instance's current coverage into its
 // saturation tracker and reports whether the tracker now considers the
 // instance saturated.
@@ -132,6 +230,10 @@ func (in *Instance) Coverage() int { return in.engine.Coverage() }
 
 // CoverageMap exposes the engine's live coverage map (read-only use).
 func (in *Instance) CoverageMap() *coverage.Map { return in.engine.CoverageMap() }
+
+// TraceMap exposes the engine's per-exec trace map from the most recent
+// step (read-only use, valid until the next step).
+func (in *Instance) TraceMap() *coverage.Map { return in.engine.TraceMap() }
 
 // Stats returns the engine's execution statistics.
 func (in *Instance) Stats() fuzz.Stats { return in.engine.Stats() }

@@ -227,6 +227,12 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset empties the buffer but keeps its capacity, so an encoder on a
+// hot path (the distributed lease loop) can be reused without
+// reallocating. Slices previously returned by Bytes alias the storage
+// Reset reuses: callers must consume or copy them first.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // U8 appends one byte.
 func (w *Writer) U8(v byte) { w.buf = append(w.buf, v) }
 

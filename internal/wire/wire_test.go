@@ -249,3 +249,21 @@ func TestQuickReaderRobust(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.U32(0xDEADBEEF)
+	w.String16("hello")
+	grown := cap(w.Bytes())
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after Reset = %d, want 0", w.Len())
+	}
+	if cap(w.Bytes()) != grown {
+		t.Fatalf("Reset dropped capacity: %d, want %d", cap(w.Bytes()), grown)
+	}
+	w.U8(7)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("write after Reset = %v, want [7]", got)
+	}
+}
