@@ -63,6 +63,8 @@ func main() {
 		err = cmdCoordinator(args)
 	case "worker":
 		err = cmdWorker(args)
+	case "serve":
+		err = cmdServe(args)
 	case "bugs":
 		err = cmdBugs()
 	case "promlint":
@@ -101,6 +103,8 @@ commands:
   campaign   run the three-fuzzer comparison on one subject
   coordinator  run a distributed campaign's coordinator (workers attach over TCP)
   worker       run a worker node serving campaign instances for a coordinator
+  serve        run the fleet service: many campaigns over one worker pool,
+               submitted and observed via HTTP, resumable across restarts
   bugs       list the Table II vulnerability registry
   promlint   validate Prometheus text exposition read from a file or stdin
 

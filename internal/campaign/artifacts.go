@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,6 +13,46 @@ import (
 	"cmfuzz/internal/telemetry"
 )
 
+// renameFile is swapped out by tests to inject atomic-commit failures.
+var renameFile = os.Rename
+
+// WriteFileAtomic writes data to path without ever exposing a partial
+// file: the bytes go to a temp file in the same directory (same
+// filesystem, so the rename cannot degrade to a copy) and the final
+// name appears only via rename, which POSIX makes atomic. A crash —
+// or an injected failure — between write and rename leaves any
+// previous content of path intact; the temp file is removed on every
+// failure path. The fleet service reads artifacts and checkpoints
+// written by a coordinator that may be killed at any instant, so every
+// artifact writer funnels through here.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := renameFile(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
 // WriteArtifacts persists one campaign's outcome the way a production
 // fuzzer drops artifacts:
 //
@@ -19,6 +60,9 @@ import (
 //	  result.json            summary (subject, mode, branches, instances)
 //	  coverage.csv           the union coverage time series
 //	  crashes/NN-<slug>.txt  one report per unique bug
+//
+// Every file is committed atomically (temp + rename), so a reader — or
+// a restart scanning for completed campaigns — never sees a torn file.
 func WriteArtifacts(dir string, res *parallel.Result) error {
 	if err := os.MkdirAll(filepath.Join(dir, "crashes"), 0o755); err != nil {
 		return err
@@ -53,7 +97,7 @@ func WriteArtifacts(dir string, res *parallel.Result) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "result.json"), raw, 0o644); err != nil {
+	if err := WriteFileAtomic(filepath.Join(dir, "result.json"), raw, 0o644); err != nil {
 		return err
 	}
 
@@ -62,12 +106,12 @@ func WriteArtifacts(dir string, res *parallel.Result) error {
 	for _, p := range res.Series.Points() {
 		fmt.Fprintf(&csv, "%.1f,%d\n", p.T, p.Count)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "coverage.csv"), []byte(csv.String()), 0o644); err != nil {
+	if err := WriteFileAtomic(filepath.Join(dir, "coverage.csv"), []byte(csv.String()), 0o644); err != nil {
 		return err
 	}
 
 	for i, rep := range res.Bugs.Unique() {
-		if err := os.WriteFile(
+		if err := WriteFileAtomic(
 			filepath.Join(dir, "crashes", fmt.Sprintf("%02d-%s.txt", i+1, crashSlug(&rep.Crash))),
 			[]byte(renderCrash(rep)), 0o644); err != nil {
 			return err
@@ -86,10 +130,14 @@ func WriteTelemetry(dir string, rec *telemetry.Recorder) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := rec.ExportJSONL(filepath.Join(dir, "events.jsonl")); err != nil {
+	var events bytes.Buffer
+	if err := rec.WriteJSONL(&events); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "timeline.txt"), []byte(rec.Timeline(72)), 0o644)
+	if err := WriteFileAtomic(filepath.Join(dir, "events.jsonl"), events.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return WriteFileAtomic(filepath.Join(dir, "timeline.txt"), []byte(rec.Timeline(72)), 0o644)
 }
 
 func crashSlug(c *bugs.Crash) string {

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,5 +70,52 @@ func TestCrashSlug(t *testing.T) {
 	c2 := &bugs.Crash{Protocol: "DNS", Function: "dns_question_parse, dns_request_parse"}
 	if got := crashSlug(c2); strings.ContainsAny(got, " ,_") {
 		t.Errorf("slug not sanitized: %q", got)
+	}
+}
+
+// TestWriteFileAtomicFailureKeepsOldContent pins the atomic-commit
+// contract: when the final rename fails (simulating a crash or a full
+// disk at the commit point), the previous file content survives intact
+// and no temp file is left behind — a half-written artifact must never
+// shadow a good one.
+func TestWriteFileAtomicFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+	if err := WriteFileAtomic(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	failErr := errors.New("injected rename failure")
+	renameFile = func(oldpath, newpath string) error { return failErr }
+	defer func() { renameFile = os.Rename }()
+
+	if err := WriteFileAtomic(path, []byte("torn"), 0o644); !errors.Is(err, failErr) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("stray files after failed write: %v", names)
+	}
+
+	renameFile = os.Rename
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("recovered write = %q, want %q", got, "new")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -52,6 +51,12 @@ func (c *Config) setDefaults() {
 
 var errWorkerDead = errors.New("dist: worker is dead")
 
+// errPaused is fill's signal that the caller's context fired while a
+// lease reply was pending. The reply channel is buffered, so the
+// dispatcher is never blocked by the abandoned wait; the reply is
+// consumed by the next Advance (or by the checkpoint drain).
+var errPaused = errors.New("dist: advance interrupted")
+
 // workerConn is the coordinator's view of one connected worker. The
 // connection mutex serializes RPCs; the heartbeat goroutine uses
 // TryLock so it never queues behind (or splices frames into) an
@@ -68,10 +73,6 @@ type workerConn struct {
 	lastReply atomic.Int64 // unix nanos of the last frame received
 	execs     atomic.Int64 // cumulative execs across this worker's instances
 	syncBytes atomic.Int64 // cumulative sync payload bytes shipped
-
-	// deathCounted is touched only from the campaign loop, so telemetry
-	// and Stats see exactly one death per worker without locking.
-	deathCounted bool
 }
 
 // rpc performs one request/response exchange under the per-RPC
@@ -140,80 +141,87 @@ type Stats struct {
 	Reassignments int
 }
 
-// A Coordinator owns the global half of a distributed campaign: the
+// A Coordinator owns the global half of one distributed campaign: the
 // scheduling plan, the virtual-clock event loop, the union coverage
 // map, the series, the ledger, and telemetry. Workers own the
 // instances. For the same subject, options, and seed, Run produces a
 // Result byte-identical to parallel.Run's.
+//
+// The campaign lifecycle is decomposed so a scheduler can multiplex
+// many campaigns over one pool and survive restarts:
+//
+//	Start    plan, assign, boot, dispatch the first leases
+//	Advance  replay the event loop up to a virtual-clock bound
+//	Checkpoint / Restore   serialize between Advance slices
+//	Finish   collect per-instance results, seal the Result
+//	Close    join dispatchers, release or shut down the fleet
+//
+// Run composes them for the classic single-campaign shape.
 type Coordinator struct {
-	sub  subject.Subject
-	opts parallel.Options
-	cfg  Config
-
-	workers []*workerConn
+	sub      subject.Subject
+	opts     parallel.Options
+	cfg      Config
+	pool     *Pool
+	ownPool  bool
+	campaign uint32
 
 	syncBytes     atomic.Int64
 	workerDeaths  atomic.Int64
 	reassignments atomic.Int64
 
-	stopHeartbeat chan struct{}
-	hbWG          sync.WaitGroup
-	dispWG        sync.WaitGroup
+	dispWG sync.WaitGroup
+
+	st *runState
+	// deathCounted dedups worker-death accounting per campaign (the
+	// replay loop may notice the same dead worker many times; a shared
+	// pool may have many campaigns each noticing it once).
+	deathCounted map[*workerConn]bool
+	endRun       func()
+	instSpans    []*trace.Span
+	watermark    float64
+	lastSample   float64
+	minSampleGap float64
+	cancelled    bool
+	finished     bool
+	closed       bool
 }
 
-// NewCoordinator prepares a coordinator for one campaign of sub under
-// opts. Workers attach via AddConn before Run is called.
+// NewCoordinator prepares a standalone coordinator for one campaign of
+// sub under opts, with a private worker pool. Workers attach via
+// AddConn before Run is called.
 func NewCoordinator(sub subject.Subject, opts parallel.Options, cfg Config) *Coordinator {
 	cfg.setDefaults()
-	return &Coordinator{sub: sub, opts: opts, cfg: cfg, stopHeartbeat: make(chan struct{})}
+	return &Coordinator{
+		sub:          sub,
+		opts:         opts,
+		cfg:          cfg,
+		pool:         NewPool(cfg),
+		ownPool:      true,
+		deathCounted: make(map[*workerConn]bool),
+	}
 }
 
-// AddConn performs the Hello/Welcome handshake on a freshly accepted
-// worker connection and registers the worker. The worker speaks first,
-// so with synchronous transports (net.Pipe) the worker's Serve loop
-// must already be running.
-func (c *Coordinator) AddConn(conn net.Conn) error {
-	conn.SetDeadline(time.Now().Add(c.cfg.RPCTimeout))
-	defer conn.SetDeadline(time.Time{})
-	br := bufio.NewReaderSize(conn, 64<<10)
-	typ, payload, err := readFrame(br)
-	if err != nil {
-		return fmt.Errorf("dist: worker handshake: %w", err)
+// NewCoordinatorOn prepares a coordinator that shares an existing
+// worker pool with other campaigns. The pool outlives the campaign:
+// Close releases this campaign's instances (msgRelease) but leaves the
+// connections and heartbeats to the pool's owner.
+func NewCoordinatorOn(pool *Pool, sub subject.Subject, opts parallel.Options) *Coordinator {
+	return &Coordinator{
+		sub:          sub,
+		opts:         opts,
+		cfg:          pool.cfg,
+		pool:         pool,
+		campaign:     pool.NextCampaignID(),
+		deathCounted: make(map[*workerConn]bool),
 	}
-	if typ != msgHello {
-		return fmt.Errorf("dist: worker handshake: got message %d, want Hello", typ)
-	}
-	h, err := decodeHello(payload)
-	if err != nil {
-		return err
-	}
-	if h.Version != protocolVersion {
-		writeFrame(conn, msgError, []byte("protocol version mismatch"))
-		return fmt.Errorf("dist: worker %q speaks protocol %d, want %d", h.Name, h.Version, protocolVersion)
-	}
-	if err := writeFrame(conn, msgWelcome, nil); err != nil {
-		return err
-	}
-	wc := &workerConn{id: len(c.workers), name: h.Name, conn: conn, br: br}
-	wc.lastReply.Store(time.Now().UnixNano())
-	c.workers = append(c.workers, wc)
-	return nil
 }
+
+// AddConn registers a freshly accepted worker connection on the
+// coordinator's private pool.
+func (c *Coordinator) AddConn(conn net.Conn) error { return c.pool.AddConn(conn) }
 
 // Workers snapshots every registered worker for the monitor bridge.
-func (c *Coordinator) Workers() []WorkerStatus {
-	out := make([]WorkerStatus, 0, len(c.workers))
-	for _, wc := range c.workers {
-		out = append(out, WorkerStatus{
-			Name:      wc.name,
-			Alive:     !wc.dead.Load(),
-			Execs:     wc.execs.Load(),
-			SyncBytes: wc.syncBytes.Load(),
-			LastReply: time.Unix(0, wc.lastReply.Load()),
-		})
-	}
-	return out
-}
+func (c *Coordinator) Workers() []WorkerStatus { return c.pool.Workers() }
 
 // Stats reports the dist-only bookkeeping. Safe to call concurrently
 // with Run.
@@ -225,57 +233,27 @@ func (c *Coordinator) Stats() Stats {
 	}
 }
 
-// heartbeat pings wc until the campaign ends or the worker dies. A
-// silent worker gets cfg.PingRetries extra attempts with jittered
-// exponential backoff before being declared dead; a worker with a
-// campaign RPC in flight is skipped (TryLock), since the pending reply
-// already proves the connection is live.
-func (c *Coordinator) heartbeat(wc *workerConn) {
-	defer c.hbWG.Done()
-	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
-	defer ticker.Stop()
-	rng := rand.New(rand.NewSource(int64(wc.id)*2654435761 + 1))
-	for {
-		select {
-		case <-c.stopHeartbeat:
-			return
-		case <-ticker.C:
-		}
-		if wc.dead.Load() {
-			return
-		}
-		if !wc.mu.TryLock() {
-			continue
-		}
-		var err error
-		backoff := 100 * time.Millisecond
-		for attempt := 0; attempt <= c.cfg.PingRetries; attempt++ {
-			_, err = wc.rpcLocked(msgPing, nil, msgPong, c.cfg.RPCTimeout)
-			if err == nil || wc.dead.Load() {
-				break
-			}
-			time.Sleep(backoff + time.Duration(rng.Int63n(int64(backoff))))
-			backoff *= 2
-		}
-		wc.mu.Unlock()
-		if err != nil {
-			wc.dead.Store(true)
-			return
-		}
-	}
-}
-
 // alive returns the live worker whose id is at or after from, wrapping
 // around; nil when every worker is dead.
 func (c *Coordinator) alive(from int) *workerConn {
-	n := len(c.workers)
+	workers := c.st.workers
+	n := len(workers)
 	for k := 0; k < n; k++ {
-		wc := c.workers[(from+k)%n]
+		wc := workers[(from+k)%n]
 		if !wc.dead.Load() {
 			return wc
 		}
 	}
 	return nil
+}
+
+// leaseJournal is one dispatched lease, remembered so Restore can
+// replay the instance's exact post-boot history: re-sending the same
+// boundaries and seed imports to a freshly booted instance reconstructs
+// the engine, corpus, RNG, and saturation state deterministically.
+type leaseJournal struct {
+	Boundary float64
+	Seeds    []fuzz.Seed
 }
 
 // runState is the coordinator-owned per-instance campaign state — the
@@ -288,6 +266,7 @@ type runState struct {
 	host       *parallel.Host
 	opts       parallel.Options
 	specs      []parallel.InstanceSpec
+	workers    []*workerConn // pool snapshot taken at Start/Restore
 	owner      []*workerConn
 	clock      []float64
 	nextSync   []float64
@@ -309,10 +288,14 @@ type runState struct {
 	inflight []bool
 	replyCh  []chan leaseReply
 	jobs     []chan leaseJob // per-worker dispatcher queues, indexed by worker id
-	horizon  float64
-	res      *parallel.Result
-	global   *coverage.Map
-	tel      *telemetry.Recorder
+	// journal/resumeClock record each instance's lease history since its
+	// last (re)boot, for checkpoint/resume replay.
+	journal     [][]leaseJournal
+	resumeClock []float64
+	horizon     float64
+	res         *parallel.Result
+	global      *coverage.Map
+	tel         *telemetry.Recorder
 }
 
 // A leaseJob is one lease RPC queued on a worker's dispatcher.
@@ -329,10 +312,11 @@ type leaseReply struct {
 	err     error
 }
 
-// dispatcher owns the lease traffic for one worker: jobs are executed
-// strictly in FIFO order (wc.mu serializes the round-trips against
-// heartbeats), so leases for different instances on the same worker
-// pipeline without interleaving frames. It exits when jobs closes.
+// dispatcher owns this campaign's lease traffic for one worker: jobs
+// are executed strictly in FIFO order (wc.mu serializes the round-trips
+// against heartbeats and other campaigns), so leases for different
+// instances on the same worker pipeline without interleaving frames. It
+// exits when jobs closes.
 func (c *Coordinator) dispatcher(wc *workerConn, jobs <-chan leaseJob) {
 	defer c.dispWG.Done()
 	for job := range jobs {
@@ -366,7 +350,8 @@ func (c *Coordinator) dispatcher(wc *workerConn, jobs <-chan leaseJob) {
 // dispatch hands instance i its next lease: the seeds its last sync
 // collected, and a budget up to its next sync boundary or the horizon.
 func (c *Coordinator) dispatch(st *runState, i int) {
-	l := lease{Index: i, Boundary: st.nextSync[i], Horizon: st.horizon, Seeds: st.pending[i]}
+	l := lease{Campaign: c.campaign, Index: i, Boundary: st.nextSync[i], Horizon: st.horizon, Seeds: st.pending[i]}
+	st.journal[i] = append(st.journal[i], leaseJournal{Boundary: st.nextSync[i], Seeds: st.pending[i]})
 	st.pending[i] = nil
 	st.batch[i] = nil
 	st.pos[i] = 0
@@ -374,44 +359,70 @@ func (c *Coordinator) dispatch(st *runState, i int) {
 	st.jobs[st.owner[i].id] <- leaseJob{payload: encodeLease(l), ch: st.replyCh[i]}
 }
 
-// nextRecord returns instance i's next replay record, blocking on the
-// in-flight lease reply when the current batch is exhausted. A lease
-// that fails because its worker died is retried whole on a surviving
-// worker: the reply is all-or-nothing, so zero records were replayed
-// and the re-booted instance resumes at the lease's start clock — which
-// is exactly the coordinator's current clock for i.
-func (c *Coordinator) nextRecord(st *runState, i int) (*leaseRecord, bool, error) {
-	for st.pos[i] >= len(st.batch[i]) {
-		if !st.inflight[i] {
-			return nil, false, fmt.Errorf("dist: instance %d has no lease in flight", i)
+// fill consumes instance i's in-flight lease reply into its batch,
+// keeping any not-yet-replayed records. A lease that fails because its
+// worker died is retried whole on a surviving worker: the reply is
+// all-or-nothing, so zero records were replayed and the re-booted
+// instance resumes at the lease's start clock — which is exactly the
+// coordinator's current clock for i. A cancelled ctx returns errPaused
+// without consuming anything (the buffered reply channel means the
+// dispatcher never blocks on the abandoned wait).
+func (c *Coordinator) fill(ctx context.Context, st *runState, i int) error {
+	if !st.inflight[i] {
+		return fmt.Errorf("dist: instance %d has no lease in flight", i)
+	}
+	var rep leaseReply
+	select {
+	case rep = <-st.replyCh[i]:
+	default:
+		select {
+		case rep = <-st.replyCh[i]:
+		case <-ctx.Done():
+			return errPaused
 		}
-		rep := <-st.replyCh[i]
-		st.inflight[i] = false
-		if rep.err != nil {
-			wc := st.owner[i]
-			if !wc.dead.Load() {
-				return nil, false, rep.err // application error: campaign-fatal
-			}
-			c.markDead(wc, st.tel)
-			if rerr := c.reassign(st, i); rerr != nil {
-				return nil, false, rerr
-			}
-			c.dispatch(st, i)
-			continue
+	}
+	st.inflight[i] = false
+	if rep.err != nil {
+		wc := st.owner[i]
+		if !wc.dead.Load() {
+			return rep.err // application error: campaign-fatal
 		}
+		c.markDead(wc, st.tel)
+		if rerr := c.reassign(st, i); rerr != nil {
+			return rerr
+		}
+		c.dispatch(st, i)
+		return nil
+	}
+	if rest := st.batch[i][st.pos[i]:]; len(rest) > 0 {
+		merged := make([]leaseRecord, 0, len(rest)+len(rep.recs))
+		st.batch[i] = append(append(merged, rest...), rep.recs...)
+	} else {
 		st.batch[i] = rep.recs
-		st.pos[i] = 0
+	}
+	st.pos[i] = 0
+	return nil
+}
+
+// nextRecord returns instance i's next replay record, blocking on the
+// in-flight lease reply when the current batch is exhausted.
+func (c *Coordinator) nextRecord(ctx context.Context, st *runState, i int) (*leaseRecord, bool, error) {
+	for st.pos[i] >= len(st.batch[i]) {
+		if err := c.fill(ctx, st, i); err != nil {
+			return nil, false, err
+		}
 	}
 	rec := &st.batch[i][st.pos[i]]
 	st.pos[i]++
 	return rec, st.pos[i] >= len(st.batch[i]), nil
 }
 
-// markDead records a worker failure exactly once (campaign loop only).
+// markDead records a worker failure exactly once per campaign (campaign
+// loop only).
 func (c *Coordinator) markDead(wc *workerConn, tel *telemetry.Recorder) {
 	wc.dead.Store(true)
-	if !wc.deathCounted {
-		wc.deathCounted = true
+	if !c.deathCounted[wc] {
+		c.deathCounted[wc] = true
 		c.workerDeaths.Add(1)
 		tel.Count(telemetry.CtrWorkerDeaths, 1)
 	}
@@ -421,7 +432,7 @@ func (c *Coordinator) markDead(wc *workerConn, tel *telemetry.Recorder) {
 // startup crash records into the ledger, and merges the startup
 // coverage delta into the global map.
 func (c *Coordinator) bootOn(wc *workerConn, st *runState, i int, resumeClock float64) error {
-	p, err := wc.rpc(msgBoot, encodeBootReq(bootReq{Index: i, ResumeClock: resumeClock}), msgBootResult, c.cfg.RPCTimeout)
+	p, err := wc.rpc(msgBoot, encodeBootReq(bootReq{Campaign: c.campaign, Index: i, ResumeClock: resumeClock}), msgBootResult, c.cfg.RPCTimeout)
 	if err != nil {
 		return err
 	}
@@ -448,6 +459,28 @@ func (c *Coordinator) bootOn(wc *workerConn, st *runState, i int, resumeClock fl
 	return nil
 }
 
+// bootQuiet re-boots instance i on wc at resumeClock during Restore,
+// discarding the startup crash records and coverage delta — the
+// checkpointed ledger and global map already contain them. Only the
+// owner assignment survives; config/edges bookkeeping is restored from
+// the checkpoint.
+func (c *Coordinator) bootQuiet(wc *workerConn, st *runState, i int, resumeClock float64) error {
+	p, err := wc.rpc(msgBoot, encodeBootReq(bootReq{Campaign: c.campaign, Index: i, ResumeClock: resumeClock}), msgBootResult, c.cfg.RPCTimeout)
+	if err != nil {
+		return err
+	}
+	br, err := decodeBootResult(p)
+	if err != nil {
+		wc.dead.Store(true)
+		return err
+	}
+	if br.Err != "" {
+		return errors.New(br.Err)
+	}
+	st.owner[i] = wc
+	return nil
+}
+
 // reassign moves instance i off its dead owner onto the next live
 // worker, resuming at the coordinator-owned clock. The dead worker's
 // corpus progress for the instance is lost — the fresh instance reboots
@@ -465,9 +498,12 @@ func (c *Coordinator) reassign(st *runState, i int) error {
 		if err == nil {
 			st.tel.Count(telemetry.CtrBoots, 1)
 			// The fresh instance starts with an empty corpus and a zeroed
-			// exec counter; the mirror must match it.
+			// exec counter; the mirror must match it. The lease journal
+			// restarts from this boot, too.
 			st.execs[i] = 0
 			st.mirror[i] = fuzz.NewCorpus(0)
+			st.journal[i] = nil
+			st.resumeClock[i] = st.clock[i]
 			return nil
 		}
 		if wc.dead.Load() {
@@ -498,31 +534,20 @@ func (c *Coordinator) rpcI(st *runState, i int, typ byte, payload []byte, want b
 	}
 }
 
-// Run executes the distributed campaign. It mirrors parallel.Run's
-// event loop statement for statement; the only difference is that step,
-// sync-export/import, and finalize execute on workers via RPC. See the
-// package comment for the byte-identity argument.
-func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
-	if len(c.workers) == 0 {
-		return nil, errors.New("dist: no workers connected")
+// Start plans the campaign, ships the plan to every worker, boots all
+// instances, and dispatches the first leases. After Start the campaign
+// advances via Advance; every Start must be paired with Close.
+func (c *Coordinator) Start(ctx context.Context) error {
+	if c.st != nil {
+		return errors.New("dist: coordinator already started")
 	}
-	// Every return path must release the fleet: stop heartbeats, send a
-	// best-effort Shutdown to live workers, and close the connections.
-	defer func() {
-		close(c.stopHeartbeat)
-		c.hbWG.Wait()
-		for _, wc := range c.workers {
-			if !wc.dead.Load() {
-				wc.mu.Lock()
-				wc.fw.write(wc.conn, msgShutdown, nil)
-				wc.mu.Unlock()
-			}
-			wc.conn.Close()
-		}
-	}()
+	workers := c.pool.snapshot()
+	if len(workers) == 0 {
+		return errors.New("dist: no workers connected")
+	}
 	host, err := parallel.NewHost(c.sub, c.opts)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	opts := host.Opts
 	info := c.sub.Info()
@@ -532,7 +557,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		opts.Label = opts.Mode.String()
 	}
 	prog.StartRun(opts.Label, opts.Mode.String(), info.Protocol, opts.VirtualHours*3600, opts.Instances)
-	defer prog.EndRun(opts.Label)
+	c.endRun = func() { prog.EndRun(opts.Label) }
 
 	res := &parallel.Result{
 		Mode:          opts.Mode,
@@ -543,7 +568,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 	}
 
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 
 	plan := host.Plan(res.Bugs, tel, opts.Trace)
@@ -559,61 +584,30 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 	wireOpts.Trace = nil
 	wireOpts.Progress = nil
 	wireOpts.Label = ""
-	assignPayload := encodeAssign(assign{Subject: info.Protocol, Opts: wireOpts, Specs: plan.Specs})
-	for _, wc := range c.workers {
+	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Opts: wireOpts, Specs: plan.Specs})
+	for _, wc := range workers {
 		if _, err := wc.rpc(msgAssign, assignPayload, msgAssignOK, c.cfg.RPCTimeout); err != nil {
-			return nil, fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)
+			return fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)
 		}
 	}
 
-	if c.cfg.HeartbeatInterval > 0 {
-		for _, wc := range c.workers {
-			c.hbWG.Add(1)
-			go c.heartbeat(wc)
-		}
+	if c.ownPool {
+		c.pool.StartHeartbeats()
 	}
 
-	n := len(plan.Specs)
-	st := &runState{
-		host:       host,
-		opts:       opts,
-		specs:      append([]parallel.InstanceSpec(nil), plan.Specs...),
-		owner:      make([]*workerConn, n),
-		clock:      make([]float64, n),
-		nextSync:   make([]float64, n),
-		crashes:    make([]int, n),
-		muts:       make([]int, n),
-		execs:      make([]int, n),
-		curCov:     make([]int, n),
-		curConfig:  make([]string, n),
-		startEdges: make([]int, n),
-		mirror:     make([]*fuzz.Corpus, n),
-		pending:    make([][]fuzz.Seed, n),
-		batch:      make([][]leaseRecord, n),
-		pos:        make([]int, n),
-		inflight:   make([]bool, n),
-		replyCh:    make([]chan leaseReply, n),
-		jobs:       make([]chan leaseJob, len(c.workers)),
-		horizon:    opts.VirtualHours * 3600,
-		res:        res,
-		global:     coverage.NewMap(),
-		tel:        tel,
-	}
-	for i := 0; i < n; i++ {
-		st.mirror[i] = fuzz.NewCorpus(0)
-		st.replyCh[i] = make(chan leaseReply, 1)
-	}
+	st := c.newRunState(host, opts, plan.Specs, workers, res, coverage.NewMap(), tel)
 
 	// Boot every instance, round-robin across workers, in instance
 	// order — the same order the in-process loop boots in, so ledger
 	// entries and telemetry events from startup land identically.
+	c.st = st
 	for i, spec := range plan.Specs {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		wc := c.alive(i % len(c.workers))
+		wc := c.alive(i % len(workers))
 		if wc == nil {
-			return nil, errors.New("dist: no live workers left")
+			return errors.New("dist: no live workers left")
 		}
 		bootSpan := opts.Trace.Child("instance.boot", trace.A("instance", spec.Index))
 		st.owner[i] = wc
@@ -622,11 +616,11 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 				c.markDead(wc, tel)
 				if rerr := c.reassign(st, i); rerr != nil {
 					bootSpan.End()
-					return nil, rerr
+					return rerr
 				}
 			} else {
 				bootSpan.End()
-				return nil, fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
+				return fmt.Errorf("parallel: instance %d failed to start: %w", i, err)
 			}
 		}
 		st.nextSync[i] = opts.SyncInterval
@@ -640,35 +634,143 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		}
 	}
 
-	horizon := st.horizon
 	res.Series.Observe(0, st.global.Count())
-	lastSample := 0.0
-	watermark := 0.0
-	minSampleGap := opts.SampleEvery / 10
+	c.lastSample = 0
+	c.watermark = 0
+	c.minSampleGap = opts.SampleEvery / 10
 
-	instSpans := make([]*trace.Span, n)
-	for i := range instSpans {
-		instSpans[i] = opts.Trace.Child("instance", trace.A("index", i))
-	}
-
-	// One dispatcher per worker owns that connection's lease traffic, so
-	// leases for different instances pipeline while the event loop
-	// replays earlier records. The dispatchers drain before the fleet
-	// cleanup defer (registered above, so it runs after this one) sends
-	// Shutdown and closes the connections.
-	for wi := range c.workers {
-		st.jobs[wi] = make(chan leaseJob, n)
-		c.dispWG.Add(1)
-		go c.dispatcher(c.workers[wi], st.jobs[wi])
-	}
-	defer func() {
-		for _, jobs := range st.jobs {
-			close(jobs)
-		}
-		c.dispWG.Wait()
-	}()
-	for i := 0; i < n; i++ {
+	c.startLoop(st)
+	for i := range st.specs {
 		c.dispatch(st, i)
+	}
+	return nil
+}
+
+// newRunState allocates the per-instance state vectors.
+func (c *Coordinator) newRunState(host *parallel.Host, opts parallel.Options, specs []parallel.InstanceSpec,
+	workers []*workerConn, res *parallel.Result, global *coverage.Map, tel *telemetry.Recorder) *runState {
+	n := len(specs)
+	st := &runState{
+		host:        host,
+		opts:        opts,
+		specs:       append([]parallel.InstanceSpec(nil), specs...),
+		workers:     workers,
+		owner:       make([]*workerConn, n),
+		clock:       make([]float64, n),
+		nextSync:    make([]float64, n),
+		crashes:     make([]int, n),
+		muts:        make([]int, n),
+		execs:       make([]int, n),
+		curCov:      make([]int, n),
+		curConfig:   make([]string, n),
+		startEdges:  make([]int, n),
+		mirror:      make([]*fuzz.Corpus, n),
+		pending:     make([][]fuzz.Seed, n),
+		batch:       make([][]leaseRecord, n),
+		pos:         make([]int, n),
+		inflight:    make([]bool, n),
+		replyCh:     make([]chan leaseReply, n),
+		jobs:        make([]chan leaseJob, len(workers)),
+		journal:     make([][]leaseJournal, n),
+		resumeClock: make([]float64, n),
+		horizon:     opts.VirtualHours * 3600,
+		res:         res,
+		global:      global,
+		tel:         tel,
+	}
+	for i := 0; i < n; i++ {
+		st.mirror[i] = fuzz.NewCorpus(0)
+		st.replyCh[i] = make(chan leaseReply, 1)
+	}
+	return st
+}
+
+// startLoop creates the instance trace spans and launches one
+// dispatcher per worker. The dispatchers drain in Close before the
+// pool (or release) tears the connections down.
+func (c *Coordinator) startLoop(st *runState) {
+	c.instSpans = make([]*trace.Span, len(st.specs))
+	for i := range c.instSpans {
+		c.instSpans[i] = st.opts.Trace.Child("instance", trace.A("index", i))
+	}
+	for wi := range st.workers {
+		st.jobs[wi] = make(chan leaseJob, len(st.specs))
+		c.dispWG.Add(1)
+		go c.dispatcher(st.workers[wi], st.jobs[wi])
+	}
+}
+
+// MinClock reports the campaign's replay position: the minimum
+// per-instance virtual clock. Valid after Start or Restore.
+func (c *Coordinator) MinClock() float64 {
+	st := c.st
+	if st == nil || len(st.clock) == 0 {
+		return 0
+	}
+	m := st.clock[0]
+	for _, t := range st.clock[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Horizon reports the campaign's virtual end time.
+func (c *Coordinator) Horizon() float64 {
+	if c.st == nil {
+		return c.opts.VirtualHours * 3600
+	}
+	return c.st.horizon
+}
+
+// Progress reports the replay position, the union edge count, and the
+// replayed exec total — the fleet scheduler's reward signal.
+func (c *Coordinator) Progress() (clock float64, edges, execs int) {
+	st := c.st
+	if st == nil {
+		return 0, 0, 0
+	}
+	total := 0
+	for _, e := range st.execs {
+		total += e
+	}
+	return c.MinClock(), st.global.Count(), total
+}
+
+// Recorder returns the campaign's telemetry recorder (the restored one
+// after Restore). Artifact writers use it after Finish.
+func (c *Coordinator) Recorder() *telemetry.Recorder {
+	if c.st == nil {
+		return c.opts.Telemetry
+	}
+	return c.st.tel
+}
+
+// Advance replays the distributed event loop until every instance's
+// virtual clock reaches min(until, horizon), dispatching fresh leases
+// as batches drain. It mirrors parallel.Run's loop statement for
+// statement — the replay is slicing-invariant, so any sequence of
+// Advance calls produces the same artifacts as one uninterrupted run.
+// A cancelled ctx returns ctx.Err() with the replay position intact;
+// the in-flight leases stay pending and the next Advance (or a
+// Checkpoint drain) consumes them.
+func (c *Coordinator) Advance(ctx context.Context, until float64) error {
+	st := c.st
+	if st == nil {
+		return errors.New("dist: coordinator not started")
+	}
+	if c.finished || c.closed {
+		return errors.New("dist: campaign already finished")
+	}
+	opts := st.opts
+	tel := st.tel
+	prog := opts.Progress
+	res := st.res
+	n := len(st.specs)
+	horizon := st.horizon
+	if until > horizon {
+		until = horizon
 	}
 
 	// The replay event loop. It is parallel.Run's loop statement for
@@ -677,7 +779,6 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 	// (clock, index) min-scan order — the heap order the in-process loop
 	// steps in — so every ledger entry, telemetry event, series sample,
 	// and counter lands identically.
-	cancelled := false
 	for {
 		i := 0
 		for j := 1; j < n; j++ {
@@ -685,21 +786,25 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 				i = j
 			}
 		}
-		if st.clock[i] >= horizon {
+		if st.clock[i] >= until {
 			break
 		}
 		select {
 		case <-ctx.Done():
-			cancelled = true
+			c.cancelled = true
 		default:
 		}
-		if cancelled {
+		if c.cancelled {
 			break
 		}
 
-		rec, lastOfBatch, err := c.nextRecord(st, i)
+		rec, lastOfBatch, err := c.nextRecord(ctx, st, i)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, errPaused) {
+				c.cancelled = true
+				break
+			}
+			return err
 		}
 		st.execs[i]++
 		st.clock[i] += opts.StepCost + opts.ByteCost*float64(rec.bytes)
@@ -716,24 +821,24 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		}
 		if rec.newEdges > 0 {
 			if _, err := st.global.ApplyDelta(rec.delta); err != nil {
-				return nil, fmt.Errorf("dist: coverage delta from worker %q: %w", st.owner[i].name, err)
+				return fmt.Errorf("dist: coverage delta from worker %q: %w", st.owner[i].name, err)
 			}
 			// The instance's own map grew by exactly newEdges, and its
 			// corpus gained the seed; replay both into the mirrors.
 			st.curCov[i] += rec.newEdges
 			st.mirror[i].Add(rec.seed)
 		}
-		if st.clock[i] > watermark {
-			watermark = st.clock[i]
+		if st.clock[i] > c.watermark {
+			c.watermark = st.clock[i]
 		}
-		if watermark-lastSample >= opts.SampleEvery ||
-			(rec.newEdges > 0 && watermark-lastSample >= minSampleGap) {
-			res.Series.Observe(watermark, st.global.Count())
-			lastSample = watermark
-			tel.Emit(telemetry.Event{T: watermark, Type: telemetry.EvSample, Instance: i,
+		if c.watermark-c.lastSample >= opts.SampleEvery ||
+			(rec.newEdges > 0 && c.watermark-c.lastSample >= c.minSampleGap) {
+			res.Series.Observe(c.watermark, st.global.Count())
+			c.lastSample = c.watermark
+			tel.Emit(telemetry.Event{T: c.watermark, Type: telemetry.EvSample, Instance: i,
 				Edges: st.global.Count()})
 			tel.Count(telemetry.CtrSamples, 1)
-			prog.SetUnion(opts.Label, watermark, st.global.Count())
+			prog.SetUnion(opts.Label, c.watermark, st.global.Count())
 		}
 		if prog.Enabled() {
 			prog.StepInstance(opts.Label, i, st.clock[i],
@@ -748,7 +853,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		// lease; i does not step again before that lease, so the
 		// deferred wire import is invisible.
 		if st.clock[i] >= st.nextSync[i] {
-			sync := instSpans[i].Child("sync")
+			sync := c.instSpans[i].Child("sync")
 			var all []fuzz.Seed
 			for j := 0; j < n; j++ {
 				if j == i {
@@ -786,7 +891,7 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 				Edges: st.curCov[i]})
 			tel.Count(telemetry.CtrSaturations, 1)
 			if m := rec.mutation; m != nil {
-				mut := instSpans[i].Child("config.mutate")
+				mut := c.instSpans[i].Child("config.mutate")
 				for _, cr := range m.Crashes {
 					crash := cr.Crash
 					res.Bugs.Record(&crash, cr.Instance, cr.T, cr.Config)
@@ -815,15 +920,50 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 		}
 	}
 
-	finalT := horizon
-	if cancelled {
-		finalT = watermark
+	if c.cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// drainInflight blocks until no instance has a lease reply pending,
+// folding the drained records into the per-instance batches for the
+// next Advance to replay. Checkpoint requires this quiescent state.
+func (c *Coordinator) drainInflight() error {
+	st := c.st
+	for i := range st.inflight {
+		for st.inflight[i] {
+			if err := c.fill(context.Background(), st, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Finish observes the final series sample, collects every instance's
+// result from its worker, and seals the Result. After a cancelled
+// Advance it finalizes the partial campaign exactly as parallel.Run
+// does.
+func (c *Coordinator) Finish(ctx context.Context) (*parallel.Result, error) {
+	st := c.st
+	if st == nil {
+		return nil, errors.New("dist: coordinator not started")
+	}
+	if c.finished {
+		return nil, errors.New("dist: campaign already finished")
+	}
+	opts := st.opts
+	res := st.res
+	finalT := st.horizon
+	if c.cancelled {
+		finalT = c.watermark
 	}
 	res.Series.Observe(finalT, st.global.Count())
 	res.FinalBranches = st.global.Count()
-	prog.SetUnion(opts.Label, finalT, st.global.Count())
-	for i := 0; i < n; i++ {
-		p, err := c.rpcI(st, i, msgFinalize, encodeIndexReq(indexReq{Index: i}), msgInstanceResult)
+	opts.Progress.SetUnion(opts.Label, finalT, st.global.Count())
+	for i := range st.specs {
+		p, err := c.rpcI(st, i, msgFinalize, encodeIndexReq(indexReq{Campaign: c.campaign, Index: i}), msgInstanceResult)
 		if err != nil {
 			return nil, err
 		}
@@ -832,13 +972,69 @@ func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
 			return nil, err
 		}
 		res.TotalExecs += ir.Execs
-		instSpans[i].Set("edges", ir.FinalBranches)
-		instSpans[i].Set("execs", ir.Execs)
-		instSpans[i].End()
+		c.instSpans[i].Set("edges", ir.FinalBranches)
+		c.instSpans[i].Set("execs", ir.Execs)
+		c.instSpans[i].End()
 		res.Instances = append(res.Instances, ir)
 	}
-	res.Counters = tel.Counters()
-	if cancelled {
+	res.Counters = st.tel.Counters()
+	c.finished = true
+	return res, nil
+}
+
+// Close tears the campaign down: the dispatcher goroutines are joined
+// (no goroutine outlives Close, even after a mid-lease cancellation),
+// the progress run ends, and the fleet is released — a standalone
+// coordinator shuts its private pool down; a shared-pool campaign sends
+// a best-effort Release so workers retire its instances while other
+// campaigns keep running. Idempotent.
+func (c *Coordinator) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.st != nil {
+		for _, jobs := range c.st.jobs {
+			if jobs != nil {
+				close(jobs)
+			}
+		}
+		c.dispWG.Wait()
+	}
+	if c.endRun != nil {
+		c.endRun()
+	}
+	if c.ownPool {
+		c.pool.Close()
+		return
+	}
+	if c.st != nil {
+		payload := encodeRelease(c.campaign)
+		for _, wc := range c.st.workers {
+			if wc.dead.Load() {
+				continue
+			}
+			wc.rpc(msgRelease, payload, msgReleaseOK, c.cfg.RPCTimeout)
+		}
+	}
+}
+
+// Run executes the whole distributed campaign: Start, Advance to the
+// horizon, Finish, Close. See the package comment for the byte-identity
+// argument.
+func (c *Coordinator) Run(ctx context.Context) (*parallel.Result, error) {
+	defer c.Close()
+	if err := c.Start(ctx); err != nil {
+		return nil, err
+	}
+	if err := c.Advance(ctx, c.st.horizon); err != nil && !c.cancelled {
+		return nil, err
+	}
+	res, err := c.Finish(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if c.cancelled {
 		return res, ctx.Err()
 	}
 	return res, nil

@@ -46,8 +46,12 @@ import (
 const maxFrame = 64 << 20
 
 // protocolVersion gates the Hello/Welcome handshake; coordinator and
-// worker must agree exactly. Version 2 is the lease protocol.
-const protocolVersion = 2
+// worker must agree exactly. Version 2 is the lease protocol; version 3
+// namespaces every instance-addressed message with a campaign id, so
+// one worker can host instances from many concurrent campaigns (the
+// fleet service), and adds the Release RPC that retires one campaign's
+// instances without tearing the connection down.
+const protocolVersion = 3
 
 // Message types.
 const (
@@ -65,6 +69,8 @@ const (
 	msgPong
 	msgShutdown
 	msgError
+	msgRelease
+	msgReleaseOK
 )
 
 var errFrameTooLarge = errors.New("dist: frame exceeds size limit")

@@ -7,8 +7,6 @@ import (
 	"net"
 	"testing"
 	"time"
-
-	"cmfuzz/internal/parallel"
 )
 
 func pipeWorkerConn() (*workerConn, net.Conn) {
@@ -61,10 +59,10 @@ func TestLatePongKillsWorker(t *testing.T) {
 	defer peer.Close()
 	defer wc.conn.Close()
 
-	c := NewCoordinator(nil, parallel.Options{}, Config{
+	p := NewPool(Config{
 		RPCTimeout: 50 * time.Millisecond, HeartbeatInterval: 10 * time.Millisecond, PingRetries: 1,
 	})
-	c.workers = append(c.workers, wc)
+	p.workers = append(p.workers, wc)
 
 	// The peer reads pings but answers far past the deadline.
 	go func() {
@@ -79,8 +77,8 @@ func TestLatePongKillsWorker(t *testing.T) {
 		}
 	}()
 
-	c.hbWG.Add(1)
-	go c.heartbeat(wc)
+	p.hbWG.Add(1)
+	go p.heartbeat(wc)
 	deadline := time.Now().Add(5 * time.Second)
 	for !wc.dead.Load() {
 		if time.Now().After(deadline) {
@@ -88,8 +86,8 @@ func TestLatePongKillsWorker(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	close(c.stopHeartbeat)
-	c.hbWG.Wait()
+	close(p.stopHeartbeat)
+	p.hbWG.Wait()
 
 	if _, err := wc.rpc(msgPing, nil, msgPong, time.Second); !errors.Is(err, errWorkerDead) {
 		t.Fatalf("rpc on dead worker = %v, want errWorkerDead", err)

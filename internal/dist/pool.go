@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// A Pool owns a fleet of worker connections: the Hello/Welcome
+// handshake, liveness heartbeats, and final teardown. A standalone
+// Coordinator creates a private pool, so the single-campaign API is
+// unchanged; the fleet service creates one shared pool and runs many
+// coordinators on it concurrently — each campaign's RPCs are
+// namespaced by campaign id, and the per-connection mutex serializes
+// frames from different campaigns' dispatchers.
+type Pool struct {
+	cfg Config
+
+	mu      sync.Mutex
+	workers []*workerConn
+
+	stopHeartbeat chan struct{}
+	hbWG          sync.WaitGroup
+	hbStarted     bool
+	closed        bool
+
+	nextCampaign uint32
+}
+
+// NewPool prepares an empty worker pool. Workers attach via AddConn.
+func NewPool(cfg Config) *Pool {
+	cfg.setDefaults()
+	return &Pool{cfg: cfg, stopHeartbeat: make(chan struct{})}
+}
+
+// AddConn performs the Hello/Welcome handshake on a freshly accepted
+// worker connection and registers the worker. The worker speaks first,
+// so with synchronous transports (net.Pipe) the worker's Serve loop
+// must already be running.
+func (p *Pool) AddConn(conn net.Conn) error {
+	conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout))
+	defer conn.SetDeadline(time.Time{})
+	br := bufio.NewReaderSize(conn, 64<<10)
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("dist: worker handshake: %w", err)
+	}
+	if typ != msgHello {
+		return fmt.Errorf("dist: worker handshake: got message %d, want Hello", typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if h.Version != protocolVersion {
+		writeFrame(conn, msgError, []byte("protocol version mismatch"))
+		return fmt.Errorf("dist: worker %q speaks protocol %d, want %d", h.Name, h.Version, protocolVersion)
+	}
+	if err := writeFrame(conn, msgWelcome, nil); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wc := &workerConn{id: len(p.workers), name: h.Name, conn: conn, br: br}
+	wc.lastReply.Store(time.Now().UnixNano())
+	p.workers = append(p.workers, wc)
+	return nil
+}
+
+// snapshot returns the registered workers. Coordinators capture it once
+// at Start, so a worker added later never changes a running campaign's
+// round-robin assignment.
+func (p *Pool) snapshot() []*workerConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*workerConn(nil), p.workers...)
+}
+
+// Workers snapshots every registered worker for the monitor bridge.
+func (p *Pool) Workers() []WorkerStatus {
+	workers := p.snapshot()
+	out := make([]WorkerStatus, 0, len(workers))
+	for _, wc := range workers {
+		out = append(out, WorkerStatus{
+			Name:      wc.name,
+			Alive:     !wc.dead.Load(),
+			Execs:     wc.execs.Load(),
+			SyncBytes: wc.syncBytes.Load(),
+			LastReply: time.Unix(0, wc.lastReply.Load()),
+		})
+	}
+	return out
+}
+
+// NextCampaignID hands out pool-unique campaign ids for coordinators
+// sharing this pool's connections.
+func (p *Pool) NextCampaignID() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextCampaign++
+	return p.nextCampaign
+}
+
+// StartHeartbeats launches one liveness pinger per currently registered
+// worker. Idempotent; a nonpositive heartbeat interval disables it.
+func (p *Pool) StartHeartbeats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hbStarted || p.cfg.HeartbeatInterval <= 0 {
+		p.hbStarted = true
+		return
+	}
+	p.hbStarted = true
+	for _, wc := range p.workers {
+		p.hbWG.Add(1)
+		go p.heartbeat(wc)
+	}
+}
+
+// heartbeat pings wc until the pool closes or the worker dies. A silent
+// worker gets cfg.PingRetries extra attempts with jittered exponential
+// backoff before being declared dead; a worker with a campaign RPC in
+// flight is skipped (TryLock), since the pending reply already proves
+// the connection is live.
+func (p *Pool) heartbeat(wc *workerConn) {
+	defer p.hbWG.Done()
+	ticker := time.NewTicker(p.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(int64(wc.id)*2654435761 + 1))
+	for {
+		select {
+		case <-p.stopHeartbeat:
+			return
+		case <-ticker.C:
+		}
+		if wc.dead.Load() {
+			return
+		}
+		if !wc.mu.TryLock() {
+			continue
+		}
+		var err error
+		backoff := 100 * time.Millisecond
+		stopped := false
+		for attempt := 0; attempt <= p.cfg.PingRetries; attempt++ {
+			_, err = wc.rpcLocked(msgPing, nil, msgPong, p.cfg.RPCTimeout)
+			if err == nil || wc.dead.Load() {
+				break
+			}
+			// Back off between retries, but wake immediately when the
+			// pool shuts down — a closing campaign must not wait out a
+			// multi-second retry ladder against a worker that is already
+			// gone.
+			select {
+			case <-time.After(backoff + time.Duration(rng.Int63n(int64(backoff)))):
+			case <-p.stopHeartbeat:
+				stopped = true
+			}
+			if stopped {
+				break
+			}
+			backoff *= 2
+		}
+		wc.mu.Unlock()
+		if stopped {
+			return
+		}
+		if err != nil {
+			wc.dead.Store(true)
+			return
+		}
+	}
+}
+
+// Close stops the heartbeats, sends a best-effort Shutdown to every
+// live worker, and closes the connections. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	workers := append([]*workerConn(nil), p.workers...)
+	p.mu.Unlock()
+	close(p.stopHeartbeat)
+	p.hbWG.Wait()
+	for _, wc := range workers {
+		if !wc.dead.Load() {
+			wc.mu.Lock()
+			wc.fw.write(wc.conn, msgShutdown, nil)
+			wc.mu.Unlock()
+		}
+		wc.conn.Close()
+	}
+}

@@ -102,10 +102,16 @@ func decodeHello(p []byte) (hello, error) {
 
 // --- Assign ---
 
+// Campaign ids namespace every instance-addressed message so one worker
+// connection can host instances from many concurrent campaigns. They
+// ride inside the existing payloads (never as extra frames), so the
+// startup frame sequence — and the fault-injection tests that count it
+// — is identical to a single-campaign run.
 type assign struct {
-	Subject string
-	Opts    parallel.Options
-	Specs   []parallel.InstanceSpec
+	Campaign uint32
+	Subject  string
+	Opts     parallel.Options
+	Specs    []parallel.InstanceSpec
 }
 
 func encodeOptions(w *wire.Writer, o parallel.Options) {
@@ -178,6 +184,7 @@ func decodeSpec(r *wire.Reader) parallel.InstanceSpec {
 
 func encodeAssign(a assign) []byte {
 	w := &wire.Writer{}
+	w.U32(a.Campaign)
 	w.String16(a.Subject)
 	encodeOptions(w, a.Opts)
 	w.U16(uint16(len(a.Specs)))
@@ -189,7 +196,7 @@ func encodeAssign(a assign) []byte {
 
 func decodeAssign(p []byte) (assign, error) {
 	r := wire.NewReader(p)
-	a := assign{Subject: r.String16(), Opts: decodeOptions(r)}
+	a := assign{Campaign: r.U32(), Subject: r.String16(), Opts: decodeOptions(r)}
 	n := int(r.U16())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		a.Specs = append(a.Specs, decodeSpec(r))
@@ -206,12 +213,14 @@ func decodeAssign(p []byte) (assign, error) {
 // --- Boot ---
 
 type bootReq struct {
+	Campaign    uint32
 	Index       int
 	ResumeClock float64 // nonzero when re-booting a lost instance
 }
 
 func encodeBootReq(b bootReq) []byte {
 	w := &wire.Writer{}
+	w.U32(b.Campaign)
 	w.U32(uint32(b.Index))
 	putF64(w, b.ResumeClock)
 	return w.Bytes()
@@ -219,7 +228,7 @@ func encodeBootReq(b bootReq) []byte {
 
 func decodeBootReq(p []byte) (bootReq, error) {
 	r := wire.NewReader(p)
-	b := bootReq{Index: int(r.U32()), ResumeClock: getF64(r)}
+	b := bootReq{Campaign: r.U32(), Index: int(r.U32()), ResumeClock: getF64(r)}
 	return b, r.Err()
 }
 
@@ -308,18 +317,45 @@ func decodeBootResult(p []byte) (bootResult, error) {
 // --- Lease ---
 
 // indexReq addresses a single instance (Finalize).
-type indexReq struct{ Index int }
+type indexReq struct {
+	Campaign uint32
+	Index    int
+}
 
 func encodeIndexReq(s indexReq) []byte {
 	w := &wire.Writer{}
+	w.U32(s.Campaign)
 	w.U32(uint32(s.Index))
 	return w.Bytes()
 }
 
 func decodeIndexReq(p []byte) (indexReq, error) {
 	r := wire.NewReader(p)
-	s := indexReq{Index: int(r.U32())}
+	s := indexReq{Campaign: r.U32(), Index: int(r.U32())}
 	return s, r.Err()
+}
+
+// --- Release ---
+
+// encodeRelease addresses a whole campaign: the worker closes and
+// forgets that campaign's instances but keeps serving every other
+// campaign on the connection.
+func encodeRelease(campaign uint32) []byte {
+	w := &wire.Writer{}
+	w.U32(campaign)
+	return w.Bytes()
+}
+
+func decodeRelease(p []byte) (uint32, error) {
+	r := wire.NewReader(p)
+	id := r.U32()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if !r.Empty() {
+		return 0, ErrProto
+	}
+	return id, nil
 }
 
 // mutation mirrors parallel.MutationOutcome plus the crash records the
@@ -352,6 +388,7 @@ func getMutEvent(r *wire.Reader) parallel.MutEvent {
 // autonomously until the virtual clock crosses Boundary (the instance's
 // next sync point) or Horizon, whichever comes first.
 type lease struct {
+	Campaign uint32
 	Index    int
 	Boundary float64
 	Horizon  float64
@@ -360,6 +397,7 @@ type lease struct {
 
 func encodeLease(l lease) []byte {
 	w := &wire.Writer{}
+	w.U32(l.Campaign)
 	w.U32(uint32(l.Index))
 	putF64(w, l.Boundary)
 	putF64(w, l.Horizon)
@@ -370,6 +408,7 @@ func encodeLease(l lease) []byte {
 func decodeLease(p []byte) (lease, error) {
 	r := wire.NewReader(p)
 	l := lease{
+		Campaign: r.U32(),
 		Index:    int(r.U32()),
 		Boundary: getF64(r),
 		Horizon:  getF64(r),
@@ -460,6 +499,90 @@ func appendLeaseStep(w *wire.Writer, rec *parallel.LeaseStep) {
 	}
 }
 
+// getLeaseRecord parses one step record whose flags byte has already
+// been read and validated.
+func getLeaseRecord(r *wire.Reader, flags byte) (leaseRecord, error) {
+	rec := leaseRecord{bytes: int(r.Varint())}
+	if flags&leaseFlagCrash != 0 {
+		c := getCrash(r)
+		rec.crash = &c
+	}
+	if flags&leaseFlagEdges != 0 {
+		rec.newEdges = int(r.Varint())
+		if r.Err() == nil && rec.newEdges == 0 {
+			return rec, ErrProto
+		}
+		rec.delta = r.Bytes32()
+		msgs := int(r.U8())
+		for j := 0; j < msgs && r.Err() == nil; j++ {
+			rec.seed.Msgs = append(rec.seed.Msgs, r.Bytes32())
+		}
+		rec.seed.Gain = rec.newEdges
+	}
+	if flags&leaseFlagSat != 0 {
+		rec.satFired = true
+		m := &mutation{}
+		n := int(r.U16())
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Outcome.Events = append(m.Outcome.Events, getMutEvent(r))
+		}
+		m.Outcome.Mutations = int(r.U8())
+		m.Outcome.Boots = int(r.U8())
+		m.Outcome.RestartFails = int(r.U8())
+		m.Outcome.Fallbacks = int(r.U8())
+		m.Outcome.Restarted = getBool(r)
+		m.Crashes = getCrashRecs(r)
+		rec.mutation = m
+		rec.config = r.String32()
+		rec.coverage = int(r.Varint())
+	}
+	return rec, r.Err()
+}
+
+// putLeaseRecord re-encodes a decoded record in the exact wire form
+// appendLeaseStep produces. The checkpoint uses it to persist a drained
+// lease batch that has not been fully replayed yet.
+func putLeaseRecord(w *wire.Writer, rec *leaseRecord) {
+	var flags byte
+	if rec.crash != nil {
+		flags |= leaseFlagCrash
+	}
+	if rec.newEdges > 0 {
+		flags |= leaseFlagEdges
+	}
+	if rec.satFired {
+		flags |= leaseFlagSat
+	}
+	w.U8(flags)
+	w.Varint(uint32(rec.bytes))
+	if rec.crash != nil {
+		putCrash(w, rec.crash)
+	}
+	if rec.newEdges > 0 {
+		w.Varint(uint32(rec.newEdges))
+		w.Bytes32(rec.delta)
+		w.U8(byte(len(rec.seed.Msgs)))
+		for _, m := range rec.seed.Msgs {
+			w.Bytes32(m)
+		}
+	}
+	if rec.satFired {
+		m := rec.mutation
+		w.U16(uint16(len(m.Outcome.Events)))
+		for _, e := range m.Outcome.Events {
+			putMutEvent(w, e)
+		}
+		w.U8(byte(m.Outcome.Mutations))
+		w.U8(byte(m.Outcome.Boots))
+		w.U8(byte(m.Outcome.RestartFails))
+		w.U8(byte(m.Outcome.Fallbacks))
+		putBool(w, m.Outcome.Restarted)
+		putCrashRecs(w, m.Crashes)
+		w.String32(rec.config)
+		w.Varint(uint32(rec.coverage))
+	}
+}
+
 // decodeLeaseResult parses a consolidated lease reply: step records up
 // to the leaseEnd terminator, then whether the instance stopped at its
 // sync boundary (false means it ran out the campaign horizon).
@@ -477,42 +600,9 @@ func decodeLeaseResult(p []byte) ([]leaseRecord, bool, error) {
 		if flags&^byte(leaseFlagsKnown) != 0 {
 			return nil, false, ErrProto
 		}
-		rec := leaseRecord{bytes: int(r.Varint())}
-		if flags&leaseFlagCrash != 0 {
-			c := getCrash(r)
-			rec.crash = &c
-		}
-		if flags&leaseFlagEdges != 0 {
-			rec.newEdges = int(r.Varint())
-			if r.Err() == nil && rec.newEdges == 0 {
-				return nil, false, ErrProto
-			}
-			rec.delta = r.Bytes32()
-			msgs := int(r.U8())
-			for j := 0; j < msgs && r.Err() == nil; j++ {
-				rec.seed.Msgs = append(rec.seed.Msgs, r.Bytes32())
-			}
-			rec.seed.Gain = rec.newEdges
-		}
-		if flags&leaseFlagSat != 0 {
-			rec.satFired = true
-			m := &mutation{}
-			n := int(r.U16())
-			for i := 0; i < n && r.Err() == nil; i++ {
-				m.Outcome.Events = append(m.Outcome.Events, getMutEvent(r))
-			}
-			m.Outcome.Mutations = int(r.U8())
-			m.Outcome.Boots = int(r.U8())
-			m.Outcome.RestartFails = int(r.U8())
-			m.Outcome.Fallbacks = int(r.U8())
-			m.Outcome.Restarted = getBool(r)
-			m.Crashes = getCrashRecs(r)
-			rec.mutation = m
-			rec.config = r.String32()
-			rec.coverage = int(r.Varint())
-		}
-		if r.Err() != nil {
-			return nil, false, r.Err()
+		rec, err := getLeaseRecord(r, flags)
+		if err != nil {
+			return nil, false, err
 		}
 		recs = append(recs, rec)
 	}

@@ -34,16 +34,34 @@ type WorkerConfig struct {
 // Between scheduler touchpoints it executes whole leases autonomously:
 // import seeds, step until the boundary, stream every record back in
 // one reply.
+//
+// Every instance-addressed message carries a campaign id, and the
+// worker keeps an independent context per campaign, so one connection
+// can serve many concurrent campaigns (the fleet service) — a Release
+// retires one campaign's instances without disturbing the others.
 type Worker struct {
 	cfg      WorkerConfig
+	camps    map[uint32]*workerCampaign
+	fw       frameWriter // reusable frame scratch (Serve is single-threaded)
+	enc      wire.Writer // reusable lease-reply encoder
+	deltaBuf []byte      // reusable delta scratch; valid per step, copied into enc
+}
+
+// workerCampaign is one campaign's worker-side state: the assigned plan
+// plus whatever instances this worker has booted for it.
+type workerCampaign struct {
 	host     *parallel.Host
 	opts     parallel.Options
 	specs    map[int]parallel.InstanceSpec
 	insts    map[int]*parallel.Instance
 	reported map[int]*repState // coverage already flushed to the coordinator
-	fw       frameWriter       // reusable frame scratch (Serve is single-threaded)
-	enc      wire.Writer       // reusable lease-reply encoder
-	deltaBuf []byte            // reusable delta scratch; valid per step, copied into enc
+}
+
+func (wc *workerCampaign) closeInstances() {
+	for _, in := range wc.insts {
+		in.Close()
+	}
+	wc.insts = map[int]*parallel.Instance{}
 }
 
 // repState tracks what coverage an instance has already shipped. The
@@ -139,9 +157,16 @@ func (w *Worker) Serve(conn net.Conn) error {
 }
 
 func (w *Worker) closeInstances() {
-	for _, in := range w.insts {
-		in.Close()
+	for _, wc := range w.camps {
+		wc.closeInstances()
 	}
+}
+
+func (w *Worker) campaign(id uint32) *workerCampaign {
+	if w.camps == nil {
+		return nil
+	}
+	return w.camps[id]
 }
 
 func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
@@ -165,41 +190,67 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		// A re-Assign replaces the instance map; close what the previous
-		// campaign booted first or its live targets leak.
-		w.closeInstances()
-		w.host = host
-		w.opts = host.Opts
-		w.specs = make(map[int]parallel.InstanceSpec, len(a.Specs))
-		for _, s := range a.Specs {
-			w.specs[s.Index] = s
+		// A re-Assign of the same campaign replaces its instance map;
+		// close what the previous assignment booted first or its live
+		// targets leak. Other campaigns on the connection are untouched.
+		if prev := w.campaign(a.Campaign); prev != nil {
+			prev.closeInstances()
 		}
-		w.insts = make(map[int]*parallel.Instance)
-		w.reported = make(map[int]*repState)
+		if w.camps == nil {
+			w.camps = make(map[uint32]*workerCampaign)
+		}
+		wc := &workerCampaign{
+			host:     host,
+			opts:     host.Opts,
+			specs:    make(map[int]parallel.InstanceSpec, len(a.Specs)),
+			insts:    make(map[int]*parallel.Instance),
+			reported: make(map[int]*repState),
+		}
+		for _, s := range a.Specs {
+			wc.specs[s.Index] = s
+		}
+		w.camps[a.Campaign] = wc
 		return msgAssignOK, nil, nil
+
+	case msgRelease:
+		id, err := decodeRelease(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Releasing an unknown campaign is fine: release is idempotent
+		// and the coordinator sends it best-effort during teardown.
+		if wc := w.campaign(id); wc != nil {
+			wc.closeInstances()
+			delete(w.camps, id)
+		}
+		return msgReleaseOK, nil, nil
 
 	case msgBoot:
 		b, err := decodeBootReq(payload)
 		if err != nil {
 			return 0, nil, err
 		}
-		spec, ok := w.specs[b.Index]
-		if !ok || w.host == nil {
+		wc := w.campaign(b.Campaign)
+		if wc == nil {
+			return 0, nil, fmt.Errorf("dist: boot for unassigned campaign %d", b.Campaign)
+		}
+		spec, ok := wc.specs[b.Index]
+		if !ok {
 			return 0, nil, fmt.Errorf("dist: boot for unassigned instance %d", b.Index)
 		}
 		sink := &parallel.RecordingSink{}
-		in, err := w.host.Boot(spec, sink)
+		in, err := wc.host.Boot(spec, sink)
 		if err != nil {
 			return msgBootResult, encodeBootResult(bootResult{Err: err.Error(), Crashes: sink.Recs}), nil
 		}
 		in.SetClock(b.ResumeClock)
-		w.insts[b.Index] = in
+		wc.insts[b.Index] = in
 		// The boot delta carries the full startup map (delta against
 		// nothing); from here on only new words travel.
 		delta := coverage.EncodeDelta(in.CoverageMap(), nil)
 		rep := coverage.NewMap()
 		rep.Union(in.CoverageMap())
-		w.reported[b.Index] = &repState{m: rep}
+		wc.reported[b.Index] = &repState{m: rep}
 		return msgBootResult, encodeBootResult(bootResult{
 			Config:     in.ConfigString(),
 			StartEdges: in.StartupEdges(),
@@ -212,14 +263,18 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		in := w.insts[l.Index]
+		wc := w.campaign(l.Campaign)
+		if wc == nil {
+			return 0, nil, fmt.Errorf("dist: lease for unassigned campaign %d", l.Campaign)
+		}
+		in := wc.insts[l.Index]
 		if in == nil {
 			return 0, nil, fmt.Errorf("dist: lease for unbooted instance %d", l.Index)
 		}
 		if len(l.Seeds) > 0 {
 			in.ImportSeeds(l.Seeds)
 		}
-		rep := w.reported[l.Index]
+		rep := wc.reported[l.Index]
 		w.enc.Reset()
 		// afterStep fires before any mutation absorbs restart coverage,
 		// which is where the in-process loop unions into the global map
@@ -259,7 +314,11 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		in := w.insts[f.Index]
+		wc := w.campaign(f.Campaign)
+		if wc == nil {
+			return 0, nil, fmt.Errorf("dist: finalize for unassigned campaign %d", f.Campaign)
+		}
+		in := wc.insts[f.Index]
 		if in == nil {
 			return 0, nil, fmt.Errorf("dist: finalize for unbooted instance %d", f.Index)
 		}

@@ -169,3 +169,71 @@ var errInjectedDist = errTest("boom")
 type errTest string
 
 func (e errTest) Error() string { return string(e) }
+
+// TestWorkerHostsConcurrentCampaigns pins the protocol-v3 multi-campaign
+// contract: one worker hosts instances from several campaigns at once,
+// a Release retires exactly one campaign's instances (idempotently),
+// and the surviving campaigns keep serving leases.
+func TestWorkerHostsConcurrentCampaigns(t *testing.T) {
+	base, err := protocols.ByName("DNS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := &countingSubject{Subject: base}
+	w := NewWorker(WorkerConfig{
+		Name:    "w",
+		Resolve: func(string) (subject.Subject, error) { return cs, nil },
+	})
+
+	opts := parallel.Options{
+		Mode: parallel.ModePeach, Instances: 2, VirtualHours: 0.1, Seed: 1, Concurrency: 1,
+	}
+	host, err := parallel.NewHost(cs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := host.Plan(bugs.NewLedger(), nil, nil)
+
+	for _, id := range []uint32{1, 2} {
+		payload := encodeAssign(assign{Campaign: id, Subject: "DNS", Opts: opts, Specs: plan.Specs})
+		if typ, _, err := w.handle(msgAssign, payload); err != nil || typ != msgAssignOK {
+			t.Fatalf("assign campaign %d: type %d, err %v", id, typ, err)
+		}
+		for i := 0; i < 2; i++ {
+			typ, p, err := w.handle(msgBoot, encodeBootReq(bootReq{Campaign: id, Index: i}))
+			if err != nil || typ != msgBootResult {
+				t.Fatalf("boot %d/%d: type %d, err %v", id, i, typ, err)
+			}
+			if br, err := decodeBootResult(p); err != nil || br.Err != "" {
+				t.Fatalf("boot %d/%d failed: %v %q", id, i, err, br.Err)
+			}
+		}
+	}
+	if got := cs.open.Load(); got != 4 {
+		t.Fatalf("open instances with two campaigns = %d, want 4", got)
+	}
+
+	if typ, _, err := w.handle(msgRelease, encodeRelease(1)); err != nil || typ != msgReleaseOK {
+		t.Fatalf("release: type %d, err %v", typ, err)
+	}
+	if got := cs.open.Load(); got != 2 {
+		t.Fatalf("open instances after releasing campaign 1 = %d, want 2", got)
+	}
+	// Campaign 2 keeps serving; campaign 1's state is gone.
+	l := lease{Campaign: 2, Index: 0, Boundary: 60, Horizon: 360}
+	if typ, _, err := w.handle(msgLease, encodeLease(l)); err != nil || typ != msgLeaseResult {
+		t.Fatalf("lease on surviving campaign: type %d, err %v", typ, err)
+	}
+	if _, _, err := w.handle(msgBoot, encodeBootReq(bootReq{Campaign: 1, Index: 0})); err == nil {
+		t.Fatal("boot on released campaign succeeded, want error")
+	}
+	// Release is idempotent.
+	if typ, _, err := w.handle(msgRelease, encodeRelease(1)); err != nil || typ != msgReleaseOK {
+		t.Fatalf("repeat release: type %d, err %v", typ, err)
+	}
+
+	w.closeInstances()
+	if got := cs.open.Load(); got != 0 {
+		t.Fatalf("open instances after close = %d, want 0", got)
+	}
+}

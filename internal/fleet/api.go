@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+
+	"cmfuzz/internal/campaign"
+)
+
+func writeSpec(path string, spec CampaignSpec) error {
+	raw, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return campaign.WriteFileAtomic(path, raw, 0o644)
+}
+
+func readSpec(path string) (CampaignSpec, error) {
+	var spec CampaignSpec
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// APIHandler returns the fleet's machine API, meant to be mounted on
+// the monitor server via monitor.Options.API:
+//
+//	POST /api/submit   body: CampaignSpec JSON; 202 on accept,
+//	                   400 invalid, 409 duplicate id
+//	GET  /api/status   {"campaigns": [CampaignStatus, ...]}
+//	GET  /api/results?id=X
+//	                   final result.json; 404 unknown, 409 not done
+func (m *Manager) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/api/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var spec CampaignSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := m.Submit(spec); err != nil {
+			code := http.StatusBadRequest
+			if err == ErrExists {
+				code = http.StatusConflict
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": spec.ID, "state": StateQueued})
+	})
+
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"campaigns": m.Status()})
+	})
+
+	mux.HandleFunc("/api/results", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		raw, err := m.Results(id)
+		if err != nil {
+			code := http.StatusNotFound
+			m.mu.Lock()
+			if c, ok := m.campaigns[id]; ok && c.state != StateDone {
+				code = http.StatusConflict
+			}
+			m.mu.Unlock()
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	})
+
+	return mux
+}

@@ -1,0 +1,586 @@
+// Package fleet is the long-lived multi-campaign scheduler behind
+// `cmfuzz serve`: many (protocol, configuration-group) campaigns share
+// one worker fleet, a deterministic UCB1 bandit reassigns worker time
+// slices toward the campaigns with the best observed coverage rate per
+// execution, and every campaign's state survives coordinator restarts
+// through the dist checkpoint format.
+//
+// The scheduler is deliberately serial: one campaign advances at a
+// time, in virtual-clock slices, over a shared dist.Pool. Campaign
+// virtual clocks are decoupled from wall clocks, so interleaving entire
+// slices loses nothing — and because each campaign's replay is
+// slicing-invariant (see dist.Advance), the artifacts a campaign
+// produces are byte-identical whatever slice schedule the bandit picks
+// and however often the process hosting the scheduler is restarted.
+//
+// On-disk layout under Config.StateDir:
+//
+//	<id>/spec.json       the submitted campaign spec (write-once)
+//	<id>/checkpoint.bin  dist checkpoint, rewritten after every slice
+//	<id>/artifacts/      final artifacts, written at completion
+//
+// All writes are atomic (campaign.WriteFileAtomic), so a kill at any
+// instant leaves either the previous or the next consistent state.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"cmfuzz/internal/campaign"
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// StateDir persists specs, checkpoints, and final artifacts.
+	StateDir string
+	// Slice is the virtual-clock length of one scheduling quantum
+	// (default 900 virtual seconds — a quarter of a default sync
+	// interval cycle, long enough to amortize checkpointing, short
+	// enough for the bandit to react).
+	Slice float64
+}
+
+// A CampaignSpec is one submitted campaign, as posted to /api/submit.
+type CampaignSpec struct {
+	ID        string  `json:"id"`
+	Subject   string  `json:"subject"`
+	Mode      string  `json:"mode,omitempty"` // cmfuzz (default) | peach | spfuzz
+	Hours     float64 `json:"hours"`
+	Seed      int64   `json:"seed"`
+	Instances int     `json:"instances,omitempty"` // 0 = parallel default
+}
+
+// Campaign lifecycle states.
+const (
+	StateQueued  = "queued"  // submitted; not running in this process (may hold a checkpoint)
+	StateRunning = "running" // a live coordinator holds it
+	StateDone    = "done"    // artifacts written
+	StateFailed  = "failed"  // gave up; Error holds why
+)
+
+// A CampaignStatus is the /api/status snapshot of one campaign.
+type CampaignStatus struct {
+	ID      string  `json:"id"`
+	Subject string  `json:"subject"`
+	Mode    string  `json:"mode"`
+	State   string  `json:"state"`
+	Clock   float64 `json:"clock"`
+	Horizon float64 `json:"horizon"`
+	Edges   int     `json:"edges"`
+	Execs   int     `json:"execs"`
+	Slices  int     `json:"slices"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// campaignRec is the manager-side record of one campaign.
+type campaignRec struct {
+	spec  CampaignSpec
+	state string
+	err   string
+
+	coord *dist.Coordinator
+
+	// Bandit bookkeeping. reward is an exponential moving average of the
+	// per-slice coverage rate — new union edges per (executions+1)
+	// observed during the slice. Coverage rate decays as a campaign
+	// saturates, so the bandit discounts old observations instead of
+	// averaging over the campaign's whole life; a lifetime mean would
+	// keep feeding a campaign that scored big early and plateaued.
+	slices    int
+	reward    float64
+	lastEdges int
+	lastExecs int
+
+	// Cached progress, updated at slice boundaries so /api/status never
+	// races the replay loop.
+	clock   float64
+	horizon float64
+	edges   int
+	execs   int
+}
+
+func (c *campaignRec) runnable() bool { return c.state == StateQueued || c.state == StateRunning }
+
+// A Manager owns the campaign table and the slice scheduler. One
+// goroutine drives Step/Drain/Run; Submit, Status, and Results are safe
+// to call concurrently from HTTP handlers.
+type Manager struct {
+	cfg     Config
+	pool    *dist.Pool
+	resolve func(string) (subject.Subject, error)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	campaigns map[string]*campaignRec
+	order     []string
+	stopped   bool
+}
+
+// NewManager opens (or creates) the state directory and recovers every
+// campaign found there: completed campaigns (artifacts present) come
+// back done, everything else comes back queued — with its checkpoint,
+// if one was persisted, resumed on the campaign's first slice.
+func NewManager(cfg Config, pool *dist.Pool, resolve func(string) (subject.Subject, error)) (*Manager, error) {
+	if cfg.Slice <= 0 {
+		cfg.Slice = 900
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("fleet: no state directory configured")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:       cfg,
+		pool:      pool,
+		resolve:   resolve,
+		campaigns: make(map[string]*campaignRec),
+	}
+	m.cond = sync.NewCond(&m.mu)
+
+	entries, err := os.ReadDir(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	// Recover in name order: the original submission order is not
+	// persisted, and a deterministic recovery order keeps the bandit's
+	// tie-breaking reproducible across restarts.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name() < entries[j].Name() })
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		spec, err := readSpec(filepath.Join(cfg.StateDir, e.Name(), "spec.json"))
+		if err != nil {
+			continue // not a campaign dir (or torn before the atomic spec write: never submitted)
+		}
+		rec := &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600}
+		if _, err := os.Stat(filepath.Join(m.dir(spec.ID), "artifacts", "result.json")); err == nil {
+			rec.state = StateDone
+			rec.clock = rec.horizon
+		}
+		m.campaigns[spec.ID] = rec
+		m.order = append(m.order, spec.ID)
+	}
+	return m, nil
+}
+
+func (m *Manager) dir(id string) string { return filepath.Join(m.cfg.StateDir, id) }
+
+func validID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ErrExists reports a submit with an already-used campaign id.
+var ErrExists = errors.New("fleet: campaign id already exists")
+
+// Submit validates spec, persists it, and queues the campaign. The
+// bandit will start slicing it on the scheduler's next pick.
+func (m *Manager) Submit(spec CampaignSpec) error {
+	if !validID(spec.ID) {
+		return fmt.Errorf("fleet: invalid campaign id %q", spec.ID)
+	}
+	if spec.Hours <= 0 {
+		return fmt.Errorf("fleet: campaign %q: hours must be positive", spec.ID)
+	}
+	if _, err := m.options(spec); err != nil {
+		return err
+	}
+	if _, err := m.resolve(spec.Subject); err != nil {
+		return fmt.Errorf("fleet: campaign %q: %w", spec.ID, err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.campaigns[spec.ID]; ok {
+		return ErrExists
+	}
+	if err := os.MkdirAll(m.dir(spec.ID), 0o755); err != nil {
+		return err
+	}
+	if err := writeSpec(filepath.Join(m.dir(spec.ID), "spec.json"), spec); err != nil {
+		return err
+	}
+	m.campaigns[spec.ID] = &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600}
+	m.order = append(m.order, spec.ID)
+	m.cond.Broadcast()
+	return nil
+}
+
+// options maps a spec to campaign options. Concurrency is pinned to 1:
+// relation probing order must be deterministic for the restart
+// byte-identity guarantee, and the probe phase is a one-off.
+func (m *Manager) options(spec CampaignSpec) (parallel.Options, error) {
+	var mode parallel.Mode
+	switch strings.ToLower(spec.Mode) {
+	case "", "cmfuzz":
+		mode = parallel.ModeCMFuzz
+	case "peach":
+		mode = parallel.ModePeach
+	case "spfuzz":
+		mode = parallel.ModeSPFuzz
+	default:
+		return parallel.Options{}, fmt.Errorf("fleet: campaign %q: unknown mode %q", spec.ID, spec.Mode)
+	}
+	return parallel.Options{
+		Mode:         mode,
+		Instances:    spec.Instances,
+		VirtualHours: spec.Hours,
+		Seed:         spec.Seed,
+		Concurrency:  1,
+	}, nil
+}
+
+// Status snapshots every campaign in submission order.
+func (m *Manager) Status() []CampaignStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(m.order))
+	for _, id := range m.order {
+		c := m.campaigns[id]
+		out = append(out, CampaignStatus{
+			ID:      c.spec.ID,
+			Subject: c.spec.Subject,
+			Mode:    c.spec.Mode,
+			State:   c.state,
+			Clock:   c.clock,
+			Horizon: c.horizon,
+			Edges:   c.edges,
+			Execs:   c.execs,
+			Slices:  c.slices,
+			Error:   c.err,
+		})
+	}
+	return out
+}
+
+// Results returns the final result.json of a completed campaign.
+func (m *Manager) Results(id string) ([]byte, error) {
+	m.mu.Lock()
+	c, ok := m.campaigns[id]
+	state := ""
+	if ok {
+		state = c.state
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown campaign %q", id)
+	}
+	if state != StateDone {
+		return nil, fmt.Errorf("fleet: campaign %q is %s, not done", id, state)
+	}
+	return os.ReadFile(filepath.Join(m.dir(id), "artifacts", "result.json"))
+}
+
+// rewardDecay is the EMA coefficient for the per-slice coverage-rate
+// reward: reward = decay*old + (1-decay)*new. 0.5 tracks a saturating
+// campaign within a couple of slices without thrashing on one noisy
+// slice.
+const rewardDecay = 0.5
+
+// pick chooses the next campaign to slice: untried campaigns first, in
+// submission order, then the discounted-UCB maximizer — EMA reward +
+// sqrt(2 ln N / n) * scale, with scale the best current EMA so the
+// exploration bonus is commensurable with the rewards (edge counts per
+// exec vary by orders of magnitude across protocols). Deterministic:
+// ties break toward earlier submission.
+func (m *Manager) pick() *campaignRec {
+	var cands []*campaignRec
+	total := 0
+	for _, id := range m.order {
+		c := m.campaigns[id]
+		if c.runnable() {
+			cands = append(cands, c)
+			total += c.slices
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	scale := 0.0
+	for _, c := range cands {
+		if c.slices == 0 {
+			return c
+		}
+		if c.reward > scale {
+			scale = c.reward
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	best := cands[0]
+	bestScore := math.Inf(-1)
+	for _, c := range cands {
+		score := c.reward + math.Sqrt(2*math.Log(float64(total))/float64(c.slices))*scale
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// ensureStarted brings c's coordinator up: restore from the persisted
+// checkpoint when one exists, otherwise start fresh.
+func (m *Manager) ensureStarted(ctx context.Context, c *campaignRec) error {
+	if c.coord != nil {
+		return nil
+	}
+	sub, err := m.resolve(c.spec.Subject)
+	if err != nil {
+		return err
+	}
+	opts, err := m.options(c.spec)
+	if err != nil {
+		return err
+	}
+	// A fresh plain recorder per campaign lifetime — not a run-stamped
+	// one — so a restored campaign's event log continues the
+	// checkpointed stream byte-for-byte.
+	opts.Telemetry = telemetry.New()
+	coord := dist.NewCoordinatorOn(m.pool, sub, opts)
+	ckPath := filepath.Join(m.dir(c.spec.ID), "checkpoint.bin")
+	if blob, rerr := os.ReadFile(ckPath); rerr == nil {
+		err = coord.Restore(ctx, blob)
+	} else {
+		err = coord.Start(ctx)
+	}
+	if err != nil {
+		coord.Close()
+		return err
+	}
+	clock, edges, execs := coord.Progress()
+	m.mu.Lock()
+	c.coord = coord
+	c.state = StateRunning
+	c.clock, c.edges, c.execs = clock, edges, execs
+	c.horizon = coord.Horizon()
+	c.lastEdges, c.lastExecs = edges, execs
+	m.mu.Unlock()
+	return nil
+}
+
+// runSlice advances c by one scheduling quantum, then either completes
+// the campaign (artifacts written, checkpoint removed) or persists a
+// fresh checkpoint. Called with m.mu NOT held.
+func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
+	if err := m.ensureStarted(ctx, c); err != nil {
+		return err
+	}
+	coord := c.coord
+	target := coord.MinClock() + m.cfg.Slice
+	if h := coord.Horizon(); target > h {
+		target = h
+	}
+	if err := coord.Advance(ctx, target); err != nil {
+		return err
+	}
+	if coord.MinClock() >= coord.Horizon() {
+		res, err := coord.Finish(ctx)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(m.dir(c.spec.ID), "artifacts")
+		if err := campaign.WriteTelemetry(dir, coord.Recorder()); err != nil {
+			return err
+		}
+		// result.json lands last: its presence marks the campaign done,
+		// so every other artifact must already be in place when a
+		// recovery scan sees it.
+		if err := campaign.WriteArtifacts(dir, res); err != nil {
+			return err
+		}
+		coord.Close()
+		os.Remove(filepath.Join(m.dir(c.spec.ID), "checkpoint.bin"))
+
+		m.mu.Lock()
+		c.coord = nil
+		c.state = StateDone
+		c.clock = coord.Horizon()
+		c.edges = res.FinalBranches
+		c.execs = res.TotalExecs
+		c.slices++
+		m.mu.Unlock()
+		return nil
+	}
+
+	blob, err := coord.Checkpoint()
+	if err != nil {
+		return err
+	}
+	if err := campaign.WriteFileAtomic(filepath.Join(m.dir(c.spec.ID), "checkpoint.bin"), blob, 0o644); err != nil {
+		return err
+	}
+
+	clock, edges, execs := coord.Progress()
+	m.mu.Lock()
+	r := float64(edges-c.lastEdges) / float64(execs-c.lastExecs+1)
+	if c.slices == 0 {
+		c.reward = r
+	} else {
+		c.reward = rewardDecay*c.reward + (1-rewardDecay)*r
+	}
+	c.slices++
+	c.lastEdges, c.lastExecs = edges, execs
+	c.clock, c.edges, c.execs = clock, edges, execs
+	m.mu.Unlock()
+	return nil
+}
+
+// Step runs one scheduling quantum on the bandit-chosen campaign. It
+// reports false when no campaign is runnable. A context cancellation
+// checkpoints the interrupted campaign before returning, so no replay
+// progress past the last persisted checkpoint is lost silently.
+func (m *Manager) Step(ctx context.Context) (bool, error) {
+	m.mu.Lock()
+	c := m.pick()
+	m.mu.Unlock()
+	if c == nil {
+		return false, nil
+	}
+	err := m.runSlice(ctx, c)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		m.park(c)
+		return false, err
+	}
+	// Campaign-fatal (dead fleet, lost subject, disk error): mark it
+	// failed and keep serving the others.
+	if c.coord != nil {
+		c.coord.Close()
+		c.coord = nil
+	}
+	m.mu.Lock()
+	c.state = StateFailed
+	c.err = err.Error()
+	m.mu.Unlock()
+	return true, nil
+}
+
+// park checkpoints and closes c's coordinator, returning the campaign
+// to the queued state so a later scheduler (this process or the next)
+// can resume it.
+func (m *Manager) park(c *campaignRec) {
+	if c.coord == nil {
+		return
+	}
+	if blob, err := c.coord.Checkpoint(); err == nil {
+		campaign.WriteFileAtomic(filepath.Join(m.dir(c.spec.ID), "checkpoint.bin"), blob, 0o644)
+	}
+	c.coord.Close()
+	c.coord = nil
+	m.mu.Lock()
+	c.state = StateQueued
+	m.mu.Unlock()
+}
+
+// Drain steps until every campaign is done or failed.
+func (m *Manager) Drain(ctx context.Context) error {
+	for {
+		ok, err := m.Step(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Run is the serve-mode main loop: slice runnable campaigns, sleep on
+// the condition variable while the table is empty or complete, wake on
+// Submit. On context cancellation every running campaign is parked
+// (checkpointed and closed) before Run returns ctx.Err().
+func (m *Manager) Run(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.stopped = true
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+	for {
+		ok, err := m.Step(ctx)
+		if err != nil || ctx.Err() != nil {
+			m.parkAll()
+			return ctx.Err()
+		}
+		if ok {
+			continue
+		}
+		m.mu.Lock()
+		for !m.stopped && m.pick() == nil {
+			m.cond.Wait()
+		}
+		stopped := m.stopped
+		m.mu.Unlock()
+		if stopped {
+			m.parkAll()
+			return ctx.Err()
+		}
+	}
+}
+
+// parkAll checkpoints and closes every running campaign.
+func (m *Manager) parkAll() {
+	m.mu.Lock()
+	var running []*campaignRec
+	for _, id := range m.order {
+		if c := m.campaigns[id]; c.coord != nil {
+			running = append(running, c)
+		}
+	}
+	m.mu.Unlock()
+	for _, c := range running {
+		m.park(c)
+	}
+}
+
+// Close abandons every running campaign WITHOUT checkpointing — the
+// on-disk state stays at the last slice boundary, exactly as if the
+// process had been killed. Restart tests use it to simulate a crash;
+// the serve path prefers Run's graceful parking.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	var running []*campaignRec
+	for _, id := range m.order {
+		if c := m.campaigns[id]; c.coord != nil {
+			running = append(running, c)
+		}
+	}
+	m.stopped = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, c := range running {
+		c.coord.Close()
+		c.coord = nil
+		m.mu.Lock()
+		c.state = StateQueued
+		m.mu.Unlock()
+	}
+}

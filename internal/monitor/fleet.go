@@ -1,0 +1,48 @@
+package monitor
+
+import (
+	"cmfuzz/internal/fleet"
+	"cmfuzz/internal/telemetry/metrics"
+)
+
+// RegisterFleet publishes the fleet scheduler's campaign table on reg,
+// from a snapshot function (typically Manager.Status):
+//
+//	cmfuzz_campaigns{state=...}              campaigns per lifecycle state
+//	cmfuzz_campaign_clock_seconds{...}       virtual-clock progress
+//	cmfuzz_campaign_horizon_seconds{...}     virtual-clock budget
+//	cmfuzz_campaign_edges{...}               union coverage so far
+//	cmfuzz_campaign_execs{...}               executions so far
+//	cmfuzz_campaign_slices{...}              scheduler quanta received
+//
+// Per-campaign series are labeled campaign=<id>,subject=<protocol>.
+// Values come from the manager's slice-boundary snapshots, so scraping
+// never contends with a campaign mid-advance. Nil registry or snapshot
+// is a no-op.
+func RegisterFleet(reg *metrics.Registry, snap func() []fleet.CampaignStatus) {
+	if reg == nil || snap == nil {
+		return
+	}
+	reg.Collect(func(set func(name, help string, value float64, labels ...metrics.Label)) {
+		byState := map[string]int{}
+		for _, cs := range snap() {
+			byState[cs.State]++
+			cl := metrics.L("campaign", cs.ID)
+			sl := metrics.L("subject", cs.Subject)
+			set("cmfuzz_campaign_clock_seconds", "Virtual-clock progress of the campaign.",
+				cs.Clock, cl, sl)
+			set("cmfuzz_campaign_horizon_seconds", "Virtual-clock budget of the campaign.",
+				cs.Horizon, cl, sl)
+			set("cmfuzz_campaign_edges", "Union branch coverage observed so far.",
+				float64(cs.Edges), cl, sl)
+			set("cmfuzz_campaign_execs", "Protocol executions spent so far.",
+				float64(cs.Execs), cl, sl)
+			set("cmfuzz_campaign_slices", "Scheduler time slices granted so far.",
+				float64(cs.Slices), cl, sl)
+		}
+		for _, state := range []string{fleet.StateQueued, fleet.StateRunning, fleet.StateDone, fleet.StateFailed} {
+			set("cmfuzz_campaigns", "Campaigns per lifecycle state.",
+				float64(byState[state]), metrics.L("state", state))
+		}
+	})
+}

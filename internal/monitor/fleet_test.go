@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/fleet"
+	"cmfuzz/internal/telemetry/metrics"
+)
+
+// TestAPIMountAndFleetMetrics pins the serve-mode wiring: a handler
+// passed via Options.API answers under /api/ on the same listener as
+// the monitor endpoints, and RegisterFleet exposes the campaign table
+// on /metrics.
+func TestAPIMountAndFleetMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterFleet(reg, func() []fleet.CampaignStatus {
+		return []fleet.CampaignStatus{
+			{ID: "dns-a", Subject: "DNS", State: fleet.StateRunning, Clock: 450, Horizon: 1800, Edges: 900, Execs: 451, Slices: 3},
+			{ID: "mqtt-b", Subject: "MQTT", State: fleet.StateQueued, Horizon: 900},
+		}
+	})
+	api := http.NewServeMux()
+	api.HandleFunc("/api/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("pong"))
+	})
+	s, err := Start("127.0.0.1:0", Options{Registry: reg, API: api})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if code, _, body := get(t, s.URL()+"/api/ping"); code != 200 || body != "pong" {
+		t.Fatalf("/api/ping = %d %q", code, body)
+	}
+	_, _, metricsBody := get(t, s.URL()+"/metrics")
+	for _, want := range []string{
+		`cmfuzz_campaigns{state="running"} 1`,
+		`cmfuzz_campaigns{state="queued"} 1`,
+		`cmfuzz_campaigns{state="done"} 0`,
+		`cmfuzz_campaign_edges{campaign="dns-a",subject="DNS"} 900`,
+		`cmfuzz_campaign_slices{campaign="dns-a",subject="DNS"} 3`,
+		`cmfuzz_campaign_horizon_seconds{campaign="mqtt-b",subject="MQTT"} 900`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+	// The status endpoint must keep working with the API mounted.
+	if code, _, _ := get(t, s.URL()+"/status"); code != 200 {
+		t.Fatalf("/status = %d", code)
+	}
+}

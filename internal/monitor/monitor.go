@@ -15,6 +15,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -33,6 +34,11 @@ type Options struct {
 
 	// Status returns the object serialized on /status.
 	Status func() any
+
+	// API, when set, is mounted under /api/ — the fleet service plugs
+	// its campaign-control endpoints (submit/status/results) in here so
+	// one listener serves both the human monitor and the machine API.
+	API http.Handler
 }
 
 // A Server is one running monitor listener.
@@ -71,6 +77,9 @@ func Handler(opts Options) http.Handler {
 			}
 		}
 	})
+	if opts.API != nil {
+		mux.Handle("/api/", opts.API)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -131,12 +140,28 @@ func (s *Server) URL() string {
 	return "http://" + s.Addr()
 }
 
-// Close stops the listener and waits for the serve loop to exit.
+// closeGrace bounds how long Close waits for in-flight requests before
+// forcibly dropping their connections. A variable so tests can pin the
+// forced-close fallback without a multi-second wait.
+var closeGrace = 2 * time.Second
+
+// Close stops the listener, lets in-flight requests finish (a fleet
+// client mid-submit must not see a reset after the server already
+// accepted its campaign), and waits for the serve loop to exit.
+// Requests still running after a short grace period are cut off so a
+// stuck handler cannot wedge process shutdown.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	err := s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Grace expired (or the context machinery failed): fall back to
+		// the abortive close rather than hanging forever.
+		s.srv.Close()
+	}
 	<-s.done
 	return err
 }

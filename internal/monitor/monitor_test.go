@@ -309,3 +309,97 @@ func TestExecRateGauge(t *testing.T) {
 		t.Fatalf("post-reset rate = %v, want 0", got)
 	}
 }
+
+// TestCloseLetsInflightRequestFinish pins the graceful-shutdown fix: a
+// request already being handled when Close is called must complete with
+// its full response, not be cut off by an abortive connection close.
+func TestCloseLetsInflightRequestFinish(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := Start("127.0.0.1:0", Options{
+		Status: func() any {
+			close(entered)
+			<-release
+			return map[string]string{"slow": "but complete"}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL() + "/status")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		done <- result{status: resp.StatusCode, body: string(body)}
+	}()
+
+	<-entered // the handler is now mid-request
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Close must wait for the handler; give it a moment to prove it is
+	// blocked rather than aborting, then let the handler finish.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", r.err)
+	}
+	if r.status != http.StatusOK || !strings.Contains(r.body, "but complete") {
+		t.Fatalf("in-flight request truncated: status %d, body %q", r.status, r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseForcesStuckRequests pins the fallback: a handler that never
+// returns must not wedge Close past the grace period.
+func TestCloseForcesStuckRequests(t *testing.T) {
+	old := closeGrace
+	closeGrace = 50 * time.Millisecond
+	defer func() { closeGrace = old }()
+
+	entered := make(chan struct{})
+	srv, err := Start("127.0.0.1:0", Options{
+		Status: func() any {
+			close(entered)
+			select {} // never returns
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get(srv.URL() + "/status")
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err == nil {
+			t.Fatal("Close returned nil despite a stuck request")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a stuck handler")
+	}
+}

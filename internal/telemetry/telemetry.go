@@ -160,6 +160,20 @@ func NewRun(run string) *Recorder {
 	return r
 }
 
+// Restore rebuilds a recorder from a checkpointed event log and counter
+// snapshot, so a resumed campaign appends to the exact state an
+// uninterrupted run would have reached. Events keep whatever run labels
+// they were recorded with; the restored recorder itself stamps nothing,
+// matching New.
+func Restore(events []Event, counters Counters) *Recorder {
+	r := New()
+	r.events = append(r.events, events...)
+	for k, v := range counters {
+		r.counters[k] = v
+	}
+	return r
+}
+
 // Enabled reports whether events are actually collected.
 func (r *Recorder) Enabled() bool { return r != nil }
 
