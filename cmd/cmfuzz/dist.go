@@ -55,6 +55,7 @@ func cmdCoordinator(args []string) error {
 	outDir := fs.String("out", "", "write artifacts (result.json, coverage.csv, crashes/) to this directory")
 	telemetryOn := fs.Bool("telemetry", false, "collect structured events; print the timeline and counters")
 	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
+	tracePath := fs.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file, with worker spans stitched in as extra process lanes")
 	monitorAddr := fs.String("monitor", "", "serve /status, /metrics, /healthz and /debug/pprof on this host:port (implies -telemetry)")
 	fs.Parse(args)
 	sub, err := getSubject(*name)
@@ -68,6 +69,7 @@ func cmdCoordinator(args []string) error {
 	sess, err := monitor.StartSession(monitor.SessionConfig{
 		Telemetry:   *telemetryOn,
 		EventsPath:  *eventsPath,
+		TracePath:   *tracePath,
 		MonitorAddr: *monitorAddr,
 		RootSpan:    "coordinator",
 	})
@@ -88,6 +90,12 @@ func cmdCoordinator(args []string) error {
 		Trace:        sess.Root,
 		Progress:     sess.Progress,
 	}, dist.Config{})
+	leaseLat := sess.Registry.Histogram("cmfuzz_lease_latency_seconds",
+		"Round-trip time of one worker lease RPC, request encode to reply decode.", nil)
+	coord.SetObserver(dist.Observer{
+		Lease: func(_, _, _, _ int, seconds float64, _ bool) { leaseLat.Observe(seconds) },
+		Death: func(worker string) { fmt.Fprintf(os.Stderr, "cmfuzz: worker %s died; reassigning its instances\n", worker) },
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

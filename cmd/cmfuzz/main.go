@@ -339,9 +339,11 @@ func finishSession(sess *monitor.Session, show bool) error {
 
 // cmdPromlint validates a Prometheus text exposition (a /metrics scrape)
 // from the given file or stdin — the CI monitor smoke pipes curl output
-// through it.
+// through it. -strict adds the repo's naming conventions (counters end
+// _total, lowercase snake names, HELP+TYPE on every family).
 func cmdPromlint(args []string) error {
 	fs := flag.NewFlagSet("promlint", flag.ExitOnError)
+	strict := fs.Bool("strict", false, "also enforce naming conventions (counter _total suffix, lowercase names, HELP required)")
 	fs.Parse(args)
 	in, src := os.Stdin, "stdin"
 	if fs.NArg() > 0 {
@@ -352,7 +354,11 @@ func cmdPromlint(args []string) error {
 		defer f.Close()
 		in, src = f, fs.Arg(0)
 	}
-	stats, err := metrics.Lint(in)
+	lint := metrics.Lint
+	if *strict {
+		lint = metrics.LintStrict
+	}
+	stats, err := lint(in)
 	if err != nil {
 		return fmt.Errorf("promlint: %s: %w", src, err)
 	}

@@ -69,6 +69,7 @@ func cmdServe(args []string) error {
 	reg := metrics.NewRegistry()
 	monitor.RegisterWorkers(reg, pool.Workers, nil)
 	monitor.RegisterFleet(reg, m.Status)
+	m.Instrument(reg)
 	srv, err := monitor.Start(*monitorAddr, monitor.Options{
 		Registry: reg,
 		Status: func() any {

@@ -8,6 +8,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 // benchOpts is the shared workload: the same campaign the byte-identity
@@ -52,6 +53,31 @@ func BenchmarkDistLoopback(b *testing.B) {
 		leaseBytes = coord.Stats().SyncBytes
 	}
 	b.ReportMetric(float64(leaseBytes), "lease-bytes/op")
+}
+
+// BenchmarkLeaseTraceOverhead is BenchmarkDistLoopback with
+// cross-process tracing on: workers record per-lease spans, ship them
+// in every lease reply, and the coordinator stitches them. Compare
+// ns/op against BenchmarkDistLoopback — the issue budget for the whole
+// span pipeline (record, encode, decode, ingest) is under 5% of wall
+// time; spans/op reports how much span traffic that bought.
+func BenchmarkLeaseTraceOverhead(b *testing.B) {
+	sub := mustSubjectB(b, "DNS")
+	b.ReportAllocs()
+	var spans int
+	for i := 0; i < b.N; i++ {
+		tracer := trace.New()
+		root := tracer.Start("coordinator")
+		opts := benchOpts()
+		opts.Trace = root
+		_, _, err := dist.RunLocal(context.Background(), sub, opts, 2, dist.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+		spans = tracer.SpanCount()
+	}
+	b.ReportMetric(float64(spans), "spans/op")
 }
 
 func mustSubjectB(b *testing.B, name string) subject.Subject {

@@ -362,12 +362,13 @@ func (c *Coordinator) Restore(ctx context.Context, data []byte) error {
 		return err
 	}
 
+	c.tracer = opts.Trace.Tracer()
 	wireOpts := opts
 	wireOpts.Telemetry = nil
 	wireOpts.Trace = nil
 	wireOpts.Progress = nil
 	wireOpts.Label = ""
-	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Opts: wireOpts, Specs: ck.specs})
+	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Trace: opts.Trace != nil, Opts: wireOpts, Specs: ck.specs})
 	for _, wc := range workers {
 		if _, err := wc.rpc(msgAssign, assignPayload, msgAssignOK, c.cfg.RPCTimeout); err != nil {
 			return fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)

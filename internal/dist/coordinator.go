@@ -127,6 +127,21 @@ type WorkerStatus struct {
 	LastReply time.Time
 }
 
+// An Observer receives dist-layer operational callbacks. Like Stats it
+// lives outside the telemetry counter map — wire timings and byte
+// counts must never leak into campaign artifacts. The zero Observer is
+// a no-op.
+type Observer struct {
+	// Lease fires after every successful lease round-trip with the
+	// replayable record count, request/reply payload sizes, and the
+	// wall-clock round-trip time. Called from per-worker dispatcher
+	// goroutines; implementations must be safe for concurrent use.
+	Lease func(instance, records, reqBytes, repBytes int, seconds float64, syncDue bool)
+	// Death fires when the campaign loop declares a worker dead, once
+	// per worker per campaign (after the Stats/telemetry accounting).
+	Death func(worker string)
+}
+
 // Stats aggregates the distributed-run bookkeeping that exists only in
 // dist (lease traffic, failures). It deliberately lives outside the
 // telemetry counter map: byte counts depend on wire encoding, and
@@ -172,6 +187,11 @@ type Coordinator struct {
 	dispWG sync.WaitGroup
 
 	st *runState
+	// tracer is the campaign tracer (nil when tracing is off): worker
+	// span records from lease replies are ingested into it under
+	// per-worker process lanes.
+	tracer *trace.Tracer
+	obs    Observer
 	// deathCounted dedups worker-death accounting per campaign (the
 	// replay loop may notice the same dead worker many times; a shared
 	// pool may have many campaigns each noticing it once).
@@ -222,6 +242,10 @@ func (c *Coordinator) AddConn(conn net.Conn) error { return c.pool.AddConn(conn)
 
 // Workers snapshots every registered worker for the monitor bridge.
 func (c *Coordinator) Workers() []WorkerStatus { return c.pool.Workers() }
+
+// SetObserver installs obs. Call before Start or Restore; the campaign
+// never mutates it afterwards.
+func (c *Coordinator) SetObserver(obs Observer) { c.obs = obs }
 
 // Stats reports the dist-only bookkeeping. Safe to call concurrently
 // with Run.
@@ -300,8 +324,9 @@ type runState struct {
 
 // A leaseJob is one lease RPC queued on a worker's dispatcher.
 type leaseJob struct {
-	payload []byte
-	ch      chan leaseReply
+	instance int
+	payload  []byte
+	ch       chan leaseReply
 }
 
 // A leaseReply is a decoded lease result (or the transport/decode
@@ -320,12 +345,13 @@ type leaseReply struct {
 func (c *Coordinator) dispatcher(wc *workerConn, jobs <-chan leaseJob) {
 	defer c.dispWG.Done()
 	for job := range jobs {
+		t0 := time.Now()
 		p, err := wc.rpc(msgLease, job.payload, msgLeaseResult, c.cfg.RPCTimeout)
 		if err != nil {
 			job.ch <- leaseReply{err: err}
 			continue
 		}
-		recs, syncDue, err := decodeLeaseResult(p)
+		recs, syncDue, spans, workerNow, err := decodeLeaseResult(p)
 		if err != nil {
 			wc.dead.Store(true)
 			job.ch <- leaseReply{err: err}
@@ -339,10 +365,21 @@ func (c *Coordinator) dispatcher(wc *workerConn, jobs <-chan leaseJob) {
 			job.ch <- leaseReply{err: errors.New("dist: empty lease reply")}
 			continue
 		}
+		if len(spans) > 0 {
+			// Align the worker timeline to ours: the worker's clock read
+			// at encode time maps to now, so worker spans land where the
+			// reply arrived (shifted late by the return wire time — a
+			// bounded skew this layer cannot observe, documented in
+			// DESIGN.md).
+			c.tracer.IngestForeign(wc.name, c.tracer.Now()-workerNow, spans)
+		}
 		wc.execs.Add(int64(len(recs)))
 		nb := int64(len(job.payload) + len(p))
 		wc.syncBytes.Add(nb)
 		c.syncBytes.Add(nb)
+		if c.obs.Lease != nil {
+			c.obs.Lease(job.instance, len(recs), len(job.payload), len(p), time.Since(t0).Seconds(), syncDue)
+		}
 		job.ch <- leaseReply{recs: recs, syncDue: syncDue}
 	}
 }
@@ -356,7 +393,7 @@ func (c *Coordinator) dispatch(st *runState, i int) {
 	st.batch[i] = nil
 	st.pos[i] = 0
 	st.inflight[i] = true
-	st.jobs[st.owner[i].id] <- leaseJob{payload: encodeLease(l), ch: st.replyCh[i]}
+	st.jobs[st.owner[i].id] <- leaseJob{instance: i, payload: encodeLease(l), ch: st.replyCh[i]}
 }
 
 // fill consumes instance i's in-flight lease reply into its batch,
@@ -425,6 +462,9 @@ func (c *Coordinator) markDead(wc *workerConn, tel *telemetry.Recorder) {
 		c.deathCounted[wc] = true
 		c.workerDeaths.Add(1)
 		tel.Count(telemetry.CtrWorkerDeaths, 1)
+		if c.obs.Death != nil {
+			c.obs.Death(wc.name)
+		}
 	}
 }
 
@@ -578,13 +618,17 @@ func (c *Coordinator) Start(ctx context.Context) error {
 
 	// Ship the whole plan to every worker: each boots only the
 	// instances it is told to, but holding all specs lets any worker
-	// adopt a reassigned instance later.
+	// adopt a reassigned instance later. Observability sinks are
+	// stripped from the wire options (workers replay into none of
+	// them); the Trace flag alone asks workers to run their own tracer
+	// and ship span records back for stitching.
+	c.tracer = opts.Trace.Tracer()
 	wireOpts := opts
 	wireOpts.Telemetry = nil
 	wireOpts.Trace = nil
 	wireOpts.Progress = nil
 	wireOpts.Label = ""
-	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Opts: wireOpts, Specs: plan.Specs})
+	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Trace: opts.Trace != nil, Opts: wireOpts, Specs: plan.Specs})
 	for _, wc := range workers {
 		if _, err := wc.rpc(msgAssign, assignPayload, msgAssignOK, c.cfg.RPCTimeout); err != nil {
 			return fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)

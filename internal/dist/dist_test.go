@@ -14,6 +14,7 @@ import (
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 )
 
 func mustSubject(t *testing.T, name string) subject.Subject {
@@ -105,8 +106,15 @@ func TestLoopbackMatchesInProcess(t *testing.T) {
 			serveErr <- w.Serve(conn)
 		}(i)
 	}
+	// Tracing on for the distributed side only: spans must never reach
+	// the artifacts, so the byte-for-byte diff below doubles as the
+	// observation-only guarantee for cross-process tracing.
+	tracer := trace.New()
+	troot := tracer.Start("coordinator")
 	recB := telemetry.New()
-	coord := dist.NewCoordinator(sub, baseOptions(recB), dist.Config{})
+	optsB := baseOptions(recB)
+	optsB.Trace = troot
+	coord := dist.NewCoordinator(sub, optsB, dist.Config{})
 	for i := 0; i < workers; i++ {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -122,6 +130,16 @@ func TestLoopbackMatchesInProcess(t *testing.T) {
 	}
 	for i := 0; i < workers; i++ {
 		<-serveErr
+	}
+	troot.End()
+	foreign := 0
+	for _, r := range tracer.Records() {
+		if r.Process != "" {
+			foreign++
+		}
+	}
+	if foreign == 0 {
+		t.Fatal("no worker spans were stitched into the coordinator trace")
 	}
 	dirB := filepath.Join(t.TempDir(), "dist")
 	writeAll(t, dirB, resB, recB)

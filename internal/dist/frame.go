@@ -50,8 +50,12 @@ const maxFrame = 64 << 20
 // namespaces every instance-addressed message with a campaign id, so
 // one worker can host instances from many concurrent campaigns (the
 // fleet service), and adds the Release RPC that retires one campaign's
-// instances without tearing the connection down.
-const protocolVersion = 3
+// instances without tearing the connection down. Version 4 adds
+// cross-process tracing: Assign carries a Trace flag, and every lease
+// reply ends with a span-record section (empty when tracing is off)
+// plus the worker's tracer clock, so the coordinator can stitch worker
+// spans into one aligned Chrome trace.
+const protocolVersion = 4
 
 // Message types.
 const (

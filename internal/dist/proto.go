@@ -2,8 +2,10 @@ package dist
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/core/configmodel"
@@ -11,6 +13,7 @@ import (
 	"cmfuzz/internal/fuzz"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 	"cmfuzz/internal/wire"
 )
 
@@ -110,8 +113,13 @@ func decodeHello(p []byte) (hello, error) {
 type assign struct {
 	Campaign uint32
 	Subject  string
-	Opts     parallel.Options
-	Specs    []parallel.InstanceSpec
+	// Trace asks the worker to run its own span tracer over lease
+	// execution and ship completed records back in lease replies.
+	// Timing observation only — it never influences execution, so
+	// traced and untraced campaigns stay byte-identical.
+	Trace bool
+	Opts  parallel.Options
+	Specs []parallel.InstanceSpec
 }
 
 func encodeOptions(w *wire.Writer, o parallel.Options) {
@@ -186,6 +194,7 @@ func encodeAssign(a assign) []byte {
 	w := &wire.Writer{}
 	w.U32(a.Campaign)
 	w.String16(a.Subject)
+	putBool(w, a.Trace)
 	encodeOptions(w, a.Opts)
 	w.U16(uint16(len(a.Specs)))
 	for _, s := range a.Specs {
@@ -196,7 +205,7 @@ func encodeAssign(a assign) []byte {
 
 func decodeAssign(p []byte) (assign, error) {
 	r := wire.NewReader(p)
-	a := assign{Campaign: r.U32(), Subject: r.String16(), Opts: decodeOptions(r)}
+	a := assign{Campaign: r.U32(), Subject: r.String16(), Trace: getBool(r), Opts: decodeOptions(r)}
 	n := int(r.U16())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		a.Specs = append(a.Specs, decodeSpec(r))
@@ -583,37 +592,86 @@ func putLeaseRecord(w *wire.Writer, rec *leaseRecord) {
 	}
 }
 
+// putSpanRecords appends the span-record section that closes every
+// lease reply: a count, each completed span (id/parent/track/name/
+// start/end/attrs — attribute values flattened to strings with %v),
+// then the worker's tracer clock at encode time so the coordinator can
+// align the worker timeline with its own. With tracing off the section
+// is a count of zero and a zero clock (~12 bytes).
+func putSpanRecords(w *wire.Writer, recs []trace.Record, now time.Duration) {
+	w.U32(uint32(len(recs)))
+	for _, rec := range recs {
+		putI64(w, int64(rec.ID))
+		putI64(w, int64(rec.Parent))
+		w.U16(uint16(rec.Track))
+		w.String16(rec.Name)
+		putI64(w, int64(rec.Start))
+		putI64(w, int64(rec.End))
+		w.U8(byte(len(rec.Attrs)))
+		for _, a := range rec.Attrs {
+			w.String16(a.Key)
+			w.String32(fmt.Sprint(a.Value))
+		}
+	}
+	putI64(w, int64(now))
+}
+
+// getSpanRecords parses the span-record section and the worker clock.
+func getSpanRecords(r *wire.Reader) ([]trace.Record, time.Duration) {
+	n := int(r.U32())
+	var recs []trace.Record
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rec := trace.Record{
+			ID:     int(getI64(r)),
+			Parent: int(getI64(r)),
+			Track:  int(r.U16()),
+			Name:   r.String16(),
+			Start:  time.Duration(getI64(r)),
+			End:    time.Duration(getI64(r)),
+		}
+		attrs := int(r.U8())
+		for j := 0; j < attrs && r.Err() == nil; j++ {
+			rec.Attrs = append(rec.Attrs, trace.A(r.String16(), r.String32()))
+		}
+		recs = append(recs, rec)
+	}
+	return recs, time.Duration(getI64(r))
+}
+
 // decodeLeaseResult parses a consolidated lease reply: step records up
-// to the leaseEnd terminator, then whether the instance stopped at its
-// sync boundary (false means it ran out the campaign horizon).
-func decodeLeaseResult(p []byte) ([]leaseRecord, bool, error) {
+// to the leaseEnd terminator, whether the instance stopped at its sync
+// boundary (false means it ran out the campaign horizon), then the
+// span-record section (worker trace spans plus the worker's tracer
+// clock; empty with a zero clock when tracing is off).
+func decodeLeaseResult(p []byte) ([]leaseRecord, bool, []trace.Record, time.Duration, error) {
 	r := wire.NewReader(p)
 	var recs []leaseRecord
 	for {
 		flags := r.U8()
 		if r.Err() != nil {
-			return nil, false, r.Err()
+			return nil, false, nil, 0, r.Err()
 		}
 		if flags == leaseEnd {
 			break
 		}
 		if flags&^byte(leaseFlagsKnown) != 0 {
-			return nil, false, ErrProto
+			return nil, false, nil, 0, ErrProto
 		}
 		rec, err := getLeaseRecord(r, flags)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, 0, err
 		}
 		recs = append(recs, rec)
 	}
 	syncDue := getBool(r)
+	spans, workerNow := getSpanRecords(r)
 	if r.Err() != nil {
-		return nil, false, r.Err()
+		return nil, false, nil, 0, r.Err()
 	}
 	if !r.Empty() {
-		return nil, false, ErrProto
+		return nil, false, nil, 0, ErrProto
 	}
-	return recs, syncDue, nil
+	return recs, syncDue, spans, workerNow, nil
 }
 
 func putSeeds(w *wire.Writer, seeds []fuzz.Seed) {

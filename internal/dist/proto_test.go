@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+	"time"
 
 	"cmfuzz/internal/bugs"
 	"cmfuzz/internal/core/configmodel"
@@ -11,6 +12,7 @@ import (
 	"cmfuzz/internal/fuzz"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/trace"
 	"cmfuzz/internal/wire"
 )
 
@@ -128,7 +130,8 @@ func TestLeaseRoundTrip(t *testing.T) {
 }
 
 // encodeLeaseResult assembles a reply the way the worker does: records
-// through appendLeaseStep, then the terminator and syncDue flag.
+// through appendLeaseStep, the terminator and syncDue flag, then the
+// span-record section (empty here, as with tracing off).
 func encodeLeaseResult(steps []parallel.LeaseStep, syncDue bool) []byte {
 	w := &wire.Writer{}
 	for i := range steps {
@@ -136,6 +139,7 @@ func encodeLeaseResult(steps []parallel.LeaseStep, syncDue bool) []byte {
 	}
 	w.U8(leaseEnd)
 	putBool(w, syncDue)
+	putSpanRecords(w, nil, 0)
 	return w.Bytes()
 }
 
@@ -164,9 +168,12 @@ func TestLeaseResultRoundTrip(t *testing.T) {
 			Config: "udp=on", Coverage: 345,
 		},
 	}
-	recs, syncDue, err := decodeLeaseResult(encodeLeaseResult(steps, true))
+	recs, syncDue, spans, workerNow, err := decodeLeaseResult(encodeLeaseResult(steps, true))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(spans) != 0 || workerNow != 0 {
+		t.Fatalf("untraced reply carried spans: %v clock %v", spans, workerNow)
 	}
 	if !syncDue {
 		t.Fatal("syncDue lost")
@@ -191,7 +198,7 @@ func TestLeaseResultRoundTrip(t *testing.T) {
 
 	// Unknown flag bits and an edges flag without edges are protocol
 	// violations, not silent zero values.
-	if _, _, err := decodeLeaseResult([]byte{0x08, 0x00, leaseEnd, 0}); err == nil {
+	if _, _, _, _, err := decodeLeaseResult([]byte{0x08, 0x00, leaseEnd, 0}); err == nil {
 		t.Fatal("unknown flag bits accepted")
 	}
 	bad := &wire.Writer{}
@@ -202,8 +209,51 @@ func TestLeaseResultRoundTrip(t *testing.T) {
 	bad.U8(0)
 	bad.U8(leaseEnd)
 	putBool(bad, false)
-	if _, _, err := decodeLeaseResult(bad.Bytes()); err == nil {
+	putSpanRecords(bad, nil, 0)
+	if _, _, _, _, err := decodeLeaseResult(bad.Bytes()); err == nil {
 		t.Fatal("edges flag with zero newEdges accepted")
+	}
+}
+
+func TestLeaseResultSpanSectionRoundTrip(t *testing.T) {
+	steps := []parallel.LeaseStep{{Bytes: 41}}
+	spans := []trace.Record{
+		{ID: 0, Parent: -1, Track: 0, Name: "lease", Start: 0, End: 5 * time.Millisecond,
+			Attrs: []trace.Attr{{Key: "instance", Value: "2"}}},
+		{ID: 1, Parent: 0, Track: 0, Name: "lease.steps", Start: time.Millisecond, End: 4 * time.Millisecond},
+	}
+	w := &wire.Writer{}
+	for i := range steps {
+		appendLeaseStep(w, &steps[i])
+	}
+	w.U8(leaseEnd)
+	putBool(w, false)
+	putSpanRecords(w, spans, 6*time.Millisecond)
+
+	recs, syncDue, gotSpans, workerNow, err := decodeLeaseResult(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || syncDue {
+		t.Fatalf("step records diverged: %d recs, syncDue=%v", len(recs), syncDue)
+	}
+	if workerNow != 6*time.Millisecond {
+		t.Fatalf("worker clock = %v, want 6ms", workerNow)
+	}
+	if !reflect.DeepEqual(gotSpans, spans) {
+		t.Fatalf("spans diverged:\n got %+v\nwant %+v", gotSpans, spans)
+	}
+	// Attribute values of any type flatten to strings on the wire.
+	w2 := &wire.Writer{}
+	w2.U8(leaseEnd)
+	putBool(w2, false)
+	putSpanRecords(w2, []trace.Record{{Parent: -1, Name: "x", Attrs: []trace.Attr{{Key: "n", Value: 42}}}}, 0)
+	_, _, s2, _, err := decodeLeaseResult(w2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2[0].Attrs[0].Value != "42" {
+		t.Fatalf("attr value = %v, want \"42\"", s2[0].Attrs[0].Value)
 	}
 }
 
@@ -253,7 +303,7 @@ func TestDecodeMalformed(t *testing.T) {
 	decoders := []func([]byte) error{
 		func(p []byte) error { _, err := decodeAssign(p); return err },
 		func(p []byte) error { _, err := decodeLease(p); return err },
-		func(p []byte) error { _, _, err := decodeLeaseResult(p); return err },
+		func(p []byte) error { _, _, _, _, err := decodeLeaseResult(p); return err },
 		func(p []byte) error { _, err := decodeBootResult(p); return err },
 		func(p []byte) error { _, err := decodeInstanceResult(p); return err },
 		func(p []byte) error { _, err := decodeHello(p); return err },

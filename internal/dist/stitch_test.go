@@ -1,0 +1,103 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/dist"
+	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/telemetry/trace"
+)
+
+// structureOf renders a span-record set as a canonical structure
+// string: one tree per process lane, nodes labeled by span name, each
+// node's children sorted by their own canonical rendering. Wall-clock
+// times and attributes are deliberately excluded — the structure is
+// what determinism guarantees; durations are physics.
+func structureOf(recs []trace.Record) string {
+	type key struct {
+		proc string
+		id   int
+	}
+	children := make(map[key][]key, len(recs))
+	names := make(map[key]string, len(recs))
+	var roots []key
+	for _, r := range recs {
+		k := key{r.Process, r.ID}
+		names[k] = r.Name
+		pk := key{r.Process, r.Parent}
+		if r.Parent < 0 {
+			roots = append(roots, k)
+		} else {
+			children[pk] = append(children[pk], k)
+		}
+	}
+	// A child whose parent never completed (or was drained earlier)
+	// still needs a home: promote orphans to roots of their lane.
+	for pk, ck := range children {
+		if _, ok := names[pk]; !ok {
+			roots = append(roots, ck...)
+			delete(children, pk)
+		}
+	}
+	var render func(k key) string
+	render = func(k key) string {
+		kids := make([]string, 0, len(children[k]))
+		for _, c := range children[k] {
+			kids = append(kids, render(c))
+		}
+		sort.Strings(kids)
+		return names[k] + "(" + strings.Join(kids, ",") + ")"
+	}
+	byProc := map[string][]string{}
+	for _, r := range roots {
+		byProc[r.proc] = append(byProc[r.proc], render(r))
+	}
+	procs := make([]string, 0, len(byProc))
+	for p := range byProc {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	var b strings.Builder
+	for _, p := range procs {
+		trees := byProc[p]
+		sort.Strings(trees)
+		fmt.Fprintf(&b, "[%s] %s\n", p, strings.Join(trees, " "))
+	}
+	return b.String()
+}
+
+// TestTraceStitchingDeterministic runs the same 2-worker campaign twice
+// with tracing on: the stitched span trees must be structurally equal —
+// same names, same nesting, same process lanes — even though every wall
+// time differs. RunLocal names its workers local-0/local-1
+// deterministically, so the lanes line up run to run.
+func TestTraceStitchingDeterministic(t *testing.T) {
+	run := func() string {
+		sub := mustSubject(t, "DNS")
+		tracer := trace.New()
+		root := tracer.Start("coordinator")
+		opts := parallel.Options{
+			Mode: parallel.ModeCMFuzz, VirtualHours: 0.25, Seed: 11,
+			Concurrency: 1, Trace: root,
+		}
+		if _, _, err := dist.RunLocal(context.Background(), sub, opts, 2, dist.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return structureOf(tracer.Records())
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("stitched trace structure diverged between identical runs:\n--- run A ---\n%s--- run B ---\n%s", a, b)
+	}
+	for _, want := range []string{"[local-0]", "[local-1]", "lease(", "lease.steps("} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("stitched structure missing %q:\n%s", want, a)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"cmfuzz/internal/coverage"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry/trace"
 	"cmfuzz/internal/wire"
 )
 
@@ -55,6 +56,12 @@ type workerCampaign struct {
 	specs    map[int]parallel.InstanceSpec
 	insts    map[int]*parallel.Instance
 	reported map[int]*repState // coverage already flushed to the coordinator
+	// tracer collects this campaign's lease spans when the Assign asked
+	// for tracing (nil otherwise). Per campaign, not per worker, so one
+	// connection hosting many fleet campaigns never mixes their spans.
+	// Serve is single-threaded, so every span is ended before the
+	// reply's DrainRecords and the drain is always complete.
+	tracer *trace.Tracer
 }
 
 func (wc *workerCampaign) closeInstances() {
@@ -206,6 +213,9 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 			insts:    make(map[int]*parallel.Instance),
 			reported: make(map[int]*repState),
 		}
+		if a.Trace {
+			wc.tracer = trace.New()
+		}
 		for _, s := range a.Specs {
 			wc.specs[s.Index] = s
 		}
@@ -259,6 +269,7 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		}), nil
 
 	case msgLease:
+		decStart := time.Now()
 		l, err := decodeLease(payload)
 		if err != nil {
 			return 0, nil, err
@@ -271,8 +282,17 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if in == nil {
 			return 0, nil, fmt.Errorf("dist: lease for unbooted instance %d", l.Index)
 		}
+		// Worker-side lease spans (no-ops when tracing is off): the root
+		// covers the whole handler, with decode backfilled via Complete
+		// since it ran before the root could open.
+		tr := wc.tracer
+		root := tr.Start("lease", trace.A("instance", l.Index))
+		now := tr.Now()
+		root.Complete("lease.decode", now-time.Since(decStart), now, trace.A("bytes", len(payload)))
 		if len(l.Seeds) > 0 {
+			absorb := root.Child("corpus.absorb", trace.A("seeds", len(l.Seeds)))
 			in.ImportSeeds(l.Seeds)
+			absorb.End()
 		}
 		rep := wc.reported[l.Index]
 		w.enc.Reset()
@@ -298,15 +318,27 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 				rep.m.ApplyDelta(rec.Delta)
 			}
 		}
+		records := 0
 		afterRecord := func(rec *parallel.LeaseStep) {
 			if rec.SatFired {
 				rep.fullScan = true
 			}
+			records++
 			appendLeaseStep(&w.enc, rec)
 		}
+		steps := root.Child("lease.steps")
 		syncDue := in.StepN(l.Boundary, l.Horizon, afterStep, afterRecord)
+		steps.Set("records", records)
+		steps.End()
+		encStart := tr.Now()
 		w.enc.U8(leaseEnd)
 		putBool(&w.enc, syncDue)
+		root.Complete("lease.encode", encStart, tr.Now())
+		root.End()
+		// The span section rides after the terminator: everything above
+		// has ended, so the drain is complete and the reply carries this
+		// lease's whole span tree (plus the worker clock for alignment).
+		putSpanRecords(&w.enc, tr.DrainRecords(), tr.Now())
 		return msgLeaseResult, w.enc.Bytes(), nil
 
 	case msgFinalize:

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"os"
 
@@ -36,6 +37,10 @@ func readSpec(path string) (CampaignSpec, error) {
 //	GET  /api/status   {"campaigns": [CampaignStatus, ...]}
 //	GET  /api/results?id=X
 //	                   final result.json; 404 unknown, 409 not done
+//	GET  /api/flight?id=X
+//	                   live flight-recorder snapshot; 404 unknown
+//	GET  /api/events   Server-Sent Events stream of StreamEvent JSON,
+//	                   one `event: <type>` + `data: <json>` per event
 func (m *Manager) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -84,6 +89,52 @@ func (m *Manager) APIHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(raw)
+	})
+
+	mux.HandleFunc("/api/flight", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		doc, ok := m.Flight(id)
+		if !ok {
+			http.Error(w, "unknown campaign "+id, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+
+	mux.HandleFunc("/api/events", func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		// An immediate comment line commits the headers so clients see
+		// the stream open before the first event lands.
+		fmt.Fprint(w, ": cmfuzz fleet event stream\n\n")
+		fl.Flush()
+		ch, cancel := m.events.subscribe()
+		defer cancel()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, ok := <-ch:
+				if !ok {
+					return
+				}
+				raw, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, raw)
+				fl.Flush()
+			}
+		}
 	})
 
 	return mux

@@ -25,6 +25,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -39,6 +40,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
+	"cmfuzz/internal/telemetry/metrics"
 )
 
 // Config parameterizes a Manager.
@@ -81,6 +83,7 @@ type CampaignStatus struct {
 	Edges   int     `json:"edges"`
 	Execs   int     `json:"execs"`
 	Slices  int     `json:"slices"`
+	Reward  float64 `json:"reward"`
 	Error   string  `json:"error,omitempty"`
 }
 
@@ -109,6 +112,12 @@ type campaignRec struct {
 	horizon float64
 	edges   int
 	execs   int
+
+	// flight is the campaign's flight recorder: a bounded ring of recent
+	// telemetry events, bandit awards, and lease summaries, dumped as
+	// triage.json when something dies. Observation-only — never read by
+	// the scheduler.
+	flight *flightRing
 }
 
 func (c *campaignRec) runnable() bool { return c.state == StateQueued || c.state == StateRunning }
@@ -126,6 +135,35 @@ type Manager struct {
 	campaigns map[string]*campaignRec
 	order     []string
 	stopped   bool
+
+	// events fans lifecycle events out to /api/events subscribers.
+	events *broker
+	// leaseLatency, when instrumented, observes per-lease round-trip
+	// seconds across every campaign on this manager.
+	leaseLatency *metrics.Histogram
+}
+
+// Events exposes the live event feed; the API layer subscribes SSE
+// clients through it.
+func (m *Manager) Events() *broker { return m.events }
+
+// Instrument registers the manager's fleet-level metrics on reg:
+// lease round-trip latency and the lifetime flight-recorder event
+// count. Call once, before Run.
+func (m *Manager) Instrument(reg *metrics.Registry) {
+	m.leaseLatency = reg.Histogram("cmfuzz_lease_latency_seconds",
+		"Round-trip time of one worker lease RPC, request encode to reply decode.", nil)
+	reg.CounterFunc("cmfuzz_flight_events_total",
+		"Flight-recorder events captured across all campaigns (including evicted ones).",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			var total int64
+			for _, c := range m.campaigns {
+				total += c.flight.count()
+			}
+			return float64(total)
+		})
 }
 
 // NewManager opens (or creates) the state directory and recovers every
@@ -147,6 +185,7 @@ func NewManager(cfg Config, pool *dist.Pool, resolve func(string) (subject.Subje
 		pool:      pool,
 		resolve:   resolve,
 		campaigns: make(map[string]*campaignRec),
+		events:    newBroker(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 
@@ -166,10 +205,21 @@ func NewManager(cfg Config, pool *dist.Pool, resolve func(string) (subject.Subje
 		if err != nil {
 			continue // not a campaign dir (or torn before the atomic spec write: never submitted)
 		}
-		rec := &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600}
-		if _, err := os.Stat(filepath.Join(m.dir(spec.ID), "artifacts", "result.json")); err == nil {
+		rec := &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600, flight: newFlightRing()}
+		if raw, err := os.ReadFile(filepath.Join(m.dir(spec.ID), "artifacts", "result.json")); err == nil {
 			rec.state = StateDone
 			rec.clock = rec.horizon
+			// Recover the final figures from the artifact so status and
+			// monitor gauges don't read zero for campaigns completed in a
+			// previous process lifetime.
+			var final struct {
+				FinalBranches int `json:"final_branches"`
+				TotalExecs    int `json:"total_execs"`
+			}
+			if json.Unmarshal(raw, &final) == nil {
+				rec.edges = final.FinalBranches
+				rec.execs = final.TotalExecs
+			}
 		}
 		m.campaigns[spec.ID] = rec
 		m.order = append(m.order, spec.ID)
@@ -224,9 +274,10 @@ func (m *Manager) Submit(spec CampaignSpec) error {
 	if err := writeSpec(filepath.Join(m.dir(spec.ID), "spec.json"), spec); err != nil {
 		return err
 	}
-	m.campaigns[spec.ID] = &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600}
+	m.campaigns[spec.ID] = &campaignRec{spec: spec, state: StateQueued, horizon: spec.Hours * 3600, flight: newFlightRing()}
 	m.order = append(m.order, spec.ID)
 	m.cond.Broadcast()
+	m.events.publish(StreamEvent{Type: "submit", Campaign: spec.ID, State: StateQueued})
 	return nil
 }
 
@@ -271,6 +322,7 @@ func (m *Manager) Status() []CampaignStatus {
 			Edges:   c.edges,
 			Execs:   c.execs,
 			Slices:  c.slices,
+			Reward:  c.reward,
 			Error:   c.err,
 		})
 	}
@@ -307,7 +359,11 @@ const rewardDecay = 0.5
 // exploration bonus is commensurable with the rewards (edge counts per
 // exec vary by orders of magnitude across protocols). Deterministic:
 // ties break toward earlier submission.
-func (m *Manager) pick() *campaignRec {
+//
+// With award set, the decision is recorded in the winner's flight
+// recorder; Run's idle-wait probe passes false so probing never files
+// phantom awards.
+func (m *Manager) pick(award bool) *campaignRec {
 	var cands []*campaignRec
 	total := 0
 	for _, id := range m.order {
@@ -323,6 +379,11 @@ func (m *Manager) pick() *campaignRec {
 	scale := 0.0
 	for _, c := range cands {
 		if c.slices == 0 {
+			if award {
+				// No UCB score exists yet — json can't carry +Inf, so the
+				// record says so explicitly.
+				c.flight.add("award", map[string]any{"untried": true, "total": total})
+			}
 			return c
 		}
 		if c.reward > scale {
@@ -340,7 +401,40 @@ func (m *Manager) pick() *campaignRec {
 			best, bestScore = c, score
 		}
 	}
+	if award {
+		best.flight.add("award", map[string]any{
+			"reward": best.reward,
+			"bonus":  bestScore - best.reward,
+			"slices": best.slices,
+			"total":  total,
+		})
+	}
 	return best
+}
+
+// observer builds c's dist.Observer: lease summaries and worker deaths
+// flow into the flight recorder, lease latency into the histogram, and
+// a death additionally dumps triage.json and hits the event stream.
+// Lease fires from dispatcher goroutines; everything it touches locks.
+func (m *Manager) observer(c *campaignRec) dist.Observer {
+	return dist.Observer{
+		Lease: func(instance, records, reqBytes, repBytes int, seconds float64, syncDue bool) {
+			c.flight.add("lease", map[string]any{
+				"instance":  instance,
+				"records":   records,
+				"req_bytes": reqBytes,
+				"rep_bytes": repBytes,
+				"seconds":   seconds,
+				"sync_due":  syncDue,
+			})
+			m.leaseLatency.Observe(seconds)
+		},
+		Death: func(worker string) {
+			c.flight.add("worker_death", map[string]any{"worker": worker})
+			m.dumpFlight(c, "worker_death")
+			m.events.publish(StreamEvent{Type: "worker_death", Campaign: c.spec.ID, Worker: worker})
+		},
+	}
 }
 
 // ensureStarted brings c's coordinator up: restore from the persisted
@@ -362,6 +456,7 @@ func (m *Manager) ensureStarted(ctx context.Context, c *campaignRec) error {
 	// checkpointed stream byte-for-byte.
 	opts.Telemetry = telemetry.New()
 	coord := dist.NewCoordinatorOn(m.pool, sub, opts)
+	coord.SetObserver(m.observer(c))
 	ckPath := filepath.Join(m.dir(c.spec.ID), "checkpoint.bin")
 	if blob, rerr := os.ReadFile(ckPath); rerr == nil {
 		err = coord.Restore(ctx, blob)
@@ -372,6 +467,11 @@ func (m *Manager) ensureStarted(ctx context.Context, c *campaignRec) error {
 		coord.Close()
 		return err
 	}
+	// Tap after Start/Restore: Restore installs its own recorder, and the
+	// tap must land on whichever one survives. The tap mirrors campaign
+	// telemetry (crashes, config switches) into the flight recorder
+	// without touching the recorder's own event log.
+	coord.Recorder().SetTap(func(ev telemetry.Event) { c.flight.add("telemetry", ev) })
 	clock, edges, execs := coord.Progress()
 	m.mu.Lock()
 	c.coord = coord
@@ -391,6 +491,12 @@ func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
 		return err
 	}
 	coord := c.coord
+	m.mu.Lock()
+	m.events.publish(StreamEvent{
+		Type: "slice_start", Campaign: c.spec.ID, State: c.state,
+		Clock: c.clock, Edges: c.edges, Execs: c.execs,
+	})
+	m.mu.Unlock()
 	target := coord.MinClock() + m.cfg.Slice
 	if h := coord.Horizon(); target > h {
 		target = h
@@ -420,9 +526,19 @@ func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
 		c.coord = nil
 		c.state = StateDone
 		c.clock = coord.Horizon()
+		edgesDelta, execsDelta := res.FinalBranches-c.edges, res.TotalExecs-c.execs
 		c.edges = res.FinalBranches
 		c.execs = res.TotalExecs
 		c.slices++
+		m.events.publish(StreamEvent{
+			Type: "slice_end", Campaign: c.spec.ID, State: StateDone,
+			Clock: c.clock, Edges: c.edges, Execs: c.execs,
+			EdgesDelta: edgesDelta, ExecsDelta: execsDelta, Reward: c.reward,
+		})
+		m.events.publish(StreamEvent{
+			Type: "done", Campaign: c.spec.ID, State: StateDone,
+			Clock: c.clock, Edges: c.edges, Execs: c.execs,
+		})
 		m.mu.Unlock()
 		return nil
 	}
@@ -444,8 +560,17 @@ func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
 		c.reward = rewardDecay*c.reward + (1-rewardDecay)*r
 	}
 	c.slices++
+	edgesDelta, execsDelta := edges-c.lastEdges, execs-c.lastExecs
 	c.lastEdges, c.lastExecs = edges, execs
 	c.clock, c.edges, c.execs = clock, edges, execs
+	m.events.publish(StreamEvent{
+		Type: "checkpoint", Campaign: c.spec.ID, State: StateRunning, Clock: clock,
+	})
+	m.events.publish(StreamEvent{
+		Type: "slice_end", Campaign: c.spec.ID, State: StateRunning,
+		Clock: clock, Edges: edges, Execs: execs,
+		EdgesDelta: edgesDelta, ExecsDelta: execsDelta, Reward: c.reward,
+	})
 	m.mu.Unlock()
 	return nil
 }
@@ -456,7 +581,7 @@ func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
 // progress past the last persisted checkpoint is lost silently.
 func (m *Manager) Step(ctx context.Context) (bool, error) {
 	m.mu.Lock()
-	c := m.pick()
+	c := m.pick(true)
 	m.mu.Unlock()
 	if c == nil {
 		return false, nil
@@ -475,10 +600,15 @@ func (m *Manager) Step(ctx context.Context) (bool, error) {
 		c.coord.Close()
 		c.coord = nil
 	}
+	c.flight.add("failed", map[string]any{"error": err.Error()})
+	m.dumpFlight(c, "campaign_failed")
 	m.mu.Lock()
 	c.state = StateFailed
 	c.err = err.Error()
 	m.mu.Unlock()
+	m.events.publish(StreamEvent{
+		Type: "failed", Campaign: c.spec.ID, State: StateFailed, Error: err.Error(),
+	})
 	return true, nil
 }
 
@@ -534,7 +664,7 @@ func (m *Manager) Run(ctx context.Context) error {
 			continue
 		}
 		m.mu.Lock()
-		for !m.stopped && m.pick() == nil {
+		for !m.stopped && m.pick(false) == nil {
 			m.cond.Wait()
 		}
 		stopped := m.stopped

@@ -1,6 +1,7 @@
 package fleet_test
 
 import (
+	"bufio"
 	"context"
 	"io"
 	"io/fs"
@@ -359,6 +360,172 @@ func TestAPIEndpoints(t *testing.T) {
 	}
 	if _, err := m2.Results("mqtt-a"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEventStreamAndFlightAPI drives the live observability surface: a
+// subscribed SSE client sees the campaign's whole lifecycle (submit,
+// slice_start, checkpoint, slice_end, done), and /api/flight serves the
+// flight recorder — bandit awards and lease summaries — while
+// triage.json stays absent for a healthy campaign and nothing leaks
+// into artifacts/.
+func TestEventStreamAndFlightAPI(t *testing.T) {
+	pool, wait := newPool(t, 2)
+	defer wait()
+	state := t.TempDir()
+	m, err := fleet.NewManager(fleet.Config{StateDir: state, Slice: 300}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.APIHandler())
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL + "/api/flight?id=nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("flight of unknown campaign: code = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, srv.URL+"/api/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q, want text/event-stream", ct)
+	}
+	types := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: ") {
+				types <- strings.TrimPrefix(sc.Text(), "event: ")
+			}
+		}
+	}()
+
+	spec := fleet.CampaignSpec{ID: "mqtt-a", Subject: "MQTT", Hours: 0.25, Seed: 3}
+	if err := m.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	missing := map[string]bool{
+		"submit": true, "slice_start": true, "checkpoint": true, "slice_end": true, "done": true,
+	}
+	deadline := time.After(10 * time.Second)
+	for len(missing) > 0 {
+		select {
+		case ty := <-types:
+			delete(missing, ty)
+		case <-deadline:
+			t.Fatalf("timed out waiting for SSE events; still missing %v", missing)
+		}
+	}
+
+	fresp, err := http.Get(srv.URL + "/api/flight?id=mqtt-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	raw, _ := io.ReadAll(fresp.Body)
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("flight: code = %d body = %s", fresp.StatusCode, raw)
+	}
+	for _, want := range []string{`"kind": "award"`, `"kind": "lease"`, `"total"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("flight snapshot missing %s:\n%s", want, raw)
+		}
+	}
+
+	// A healthy campaign never dumps triage.json, and the flight recorder
+	// must not contaminate the byte-identity-checked artifact tree.
+	if _, err := os.Stat(filepath.Join(state, "mqtt-a", "triage.json")); !os.IsNotExist(err) {
+		t.Fatalf("triage.json written for a healthy campaign: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(state, "mqtt-a", "artifacts", "triage.json")); !os.IsNotExist(err) {
+		t.Fatalf("triage.json leaked into artifacts/: %v", err)
+	}
+}
+
+// TestFlightTriageDumpOnFailure: a campaign that dies (here: the whole
+// worker fleet is gone before its first slice) must be marked failed
+// AND leave a triage.json flight dump in its state dir for post-mortem.
+func TestFlightTriageDumpOnFailure(t *testing.T) {
+	pool, wait := newPool(t, 1)
+	wait() // tear the fleet down: every subsequent lease fails
+	state := t.TempDir()
+	m, err := fleet.NewManager(fleet.Config{StateDir: state, Slice: 300}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(fleet.CampaignSpec{ID: "dns-a", Subject: "DNS", Hours: 0.25, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := findStatus(t, m, "dns-a")
+	if st.State != fleet.StateFailed || st.Error == "" {
+		t.Fatalf("state = %s (%q), want failed with an error", st.State, st.Error)
+	}
+	raw, err := os.ReadFile(filepath.Join(state, "dns-a", "triage.json"))
+	if err != nil {
+		t.Fatalf("no triage.json after campaign failure: %v", err)
+	}
+	for _, want := range []string{`"reason": "campaign_failed"`, `"kind": "failed"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("triage.json missing %s:\n%s", want, raw)
+		}
+	}
+}
+
+// TestRecoveryRestoresFinalFigures is the regression test for recovered
+// done campaigns reporting zero edges/execs: a cold manager scanning
+// the state dir must surface the completed campaign's final figures
+// from result.json, so /api/status and the monitor gauges stay truthful
+// across restarts.
+func TestRecoveryRestoresFinalFigures(t *testing.T) {
+	pool, wait := newPool(t, 2)
+	defer wait()
+	state := t.TempDir()
+	m1, err := fleet.NewManager(fleet.Config{StateDir: state, Slice: 300}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Submit(fleet.CampaignSpec{ID: "mqtt-a", Subject: "MQTT", Hours: 0.25, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st1 := findStatus(t, m1, "mqtt-a")
+	if st1.State != fleet.StateDone || st1.Edges == 0 || st1.Execs == 0 {
+		t.Fatalf("live final status implausible: %+v", st1)
+	}
+
+	m2, err := fleet.NewManager(fleet.Config{StateDir: state}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := findStatus(t, m2, "mqtt-a")
+	if st2.State != fleet.StateDone {
+		t.Fatalf("recovered state = %s, want done", st2.State)
+	}
+	if st2.Edges != st1.Edges || st2.Execs != st1.Execs {
+		t.Fatalf("recovered figures diverge from live run: got %d edges / %d execs, want %d / %d",
+			st2.Edges, st2.Execs, st1.Edges, st1.Execs)
 	}
 }
 

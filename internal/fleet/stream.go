@@ -1,0 +1,68 @@
+package fleet
+
+import "sync"
+
+// A StreamEvent is one fleet lifecycle event on the /api/events SSE
+// feed. Type is one of: submit, slice_start, checkpoint, slice_end,
+// done, failed, worker_death. Seq is a monotone per-manager sequence
+// number so consumers can detect drops (the feed is lossy by design).
+type StreamEvent struct {
+	Seq        int64   `json:"seq"`
+	Type       string  `json:"type"`
+	Campaign   string  `json:"campaign,omitempty"`
+	Worker     string  `json:"worker,omitempty"`
+	State      string  `json:"state,omitempty"`
+	Clock      float64 `json:"clock,omitempty"`
+	Edges      int     `json:"edges,omitempty"`
+	Execs      int     `json:"execs,omitempty"`
+	EdgesDelta int     `json:"edges_delta,omitempty"`
+	ExecsDelta int     `json:"execs_delta,omitempty"`
+	Reward     float64 `json:"reward,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// broker fans StreamEvents out to live subscribers. Publishing never
+// blocks the scheduler: a subscriber whose buffer is full simply loses
+// the event, which is why StreamEvent carries Seq.
+type broker struct {
+	mu   sync.Mutex
+	seq  int64
+	subs map[chan StreamEvent]struct{}
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan StreamEvent]struct{})}
+}
+
+func (b *broker) publish(ev StreamEvent) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	ev.Seq = b.seq
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop, never stall the scheduler
+		}
+	}
+}
+
+// subscribe registers a new consumer and returns its channel plus a
+// cancel func that unregisters and closes it.
+func (b *broker) subscribe() (<-chan StreamEvent, func()) {
+	ch := make(chan StreamEvent, 64)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}

@@ -14,11 +14,14 @@ import (
 //	cmfuzz_campaign_edges{...}               union coverage so far
 //	cmfuzz_campaign_execs{...}               executions so far
 //	cmfuzz_campaign_slices{...}              scheduler quanta received
+//	cmfuzz_bandit_reward{...}                scheduler reward EMA
 //
 // Per-campaign series are labeled campaign=<id>,subject=<protocol>.
 // Values come from the manager's slice-boundary snapshots, so scraping
-// never contends with a campaign mid-advance. Nil registry or snapshot
-// is a no-op.
+// never contends with a campaign mid-advance — and because every scrape
+// re-reads the snapshot, campaigns recovered from disk after a restart
+// report their persisted final figures, not zeros. Nil registry or
+// snapshot is a no-op.
 func RegisterFleet(reg *metrics.Registry, snap func() []fleet.CampaignStatus) {
 	if reg == nil || snap == nil {
 		return
@@ -39,6 +42,8 @@ func RegisterFleet(reg *metrics.Registry, snap func() []fleet.CampaignStatus) {
 				float64(cs.Execs), cl, sl)
 			set("cmfuzz_campaign_slices", "Scheduler time slices granted so far.",
 				float64(cs.Slices), cl, sl)
+			set("cmfuzz_bandit_reward", "Discounted reward EMA (new edges per execution) the scheduler holds for the campaign.",
+				cs.Reward, cl, sl)
 		}
 		for _, state := range []string{fleet.StateQueued, fleet.StateRunning, fleet.StateDone, fleet.StateFailed} {
 			set("cmfuzz_campaigns", "Campaigns per lifecycle state.",

@@ -17,8 +17,12 @@ func TestAPIMountAndFleetMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	RegisterFleet(reg, func() []fleet.CampaignStatus {
 		return []fleet.CampaignStatus{
-			{ID: "dns-a", Subject: "DNS", State: fleet.StateRunning, Clock: 450, Horizon: 1800, Edges: 900, Execs: 451, Slices: 3},
+			{ID: "dns-a", Subject: "DNS", State: fleet.StateRunning, Clock: 450, Horizon: 1800, Edges: 900, Execs: 451, Slices: 3, Reward: 1.5},
 			{ID: "mqtt-b", Subject: "MQTT", State: fleet.StateQueued, Horizon: 900},
+			// A done campaign as a restarted manager recovers it from disk:
+			// no slices this lifetime, but final figures intact — the
+			// gauges must reflect them, not zeros.
+			{ID: "coap-c", Subject: "CoAP", State: fleet.StateDone, Clock: 900, Horizon: 900, Edges: 1200, Execs: 2000},
 		}
 	})
 	api := http.NewServeMux()
@@ -38,10 +42,13 @@ func TestAPIMountAndFleetMetrics(t *testing.T) {
 	for _, want := range []string{
 		`cmfuzz_campaigns{state="running"} 1`,
 		`cmfuzz_campaigns{state="queued"} 1`,
-		`cmfuzz_campaigns{state="done"} 0`,
+		`cmfuzz_campaigns{state="done"} 1`,
 		`cmfuzz_campaign_edges{campaign="dns-a",subject="DNS"} 900`,
 		`cmfuzz_campaign_slices{campaign="dns-a",subject="DNS"} 3`,
+		`cmfuzz_bandit_reward{campaign="dns-a",subject="DNS"} 1.5`,
 		`cmfuzz_campaign_horizon_seconds{campaign="mqtt-b",subject="MQTT"} 900`,
+		`cmfuzz_campaign_edges{campaign="coap-c",subject="CoAP"} 1200`,
+		`cmfuzz_campaign_execs{campaign="coap-c",subject="CoAP"} 2000`,
 	} {
 		if !strings.Contains(metricsBody, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)

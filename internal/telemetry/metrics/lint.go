@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -21,9 +22,20 @@ type LintStats struct {
 // samples, histogram suffix discipline and parseable values. It exists
 // so tests and the CI monitor smoke can assert /metrics output parses
 // without a Prometheus dependency. It returns basic counts on success.
-func Lint(r io.Reader) (LintStats, error) {
+func Lint(r io.Reader) (LintStats, error) { return lint(r, false) }
+
+// LintStrict validates like Lint and additionally enforces the naming
+// conventions this repo holds its own registries to: every family is
+// lowercase snake_case with a HELP line and a TYPE line, counters (and
+// only counters) end in _total, and no family name squats on the
+// reserved histogram/summary sample suffixes _bucket, _sum, _count.
+// CI runs `cmfuzz promlint -strict` over every live /metrics surface.
+func LintStrict(r io.Reader) (LintStats, error) { return lint(r, true) }
+
+func lint(r io.Reader, strict bool) (LintStats, error) {
 	var stats LintStats
 	types := make(map[string]string) // family -> declared type
+	helps := make(map[string]bool)   // family -> HELP seen
 	seenSample := make(map[string]bool)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -44,6 +56,7 @@ func Lint(r io.Reader) (LintStats, error) {
 				if !nameOK(fields[2]) {
 					return stats, fmt.Errorf("line %d: HELP for invalid name %q", lineNo, fields[2])
 				}
+				helps[fields[2]] = true
 			case "TYPE":
 				if len(fields) != 4 {
 					return stats, fmt.Errorf("line %d: TYPE needs a name and a type", lineNo)
@@ -95,7 +108,51 @@ func Lint(r io.Reader) (LintStats, error) {
 	if stats.Samples == 0 {
 		return stats, fmt.Errorf("no samples in exposition")
 	}
+	if strict {
+		if err := checkConventions(types, helps, seenSample); err != nil {
+			return stats, err
+		}
+	}
 	return stats, nil
+}
+
+// checkConventions is the strict-mode pass: it reports every naming
+// violation at once (sorted, so the message is deterministic) instead
+// of stopping at the first.
+func checkConventions(types map[string]string, helps, seenSample map[string]bool) error {
+	var violations []string
+	add := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	for name, typ := range types {
+		if name != strings.ToLower(name) {
+			add("family %s: name is not lowercase snake_case", name)
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				add("family %s: name squats on reserved sample suffix %s", name, suffix)
+			}
+		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			add("family %s: counter does not end in _total", name)
+		}
+		if typ != "counter" && strings.HasSuffix(name, "_total") {
+			add("family %s: %s ends in _total (counters only)", name, typ)
+		}
+		if !helps[name] {
+			add("family %s: no HELP line", name)
+		}
+	}
+	for fam := range seenSample {
+		if _, ok := types[fam]; !ok {
+			add("family %s: samples without a TYPE declaration", fam)
+		}
+	}
+	if len(violations) == 0 {
+		return nil
+	}
+	sort.Strings(violations)
+	return fmt.Errorf("strict: %s", strings.Join(violations, "; "))
 }
 
 // familyOf maps a sample name to its family, peeling histogram/summary

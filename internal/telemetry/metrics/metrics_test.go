@@ -188,6 +188,44 @@ plain_untyped_metric 3.14 1712345678
 	}
 }
 
+// TestLintStrictConventions: strict mode layers naming discipline on
+// top of grammar validation — counters end _total, nothing else does,
+// names are lowercase, reserved sample suffixes stay reserved, and
+// every family carries HELP and TYPE.
+func TestLintStrictConventions(t *testing.T) {
+	good := `# HELP reqs_total Requests served.
+# TYPE reqs_total counter
+reqs_total 4
+# HELP queue_depth Items waiting.
+# TYPE queue_depth gauge
+queue_depth 2
+# HELP rpc_seconds Round-trip time.
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{le="+Inf"} 4
+rpc_seconds_sum 0.8
+rpc_seconds_count 4
+`
+	if _, err := LintStrict(strings.NewReader(good)); err != nil {
+		t.Fatalf("strict rejected a clean exposition: %v", err)
+	}
+
+	cases := map[string]string{
+		"counter without _total": "# HELP reqs Requests.\n# TYPE reqs counter\nreqs 1\n",
+		"gauge with _total":      "# HELP depth_total Depth.\n# TYPE depth_total gauge\ndepth_total 1\n",
+		"uppercase name":         "# HELP req_Total Requests.\n# TYPE req_Total counter\nreq_Total 1\n",
+		"reserved suffix":        "# HELP a_count Things.\n# TYPE a_count gauge\na_count 1\n",
+		"missing HELP":           "# TYPE reqs_total counter\nreqs_total 1\n",
+		"missing TYPE":           "# HELP reqs_total Requests.\nreqs_total 1\n",
+	}
+	for name, in := range cases {
+		if _, err := LintStrict(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: strict lint accepted %q", name, in)
+		} else if _, lax := Lint(strings.NewReader(in)); lax != nil {
+			t.Errorf("%s: plain lint should accept what only strict rejects: %v", name, lax)
+		}
+	}
+}
+
 // TestRegistryConcurrency hammers one registry from many goroutines the
 // way -j campaign workers and scrapes actually interleave; run with
 // -race this is the metrics half of the telemetry stress satellite.

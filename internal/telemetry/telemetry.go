@@ -147,6 +147,7 @@ type Recorder struct {
 	run      string
 	events   []Event
 	counters Counters
+	tap      func(Event)
 }
 
 // New returns an empty enabled recorder.
@@ -177,6 +178,20 @@ func Restore(events []Event, counters Counters) *Recorder {
 // Enabled reports whether events are actually collected.
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// SetTap installs fn as a live observer of every subsequent Emit: the
+// stamped event is passed to fn after it is recorded. One tap at a
+// time; nil removes it. The tap is observation-only — it cannot alter
+// the recorded stream — and runs outside the recorder lock, so it may
+// itself emit or inspect the recorder. Nil-safe no-op when off.
+func (r *Recorder) SetTap(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tap = fn
+	r.mu.Unlock()
+}
+
 // Emit appends one event. Nil-safe no-op when the recorder is off.
 func (r *Recorder) Emit(ev Event) {
 	if r == nil {
@@ -187,7 +202,11 @@ func (r *Recorder) Emit(ev Event) {
 		ev.Run = r.run
 	}
 	r.events = append(r.events, ev)
+	tap := r.tap
 	r.mu.Unlock()
+	if tap != nil {
+		tap(ev)
+	}
 }
 
 // Count adds delta to the named counter. Nil-safe no-op when off.

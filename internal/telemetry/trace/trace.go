@@ -59,6 +59,30 @@ type record struct {
 	attrs  []Attr
 }
 
+// A Record is one completed span in portable form: the shape that
+// crosses process boundaries. Workers drain their completed spans as
+// Records, ship them over the wire, and the coordinator ingests them
+// under a per-process lane so one Chrome trace shows every process on
+// a single timeline. Process "" means the local (exporting) process.
+type Record struct {
+	Process string
+	ID      int
+	Parent  int // -1 for roots
+	Track   int
+	Name    string
+	Start   time.Duration
+	End     time.Duration
+	Attrs   []Attr
+}
+
+// export converts an internal record to the portable form.
+func (r record) export() Record {
+	return Record{
+		ID: r.id, Parent: r.parent, Track: r.track,
+		Name: r.name, Start: r.start, End: r.end, Attrs: r.attrs,
+	}
+}
+
 // A Tracer collects spans. The nil *Tracer is the no-op sink. A non-nil
 // Tracer is safe for concurrent use: campaign repetitions and probe
 // workers open and close spans from many goroutines at once.
@@ -66,6 +90,7 @@ type Tracer struct {
 	mu        sync.Mutex
 	clock     Clock
 	done      []record
+	foreign   []Record // spans ingested from other processes
 	nextID    int
 	nextTrack int
 	top       map[int]*Span // track -> innermost open span (nil = free)
@@ -87,6 +112,92 @@ func NewWithClock(clock Clock) *Tracer {
 
 // Enabled reports whether spans are actually collected.
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// Now reads the tracer's clock: elapsed monotonic time since creation.
+// A nil tracer reads 0. Used to timestamp regions measured outside the
+// span stack (see Span.Complete) and to align foreign timelines.
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clock()
+}
+
+// DrainRecords removes and returns every completed local span in
+// portable form (completion order, Process ""). Still-open spans stay
+// behind and are returned by a later drain once ended. This is the
+// worker half of cross-process stitching: drain after each lease and
+// ship the batch with the reply.
+func (t *Tracer) DrainRecords() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.done) == 0 {
+		return nil
+	}
+	out := make([]Record, len(t.done))
+	for i, r := range t.done {
+		out[i] = r.export()
+	}
+	t.done = nil
+	return out
+}
+
+// IngestForeign files completed spans from another process under its
+// own lane. Each record's Start/End is shifted by offset (the receiver
+// clock minus the sender clock, measured at ingest) so all processes
+// share one timeline; negative starts clamp to 0 and End never drops
+// below Start. Safe for concurrent use — per-worker dispatchers ingest
+// from their own goroutines.
+func (t *Tracer) IngestForeign(process string, offset time.Duration, recs []Record) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range recs {
+		r.Process = process
+		r.Start += offset
+		r.End += offset
+		if r.Start < 0 {
+			r.Start = 0
+		}
+		if r.End < r.Start {
+			r.End = r.Start
+		}
+		t.foreign = append(t.foreign, r)
+	}
+}
+
+// Records snapshots every completed span in portable form: local spans
+// in completion order (Process "") followed by foreign spans sorted by
+// (process, id). The foreign sort restores a deterministic order even
+// though ingestion races across dispatcher goroutines — span IDs are
+// allocated sequentially inside each sender, so for a deterministic
+// workload the result is structurally reproducible run to run.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Record, 0, len(t.done)+len(t.foreign))
+	for _, r := range t.done {
+		out = append(out, r.export())
+	}
+	foreign := append([]Record(nil), t.foreign...)
+	t.mu.Unlock()
+	sort.SliceStable(foreign, func(i, j int) bool {
+		if foreign[i].Process != foreign[j].Process {
+			return foreign[i].Process < foreign[j].Process
+		}
+		return foreign[i].ID < foreign[j].ID
+	})
+	return append(out, foreign...)
+}
 
 // A Span is one open (or ended) region of wall-clock time. The nil
 // *Span absorbs every method; Child on a nil span returns nil, so an
@@ -168,6 +279,39 @@ func (s *Span) Child(name string, attrs ...Attr) *Span {
 	return t.startLocked(name, s.id, s, attrs)
 }
 
+// Tracer returns the tracer that owns s, or nil for a nil span. Lets
+// components handed only a parent span reach the tracer for Now,
+// DrainRecords and IngestForeign.
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// Complete files an already-measured region as a completed child of s
+// without touching the track stacks: the record lands on s's track with
+// the given start/end (tracer-clock durations, see Tracer.Now). Use it
+// for regions whose extent was measured before a span could be opened —
+// e.g. decoding the very request that carries the tracing flag.
+func (s *Span) Complete(name string, start, end time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t := s.t
+	t.mu.Lock()
+	t.done = append(t.done, record{
+		id: t.nextID, parent: s.id, track: s.track,
+		name: name, start: start, end: end,
+		attrs: append([]Attr(nil), attrs...),
+	})
+	t.nextID++
+	t.mu.Unlock()
+}
+
 // Set appends one attribute to the span. Safe to call from the goroutine
 // that owns the span at any time before End.
 func (s *Span) Set(key string, value any) {
@@ -232,14 +376,14 @@ func (t *Tracer) snapshot() ([]record, int) {
 	return append([]record(nil), t.done...), t.open
 }
 
-// SpanCount returns how many spans have completed.
+// SpanCount returns how many spans have completed, local and foreign.
 func (t *Tracer) SpanCount() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.done)
+	return len(t.done) + len(t.foreign)
 }
 
 // chromeEvent is one trace_event entry (the "X" complete-event form).
@@ -260,34 +404,68 @@ type chromeFile struct {
 	Meta        string        `json:"otherData,omitempty"`
 }
 
-// WriteChromeTrace streams the completed spans as Chrome trace_event
-// JSON. Load the output in chrome://tracing or https://ui.perfetto.dev.
+// WriteChromeTrace streams the completed spans — local and ingested
+// foreign — as Chrome trace_event JSON. Load the output in
+// chrome://tracing or https://ui.perfetto.dev. The local process is
+// pid 1; each foreign process gets its own pid (sorted by name, from
+// 2) with a process_name metadata event, so a stitched distributed
+// trace renders one lane group per worker. Purely local traces stay a
+// plain stream of "X" events with no metadata, exactly as before.
 // Spans are sorted by start time so the export is stable for a fixed
 // clock; still-open spans are not included.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	recs, _ := t.snapshot()
+	recs := t.Records()
 	sort.SliceStable(recs, func(i, j int) bool {
-		if recs[i].start != recs[j].start {
-			return recs[i].start < recs[j].start
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
 		}
-		return recs[i].id < recs[j].id
+		if recs[i].Process != recs[j].Process {
+			return recs[i].Process < recs[j].Process
+		}
+		return recs[i].ID < recs[j].ID
 	})
+	pidOf := map[string]int{"": 1}
+	var procs []string
+	for _, r := range recs {
+		if _, ok := pidOf[r.Process]; !ok {
+			pidOf[r.Process] = 0 // placeholder until sorted
+			procs = append(procs, r.Process)
+		}
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		pidOf[p] = 2 + i
+	}
 	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(recs)), Meta: "cmfuzz wall-clock trace"}
+	if len(procs) > 0 {
+		// Name the lanes only when the trace is actually multi-process,
+		// keeping single-process exports a pure X-event stream.
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "coordinator"},
+		})
+		for _, p := range procs {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pidOf[p],
+				Args: map[string]any{"name": p},
+			})
+		}
+	}
 	for _, r := range recs {
 		ev := chromeEvent{
-			Name: r.name,
+			Name: r.Name,
 			Ph:   "X",
-			Ts:   float64(r.start) / float64(time.Microsecond),
-			Dur:  float64(r.end-r.start) / float64(time.Microsecond),
-			Pid:  1,
-			Tid:  r.track,
+			Ts:   float64(r.Start) / float64(time.Microsecond),
+			Dur:  float64(r.End-r.Start) / float64(time.Microsecond),
+			Pid:  pidOf[r.Process],
+			Tid:  r.Track,
 		}
-		if len(r.attrs) > 0 {
-			ev.Args = make(map[string]any, len(r.attrs))
-			for _, a := range r.attrs {
+		if len(r.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(r.Attrs))
+			for _, a := range r.Attrs {
 				ev.Args[a.Key] = a.Value
 			}
 		}

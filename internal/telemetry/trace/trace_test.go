@@ -211,6 +211,176 @@ func TestDoubleEndIsIdempotent(t *testing.T) {
 	}
 }
 
+func TestNilTracerCrossProcessNoOps(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now != 0")
+	}
+	if got := tr.DrainRecords(); got != nil {
+		t.Fatalf("nil tracer drained %v", got)
+	}
+	if got := tr.Records(); got != nil {
+		t.Fatalf("nil tracer records %v", got)
+	}
+	tr.IngestForeign("w", 0, []Record{{Name: "x"}})
+	var sp *Span
+	if sp.Tracer() != nil {
+		t.Fatal("nil span has a tracer")
+	}
+	sp.Complete("x", 0, time.Second)
+}
+
+func TestSpanCompleteFilesChildRecord(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	root := tr.Start("lease")
+	clk.Advance(10 * time.Millisecond)
+	// A region measured before the span stack existed: decode ran over
+	// [2ms, 6ms] on the tracer clock.
+	root.Complete("decode", 2*time.Millisecond, 6*time.Millisecond, A("bytes", 128))
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	dec := recs[0] // Complete files immediately; root ends after
+	if dec.Name != "decode" || dec.Start != 2*time.Millisecond || dec.End != 6*time.Millisecond {
+		t.Fatalf("decode record = %+v", dec)
+	}
+	rootRec := recs[1]
+	if dec.Parent != rootRec.ID || dec.Track != rootRec.Track {
+		t.Fatalf("decode not filed under root: %+v vs %+v", dec, rootRec)
+	}
+	// Inverted intervals clamp rather than exporting negative durations.
+	root2 := tr.Start("r2")
+	root2.Complete("clamped", 5*time.Millisecond, 3*time.Millisecond)
+	root2.End()
+	for _, r := range tr.Records() {
+		if r.End < r.Start {
+			t.Fatalf("negative-duration record %+v", r)
+		}
+	}
+}
+
+func TestDrainRecordsTakesCompletedOnly(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	root := tr.Start("lease")
+	inner := root.Child("steps")
+	clk.Advance(time.Millisecond)
+	inner.End()
+
+	first := tr.DrainRecords()
+	if len(first) != 1 || first[0].Name != "steps" {
+		t.Fatalf("first drain = %+v", first)
+	}
+	if got := tr.DrainRecords(); got != nil {
+		t.Fatalf("second drain not empty: %+v", got)
+	}
+	root.End()
+	second := tr.DrainRecords()
+	if len(second) != 1 || second[0].Name != "lease" {
+		t.Fatalf("drain after root end = %+v", second)
+	}
+	if second[0].Process != "" {
+		t.Fatalf("local record has process %q", second[0].Process)
+	}
+}
+
+func TestIngestForeignStitchesTimelines(t *testing.T) {
+	// Worker-side tracer: spans on the worker's own clock.
+	wclk := &stepClock{}
+	wt := NewWithClock(wclk.Now)
+	lease := wt.Start("lease")
+	steps := lease.Child("lease.steps")
+	wclk.Advance(8 * time.Millisecond)
+	steps.End()
+	lease.End()
+	shipped := wt.DrainRecords()
+
+	// Coordinator-side tracer, 100ms ahead of the worker clock.
+	cclk := &stepClock{}
+	cclk.Advance(100 * time.Millisecond)
+	ct := NewWithClock(cclk.Now)
+	rootC := ct.Start("coordinator")
+	ct.IngestForeign("w1", 100*time.Millisecond, shipped)
+	// A second worker whose records would go negative without clamping.
+	ct.IngestForeign("w0", -time.Second, []Record{{ID: 7, Parent: -1, Name: "late", Start: 0, End: time.Millisecond}})
+	cclk.Advance(time.Millisecond)
+	rootC.End()
+
+	recs := ct.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	// Local first, then foreign sorted by (process, id).
+	if recs[0].Name != "coordinator" || recs[0].Process != "" {
+		t.Fatalf("local record not first: %+v", recs[0])
+	}
+	if recs[1].Process != "w0" || recs[2].Process != "w1" || recs[3].Process != "w1" {
+		t.Fatalf("foreign order wrong: %+v", recs[1:])
+	}
+	if recs[1].Start != 0 || recs[1].End != 0 {
+		t.Fatalf("clamping failed: %+v", recs[1])
+	}
+	for _, r := range recs[2:] {
+		if r.Start != 100*time.Millisecond {
+			t.Fatalf("offset not applied: %+v", r)
+		}
+	}
+	if ct.SpanCount() != 4 {
+		t.Fatalf("span count = %d, want 4", ct.SpanCount())
+	}
+
+	// Export: three pids (coordinator=1, w0=2, w1=3) with name metadata.
+	var buf bytes.Buffer
+	if err := ct.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	names := map[int]string{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" {
+			names[ev.Pid] = ev.Args["name"].(string)
+			continue
+		}
+		pids[ev.Pid] = true
+	}
+	if len(pids) != 3 {
+		t.Fatalf("want 3 distinct pids, got %v", pids)
+	}
+	if names[1] != "coordinator" || names[2] != "w0" || names[3] != "w1" {
+		t.Fatalf("process names = %v", names)
+	}
+}
+
+func TestSingleProcessExportHasNoMetadataEvents(t *testing.T) {
+	clk := &stepClock{}
+	tr := NewWithClock(clk.Now)
+	sp := tr.Start("solo")
+	clk.Advance(time.Millisecond)
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ph":"M"`) {
+		t.Fatalf("single-process export emitted metadata events:\n%s", buf.String())
+	}
+}
+
 func TestTracerConcurrencySmoke(t *testing.T) {
 	tr := New()
 	root := tr.Start("root")
