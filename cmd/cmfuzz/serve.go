@@ -16,24 +16,25 @@ import (
 )
 
 // cmdServe runs the long-lived fleet service: one shared worker pool,
-// many campaigns submitted over HTTP, a bandit scheduler slicing worker
-// time between them, and crash-safe state under -state. Stopping the
-// process (SIGINT/SIGTERM) parks every running campaign at a
-// checkpoint; restarting with the same -state resumes them with
-// byte-identical final artifacts.
+// many campaigns submitted over HTTP, a bandit scheduler partitioning
+// the workers between them every round, and crash-safe state under
+// -state. Stopping the process (SIGINT/SIGTERM) parks every running
+// campaign at a checkpoint; restarting with the same -state resumes
+// them with byte-identical final artifacts.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "address to accept worker connections on")
 	workers := fs.Int("workers", 2, "number of workers to wait for before serving")
 	stateDir := fs.String("state", "cmfuzz-state", "directory for campaign specs, checkpoints and artifacts")
 	slice := fs.Float64("slice", 900, "scheduler quantum in virtual seconds")
+	concurrency := fs.Int("concurrency", 0, "max campaigns slicing per round (0 = all runnable, 1 = legacy serial scheduler)")
 	monitorAddr := fs.String("monitor", "127.0.0.1:8080", "HTTP address serving the monitor and the /api endpoints")
 	fs.Parse(args)
 
-	// The worker fleet is fixed at startup: campaigns capture the pool
-	// snapshot when they start or resume, so late joiners would only
-	// serve campaigns submitted after they attach. Keeping attachment a
-	// startup phase makes the capacity of the service explicit.
+	// -workers is the startup barrier: the scheduler does not start
+	// until that many workers attach. After that the accept loop keeps
+	// running in the background — late joiners land in the pool's free
+	// set and the next scheduling round hands them to a campaign.
 	pool := dist.NewPool(dist.Config{})
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -55,8 +56,22 @@ func cmdServe(args []string) error {
 	}
 	pool.StartHeartbeats()
 	defer pool.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed on shutdown
+			}
+			if err := pool.AddConn(conn); err != nil {
+				fmt.Fprintln(os.Stderr, "cmfuzz:", err)
+				continue
+			}
+			fmt.Printf("late worker attached from %s\n", conn.RemoteAddr())
+		}
+	}()
 
-	m, err := fleet.NewManager(fleet.Config{StateDir: *stateDir, Slice: *slice}, pool, protocols.ByName)
+	m, err := fleet.NewManager(fleet.Config{StateDir: *stateDir, Slice: *slice, Concurrency: *concurrency},
+		pool, protocols.ByName)
 	if err != nil {
 		return err
 	}

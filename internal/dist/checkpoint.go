@@ -313,9 +313,9 @@ func (c *Coordinator) Restore(ctx context.Context, data []byte) error {
 	if ck.protocol != info.Protocol {
 		return fmt.Errorf("dist: checkpoint is for subject %q, coordinator has %q", ck.protocol, info.Protocol)
 	}
-	workers := c.pool.snapshot()
-	if len(workers) == 0 {
-		return errors.New("dist: no workers connected")
+	workers, err := c.workerSet()
+	if err != nil {
+		return err
 	}
 
 	opts := ck.opts

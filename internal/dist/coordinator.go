@@ -173,12 +173,13 @@ type Stats struct {
 //
 // Run composes them for the classic single-campaign shape.
 type Coordinator struct {
-	sub      subject.Subject
-	opts     parallel.Options
-	cfg      Config
-	pool     *Pool
-	ownPool  bool
-	campaign uint32
+	sub       subject.Subject
+	opts      parallel.Options
+	cfg       Config
+	pool      *Pool
+	ownPool   bool
+	partition *Partition
+	campaign  uint32
 
 	syncBytes     atomic.Int64
 	workerDeaths  atomic.Int64
@@ -247,6 +248,31 @@ func (c *Coordinator) Workers() []WorkerStatus { return c.pool.Workers() }
 // never mutates it afterwards.
 func (c *Coordinator) SetObserver(obs Observer) { c.obs = obs }
 
+// SetPartition restricts the campaign to a leased partition of the
+// shared pool: Start/Restore capture the partition's live members as
+// the worker set instead of the whole pool, so concurrent campaigns
+// on disjoint partitions never touch each other's connections. Call
+// before Start or Restore. The caller keeps ownership of the
+// partition (Close does not Release it).
+func (c *Coordinator) SetPartition(pt *Partition) { c.partition = pt }
+
+// workerSet captures the campaign's workers: the partition's live
+// members when one is set, otherwise the whole pool.
+func (c *Coordinator) workerSet() ([]*workerConn, error) {
+	if c.partition != nil {
+		workers := c.partition.live()
+		if len(workers) == 0 {
+			return nil, errors.New("dist: partition has no live workers")
+		}
+		return workers, nil
+	}
+	workers := c.pool.snapshot()
+	if len(workers) == 0 {
+		return nil, errors.New("dist: no workers connected")
+	}
+	return workers, nil
+}
+
 // Stats reports the dist-only bookkeeping. Safe to call concurrently
 // with Run.
 func (c *Coordinator) Stats() Stats {
@@ -311,7 +337,11 @@ type runState struct {
 	pos      []int
 	inflight []bool
 	replyCh  []chan leaseReply
-	jobs     []chan leaseJob // per-worker dispatcher queues, indexed by worker id
+	// jobs are the per-worker dispatcher queues; slot maps a worker to
+	// its position in the workers slice (pool-global ids don't index a
+	// partition subset, so both are keyed by connection).
+	jobs map[*workerConn]chan leaseJob
+	slot map[*workerConn]int
 	// journal/resumeClock record each instance's lease history since its
 	// last (re)boot, for checkpoint/resume replay.
 	journal     [][]leaseJournal
@@ -393,7 +423,7 @@ func (c *Coordinator) dispatch(st *runState, i int) {
 	st.batch[i] = nil
 	st.pos[i] = 0
 	st.inflight[i] = true
-	st.jobs[st.owner[i].id] <- leaseJob{instance: i, payload: encodeLease(l), ch: st.replyCh[i]}
+	st.jobs[st.owner[i]] <- leaseJob{instance: i, payload: encodeLease(l), ch: st.replyCh[i]}
 }
 
 // fill consumes instance i's in-flight lease reply into its batch,
@@ -528,7 +558,7 @@ func (c *Coordinator) bootQuiet(wc *workerConn, st *runState, i int, resumeClock
 // schedule are coordinator-owned and survive intact.
 func (c *Coordinator) reassign(st *runState, i int) error {
 	for {
-		wc := c.alive(st.owner[i].id + 1)
+		wc := c.alive(st.slot[st.owner[i]] + 1)
 		if wc == nil {
 			return errors.New("dist: no live workers left")
 		}
@@ -581,9 +611,9 @@ func (c *Coordinator) Start(ctx context.Context) error {
 	if c.st != nil {
 		return errors.New("dist: coordinator already started")
 	}
-	workers := c.pool.snapshot()
-	if len(workers) == 0 {
-		return errors.New("dist: no workers connected")
+	workers, err := c.workerSet()
+	if err != nil {
+		return err
 	}
 	host, err := parallel.NewHost(c.sub, c.opts)
 	if err != nil {
@@ -714,7 +744,8 @@ func (c *Coordinator) newRunState(host *parallel.Host, opts parallel.Options, sp
 		pos:         make([]int, n),
 		inflight:    make([]bool, n),
 		replyCh:     make([]chan leaseReply, n),
-		jobs:        make([]chan leaseJob, len(workers)),
+		jobs:        make(map[*workerConn]chan leaseJob, len(workers)),
+		slot:        make(map[*workerConn]int, len(workers)),
 		journal:     make([][]leaseJournal, n),
 		resumeClock: make([]float64, n),
 		horizon:     opts.VirtualHours * 3600,
@@ -725,6 +756,9 @@ func (c *Coordinator) newRunState(host *parallel.Host, opts parallel.Options, sp
 	for i := 0; i < n; i++ {
 		st.mirror[i] = fuzz.NewCorpus(0)
 		st.replyCh[i] = make(chan leaseReply, 1)
+	}
+	for wi, wc := range workers {
+		st.slot[wc] = wi
 	}
 	return st
 }
@@ -737,10 +771,10 @@ func (c *Coordinator) startLoop(st *runState) {
 	for i := range c.instSpans {
 		c.instSpans[i] = st.opts.Trace.Child("instance", trace.A("index", i))
 	}
-	for wi := range st.workers {
-		st.jobs[wi] = make(chan leaseJob, len(st.specs))
+	for _, wc := range st.workers {
+		st.jobs[wc] = make(chan leaseJob, len(st.specs))
 		c.dispWG.Add(1)
-		go c.dispatcher(st.workers[wi], st.jobs[wi])
+		go c.dispatcher(wc, st.jobs[wc])
 	}
 }
 
@@ -1039,9 +1073,7 @@ func (c *Coordinator) Close() {
 	c.closed = true
 	if c.st != nil {
 		for _, jobs := range c.st.jobs {
-			if jobs != nil {
-				close(jobs)
-			}
+			close(jobs)
 		}
 		c.dispWG.Wait()
 	}

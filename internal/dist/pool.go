@@ -16,11 +16,18 @@ import (
 // coordinators on it concurrently — each campaign's RPCs are
 // namespaced by campaign id, and the per-connection mutex serializes
 // frames from different campaigns' dispatchers.
+//
+// Workers can additionally be leased out as disjoint Partitions
+// (Acquire/Release), which is how the concurrent fleet scheduler
+// gives each campaign its own slice of the fleet: a coordinator
+// handed a partition drives only those connections, so campaigns
+// sharing the pool never contend for the same worker.
 type Pool struct {
 	cfg Config
 
 	mu      sync.Mutex
 	workers []*workerConn
+	leased  map[*workerConn]bool
 
 	stopHeartbeat chan struct{}
 	hbWG          sync.WaitGroup
@@ -33,13 +40,19 @@ type Pool struct {
 // NewPool prepares an empty worker pool. Workers attach via AddConn.
 func NewPool(cfg Config) *Pool {
 	cfg.setDefaults()
-	return &Pool{cfg: cfg, stopHeartbeat: make(chan struct{})}
+	return &Pool{cfg: cfg, leased: make(map[*workerConn]bool), stopHeartbeat: make(chan struct{})}
 }
 
 // AddConn performs the Hello/Welcome handshake on a freshly accepted
 // worker connection and registers the worker. The worker speaks first,
 // so with synchronous transports (net.Pipe) the worker's Serve loop
 // must already be running.
+//
+// Admission is elastic: a worker attached after the pool went live
+// simply joins the free set (and gets its own heartbeat pinger when
+// heartbeats are already running), so the next partition acquisition —
+// the fleet scheduler's next round — can hand it to a campaign.
+// Campaigns that captured their worker set earlier are unaffected.
 func (p *Pool) AddConn(conn net.Conn) error {
 	conn.SetDeadline(time.Now().Add(p.cfg.RPCTimeout))
 	defer conn.SetDeadline(time.Time{})
@@ -64,10 +77,140 @@ func (p *Pool) AddConn(conn net.Conn) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		conn.Close()
+		return fmt.Errorf("dist: pool is closed")
+	}
 	wc := &workerConn{id: len(p.workers), name: h.Name, conn: conn, br: br}
 	wc.lastReply.Store(time.Now().UnixNano())
 	p.workers = append(p.workers, wc)
+	if p.hbStarted && p.cfg.HeartbeatInterval > 0 {
+		p.hbWG.Add(1)
+		go p.heartbeat(wc)
+	}
 	return nil
+}
+
+// A Partition is a leased, disjoint subset of the pool's workers, in
+// ascending attach order. The holder (one campaign's coordinator)
+// owns the members' lease-RPC traffic until Release; heartbeats and
+// teardown stay with the pool. A dead member shrinks only its own
+// partition — the holder reassigns the dead worker's instances within
+// the partition, never across one.
+type Partition struct {
+	pool    *Pool
+	workers []*workerConn
+}
+
+// Acquire leases up to n free live workers, in deterministic attach
+// order, removing them from the free set. It returns nil when no free
+// live worker exists (the caller's scheduling round has no capacity
+// for another partition); a short partition — fewer than n — is
+// returned when the free set is smaller than asked.
+func (p *Pool) Acquire(n int) *Partition {
+	if n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var got []*workerConn
+	for _, wc := range p.workers {
+		if len(got) == n {
+			break
+		}
+		if wc.dead.Load() || p.leased[wc] {
+			continue
+		}
+		got = append(got, wc)
+	}
+	if len(got) == 0 {
+		return nil
+	}
+	for _, wc := range got {
+		p.leased[wc] = true
+	}
+	return &Partition{pool: p, workers: got}
+}
+
+// Release returns the partition's members to the pool's free set
+// (dead members stay out — they are unleased but never re-acquired).
+// The partition is empty afterwards; Release is idempotent.
+func (pt *Partition) Release() {
+	if pt == nil || pt.pool == nil {
+		return
+	}
+	pt.pool.mu.Lock()
+	for _, wc := range pt.workers {
+		delete(pt.pool.leased, wc)
+	}
+	pt.pool.mu.Unlock()
+	pt.workers = nil
+}
+
+// Size reports the partition's member count, dead or alive.
+func (pt *Partition) Size() int {
+	if pt == nil {
+		return 0
+	}
+	return len(pt.workers)
+}
+
+// Live reports how many members are still alive — the capacity the
+// holder actually has after any mid-slice worker deaths.
+func (pt *Partition) Live() int {
+	if pt == nil {
+		return 0
+	}
+	n := 0
+	for _, wc := range pt.workers {
+		if !wc.dead.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Names lists the partition's live members, for status surfaces.
+func (pt *Partition) Names() []string {
+	if pt == nil {
+		return nil
+	}
+	out := make([]string, 0, len(pt.workers))
+	for _, wc := range pt.workers {
+		if !wc.dead.Load() {
+			out = append(out, wc.name)
+		}
+	}
+	return out
+}
+
+// live returns the partition's live members in attach order, for a
+// coordinator capturing its worker set at Start/Restore.
+func (pt *Partition) live() []*workerConn {
+	if pt == nil {
+		return nil
+	}
+	out := make([]*workerConn, 0, len(pt.workers))
+	for _, wc := range pt.workers {
+		if !wc.dead.Load() {
+			out = append(out, wc)
+		}
+	}
+	return out
+}
+
+// FreeLive reports how many live workers are currently unleased — the
+// capacity a scheduling round can still partition out.
+func (p *Pool) FreeLive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, wc := range p.workers {
+		if !wc.dead.Load() && !p.leased[wc] {
+			n++
+		}
+	}
+	return n
 }
 
 // snapshot returns the registered workers. Coordinators capture it once

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// addPipeWorker attaches one net.Pipe-backed worker to the pool and
+// returns its connection record. The worker's Serve loop runs in the
+// background so the Hello/Welcome handshake completes.
+func addPipeWorker(t *testing.T, p *Pool, name string) *workerConn {
+	t.Helper()
+	cConn, wConn := net.Pipe()
+	w := NewWorker(WorkerConfig{Name: name})
+	go w.Serve(wConn)
+	if err := p.AddConn(cConn); err != nil {
+		t.Fatalf("AddConn(%s): %v", name, err)
+	}
+	wc := p.workers[len(p.workers)-1]
+	t.Cleanup(func() { cConn.Close(); wConn.Close() })
+	return wc
+}
+
+// TestPartitionAcquireRelease pins the partition-leasing contract the
+// concurrent fleet scheduler depends on: deterministic attach-order
+// acquisition, disjointness, short grants under pressure, exhaustion,
+// release back to the free set, and dead workers never re-acquired.
+func TestPartitionAcquireRelease(t *testing.T) {
+	p := NewPool(Config{HeartbeatInterval: -1})
+	defer p.Close()
+	var ws []*workerConn
+	for i := 0; i < 4; i++ {
+		ws = append(ws, addPipeWorker(t, p, fmt.Sprintf("w%d", i)))
+	}
+	if got := p.FreeLive(); got != 4 {
+		t.Fatalf("FreeLive = %d, want 4", got)
+	}
+
+	// Acquisition follows attach order and removes members from the
+	// free set.
+	a := p.Acquire(2)
+	if a.Size() != 2 || a.workers[0] != ws[0] || a.workers[1] != ws[1] {
+		t.Fatalf("first Acquire(2) = %v, want [w0 w1]", a.Names())
+	}
+	b := p.Acquire(2)
+	if b.Size() != 2 || b.workers[0] != ws[2] || b.workers[1] != ws[3] {
+		t.Fatalf("second Acquire(2) = %v, want [w2 w3]", b.Names())
+	}
+	if got := p.FreeLive(); got != 0 {
+		t.Fatalf("FreeLive after leasing all = %d, want 0", got)
+	}
+	if pt := p.Acquire(1); pt != nil {
+		t.Fatalf("Acquire on exhausted pool = %v, want nil", pt.Names())
+	}
+
+	// Release returns members to the free set; the next acquisition
+	// reuses them, still in attach order. A short grant is returned
+	// when the free set is smaller than asked.
+	a.Release()
+	if got := p.FreeLive(); got != 2 {
+		t.Fatalf("FreeLive after release = %d, want 2", got)
+	}
+	c := p.Acquire(3)
+	if c.Size() != 2 || c.workers[0] != ws[0] || c.workers[1] != ws[1] {
+		t.Fatalf("Acquire(3) after release = %v (size %d), want short grant [w0 w1]", c.Names(), c.Size())
+	}
+
+	// A dead member shrinks the partition's live view but stays a
+	// member; once released it never comes back.
+	ws[0].dead.Store(true)
+	if c.Size() != 2 || c.Live() != 1 {
+		t.Fatalf("Size/Live after death = %d/%d, want 2/1", c.Size(), c.Live())
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "w1" {
+		t.Fatalf("Names after death = %v, want [w1]", names)
+	}
+	c.Release()
+	c.Release() // idempotent
+	b.Release()
+	if got := p.FreeLive(); got != 3 {
+		t.Fatalf("FreeLive with one dead worker = %d, want 3", got)
+	}
+	d := p.Acquire(4)
+	if d.Size() != 3 || d.workers[0] != ws[1] {
+		t.Fatalf("Acquire(4) skipping the dead worker = %v, want [w1 w2 w3]", d.Names())
+	}
+	d.Release()
+}
+
+// TestElasticAdmission pins late-joining admission: a worker attached
+// after the pool went live lands in the free set and is handed out by
+// the next acquisition, and a closed pool refuses new workers.
+func TestElasticAdmission(t *testing.T) {
+	p := NewPool(Config{HeartbeatInterval: -1})
+	addPipeWorker(t, p, "early")
+	pt := p.Acquire(1)
+	if pt.Size() != 1 {
+		t.Fatalf("Acquire(1) = %d workers, want 1", pt.Size())
+	}
+	if got := p.FreeLive(); got != 0 {
+		t.Fatalf("FreeLive = %d, want 0", got)
+	}
+
+	// Late joiner: admitted into the free set without disturbing the
+	// existing lease.
+	late := addPipeWorker(t, p, "late")
+	if got := p.FreeLive(); got != 1 {
+		t.Fatalf("FreeLive after late join = %d, want 1", got)
+	}
+	pt2 := p.Acquire(1)
+	if pt2.Size() != 1 || pt2.workers[0] != late {
+		t.Fatalf("Acquire after late join = %v, want [late]", pt2.Names())
+	}
+	pt.Release()
+	pt2.Release()
+
+	// A closed pool refuses admission instead of leaking the conn.
+	p.Close()
+	cConn, wConn := net.Pipe()
+	w := NewWorker(WorkerConfig{Name: "too-late"})
+	go w.Serve(wConn)
+	if err := p.AddConn(cConn); err == nil {
+		t.Fatal("AddConn on a closed pool succeeded, want error")
+	}
+}

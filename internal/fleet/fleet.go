@@ -5,13 +5,20 @@
 // execution, and every campaign's state survives coordinator restarts
 // through the dist checkpoint format.
 //
-// The scheduler is deliberately serial: one campaign advances at a
-// time, in virtual-clock slices, over a shared dist.Pool. Campaign
-// virtual clocks are decoupled from wall clocks, so interleaving entire
-// slices loses nothing — and because each campaign's replay is
-// slicing-invariant (see dist.Advance), the artifacts a campaign
-// produces are byte-identical whatever slice schedule the bandit picks
-// and however often the process hosting the scheduler is restarted.
+// The scheduler is concurrent by partition: each round, the bandit's
+// scores become worker *shares*, the shared dist.Pool is split into
+// disjoint partitions (one per runnable campaign, sized by share), and
+// every campaign advances one virtual-clock slice simultaneously —
+// each coordinator driving only its own partition's connections. A
+// campaign that keeps the same partition across rounds hands off warm:
+// the coordinator, its dispatchers, and the worker-side engines stay
+// live and the next slice continues the lease loop directly. Byte
+// identity survives by composition: each campaign's replay is
+// slicing-invariant (see dist.Advance) and worker-count-invariant, so
+// the artifacts a campaign produces are byte-identical whatever
+// schedule the allocator picks, however many workers each round hands
+// it, and however often the hosting process restarts. Config
+// Concurrency: 1 recovers the legacy serial scheduler.
 //
 // On-disk layout under Config.StateDir:
 //
@@ -52,6 +59,13 @@ type Config struct {
 	// interval cycle, long enough to amortize checkpointing, short
 	// enough for the bandit to react).
 	Slice float64
+	// Concurrency caps how many campaigns advance per scheduling
+	// round. 0 (the default) slices every runnable campaign
+	// concurrently, worker supply permitting; 1 selects the legacy
+	// serial scheduler (one bandit pick per Step, whole pool per
+	// campaign); N>1 limits a round to the N highest-priority
+	// campaigns.
+	Concurrency int
 }
 
 // A CampaignSpec is one submitted campaign, as posted to /api/submit.
@@ -84,6 +98,7 @@ type CampaignStatus struct {
 	Execs   int     `json:"execs"`
 	Slices  int     `json:"slices"`
 	Reward  float64 `json:"reward"`
+	Workers int     `json:"workers"`
 	Error   string  `json:"error,omitempty"`
 }
 
@@ -94,6 +109,12 @@ type campaignRec struct {
 	err   string
 
 	coord *dist.Coordinator
+	// part is the worker partition the campaign currently holds (nil
+	// when parked, done, or running serially over the whole pool);
+	// workers caches its size for status snapshots, updated under the
+	// manager lock at assignment and release.
+	part    *dist.Partition
+	workers int
 
 	// Bandit bookkeeping. reward is an exponential moving average of the
 	// per-slice coverage rate — new union edges per (executions+1)
@@ -148,8 +169,9 @@ type Manager struct {
 func (m *Manager) Events() *broker { return m.events }
 
 // Instrument registers the manager's fleet-level metrics on reg:
-// lease round-trip latency and the lifetime flight-recorder event
-// count. Call once, before Run.
+// lease round-trip latency, the lifetime flight-recorder event count,
+// and the lifetime count of stream events lost to slow SSE
+// subscribers. Call once, before Run.
 func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.leaseLatency = reg.Histogram("cmfuzz_lease_latency_seconds",
 		"Round-trip time of one worker lease RPC, request encode to reply decode.", nil)
@@ -164,6 +186,9 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 			}
 			return float64(total)
 		})
+	reg.CounterFunc("cmfuzz_stream_dropped_total",
+		"Stream events discarded because a subscriber's buffer was full.",
+		func() float64 { return float64(m.events.dropped()) })
 }
 
 // NewManager opens (or creates) the state directory and recovers every
@@ -323,6 +348,7 @@ func (m *Manager) Status() []CampaignStatus {
 			Execs:   c.execs,
 			Slices:  c.slices,
 			Reward:  c.reward,
+			Workers: c.workers,
 			Error:   c.err,
 		})
 	}
@@ -457,6 +483,9 @@ func (m *Manager) ensureStarted(ctx context.Context, c *campaignRec) error {
 	opts.Telemetry = telemetry.New()
 	coord := dist.NewCoordinatorOn(m.pool, sub, opts)
 	coord.SetObserver(m.observer(c))
+	if c.part != nil {
+		coord.SetPartition(c.part)
+	}
 	ckPath := filepath.Join(m.dir(c.spec.ID), "checkpoint.bin")
 	if blob, rerr := os.ReadFile(ckPath); rerr == nil {
 		err = coord.Restore(ctx, blob)
@@ -575,11 +604,23 @@ func (m *Manager) runSlice(ctx context.Context, c *campaignRec) error {
 	return nil
 }
 
-// Step runs one scheduling quantum on the bandit-chosen campaign. It
-// reports false when no campaign is runnable. A context cancellation
-// checkpoints the interrupted campaign before returning, so no replay
-// progress past the last persisted checkpoint is lost silently.
+// Step runs one scheduling round. It reports false when no campaign is
+// runnable. A context cancellation checkpoints every interrupted
+// campaign before returning, so no replay progress past the last
+// persisted checkpoint is lost silently. With Concurrency 1 a round is
+// the legacy serial quantum: one bandit pick advancing over the whole
+// pool; otherwise the pool is partitioned and every selected campaign
+// advances one slice concurrently.
 func (m *Manager) Step(ctx context.Context) (bool, error) {
+	if m.cfg.Concurrency == 1 {
+		return m.stepSerial(ctx)
+	}
+	return m.stepRound(ctx)
+}
+
+// stepSerial is the legacy scheduler: the single bandit-chosen
+// campaign advances one slice with the whole pool as its worker set.
+func (m *Manager) stepSerial(ctx context.Context) (bool, error) {
 	m.mu.Lock()
 	c := m.pick(true)
 	m.mu.Unlock()
@@ -594,12 +635,242 @@ func (m *Manager) Step(ctx context.Context) (bool, error) {
 		m.park(c)
 		return false, err
 	}
-	// Campaign-fatal (dead fleet, lost subject, disk error): mark it
-	// failed and keep serving the others.
+	m.failCampaign(c, err)
+	return true, nil
+}
+
+// An allocation is one round's grant to one campaign: how many workers
+// its partition gets.
+type allocation struct {
+	c       *campaignRec
+	workers int
+}
+
+// allocate turns the bandit's scores into worker shares for one round.
+// Called with m.mu held; deterministic throughout (ties break toward
+// earlier submission, exactly like pick).
+//
+// Selection is pick's ranking extended to a top-k: untried campaigns
+// first in submission order, then tried ones by discounted-UCB score.
+// Shares are apportioned highest-averages style (D'Hondt): every
+// selected campaign starts at one worker, and each remaining worker
+// goes to the campaign maximizing score/(share+1) — so a campaign
+// twice as promising converges on twice the workers — capped at the
+// campaign's instance count, past which extra workers would idle.
+func (m *Manager) allocate() []allocation {
+	var cands []*campaignRec
+	total := 0
+	for _, id := range m.order {
+		c := m.campaigns[id]
+		if c.runnable() {
+			cands = append(cands, c)
+			total += c.slices
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	scale := 0.0
+	for _, c := range cands {
+		if c.reward > scale {
+			scale = c.reward
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	score := make(map[*campaignRec]float64, len(cands))
+	for _, c := range cands {
+		if c.slices == 0 {
+			// Untried: rank ahead of every scored campaign, preserving
+			// submission order among themselves.
+			score[c] = math.Inf(1)
+			continue
+		}
+		score[c] = c.reward + math.Sqrt(2*math.Log(float64(total))/float64(c.slices))*scale
+	}
+	ranked := make([]*campaignRec, len(cands))
+	copy(ranked, cands)
+	sort.SliceStable(ranked, func(i, j int) bool { return score[ranked[i]] > score[ranked[j]] })
+
+	// Capacity this round: the free set plus every worker a runnable
+	// campaign still holds warm (a mismatched partition is released
+	// before re-acquisition, so held workers are redistributable).
+	w := m.pool.FreeLive()
+	for _, c := range cands {
+		w += c.part.Live()
+	}
+	k := len(ranked)
+	if m.cfg.Concurrency > 1 && k > m.cfg.Concurrency {
+		k = m.cfg.Concurrency
+	}
+	if w > 0 && k > w {
+		k = w
+	}
+	if k < 1 {
+		// No live workers at all: grant the top campaign an impossible
+		// partition so the failure surfaces on it instead of the round
+		// silently reporting nothing runnable.
+		k = 1
+	}
+	out := make([]allocation, k)
+	for i := 0; i < k; i++ {
+		out[i] = allocation{c: ranked[i], workers: 1}
+	}
+	for extra := w - k; extra > 0; extra-- {
+		best := -1
+		bestAvg := math.Inf(-1)
+		for i := range out {
+			if out[i].workers >= instanceCap(out[i].c.spec) {
+				continue
+			}
+			avg := score[out[i].c] / float64(out[i].workers+1)
+			if math.IsInf(avg, 1) {
+				// Untried campaigns divide to +Inf at any share; fall back
+				// to preferring the smaller share so they split evenly.
+				avg = -float64(out[i].workers)
+			}
+			if avg > bestAvg {
+				best, bestAvg = i, avg
+			}
+		}
+		if best < 0 {
+			break // every selected campaign is at its instance cap
+		}
+		out[best].workers++
+	}
+	for _, a := range out {
+		a.c.flight.add("award", map[string]any{
+			"workers": a.workers,
+			"reward":  a.c.reward,
+			"slices":  a.c.slices,
+			"total":   total,
+			"untried": a.c.slices == 0,
+		})
+	}
+	return out
+}
+
+// instanceCap is the campaign's parallel instance count — the point
+// past which extra workers would idle (parallel's default is 4).
+func instanceCap(spec CampaignSpec) int {
+	if spec.Instances > 0 {
+		return spec.Instances
+	}
+	return 4
+}
+
+// stepRound runs one concurrent scheduling round: allocate shares,
+// reconcile partitions (warm hand-off when a campaign's grant matches
+// the partition it already holds; park-and-reacquire otherwise), then
+// advance every selected campaign one slice in parallel, each
+// coordinator driving only its own partition.
+func (m *Manager) stepRound(ctx context.Context) (bool, error) {
+	m.mu.Lock()
+	allocs := m.allocate()
+	selected := make(map[*campaignRec]bool, len(allocs))
+	for _, a := range allocs {
+		selected[a.c] = true
+	}
+	// Runnable campaigns squeezed out of this round (capacity or the
+	// concurrency cap) give their workers back before the selected set
+	// acquires.
+	var evicted []*campaignRec
+	for _, id := range m.order {
+		if c := m.campaigns[id]; c.runnable() && !selected[c] && (c.coord != nil || c.part != nil) {
+			evicted = append(evicted, c)
+		}
+	}
+	m.mu.Unlock()
+	if len(allocs) == 0 {
+		return false, nil
+	}
+	for _, c := range evicted {
+		m.park(c)
+	}
+	for _, a := range allocs {
+		c := a.c
+		if c.coord != nil && c.part != nil && c.part.Live() == a.workers {
+			// Warm hand-off: same partition, live coordinator — the next
+			// slice continues the existing lease loop; no finalize, no
+			// re-assign, no re-boot.
+			c.flight.add("handoff", map[string]any{"warm": true, "workers": a.workers})
+			continue
+		}
+		m.park(c)
+	}
+	for _, a := range allocs {
+		c := a.c
+		if c.part == nil {
+			c.part = m.pool.Acquire(a.workers)
+			c.flight.add("handoff", map[string]any{"warm": false, "workers": c.part.Live()})
+		}
+		m.mu.Lock()
+		c.workers = c.part.Live()
+		m.mu.Unlock()
+	}
+
+	errs := make([]error, len(allocs))
+	var wg sync.WaitGroup
+	for i, a := range allocs {
+		if a.c.part == nil {
+			errs[i] = errors.New("fleet: no live workers available")
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *campaignRec) {
+			defer wg.Done()
+			errs[i] = m.runSlice(ctx, c)
+		}(i, a.c)
+	}
+	wg.Wait()
+
+	interrupted := false
+	for i, a := range allocs {
+		c := a.c
+		switch err := errs[i]; {
+		case err == nil:
+			m.mu.Lock()
+			finished := c.state == StateDone || c.state == StateFailed
+			m.mu.Unlock()
+			if finished {
+				m.releasePartition(c)
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			m.park(c)
+			interrupted = true
+		default:
+			m.failCampaign(c, err)
+		}
+	}
+	if interrupted {
+		return false, ctx.Err()
+	}
+	return true, nil
+}
+
+// releasePartition returns c's workers to the free set and zeroes the
+// status snapshot's worker count.
+func (m *Manager) releasePartition(c *campaignRec) {
+	if c.part != nil {
+		c.part.Release()
+		c.part = nil
+	}
+	m.mu.Lock()
+	c.workers = 0
+	m.mu.Unlock()
+}
+
+// failCampaign handles a campaign-fatal slice error (dead fleet, lost
+// subject, disk error): the campaign is marked failed, its flight
+// recorder dumped, and its workers returned, while the scheduler keeps
+// serving the others.
+func (m *Manager) failCampaign(c *campaignRec, err error) {
 	if c.coord != nil {
 		c.coord.Close()
 		c.coord = nil
 	}
+	m.releasePartition(c)
 	c.flight.add("failed", map[string]any{"error": err.Error()})
 	m.dumpFlight(c, "campaign_failed")
 	m.mu.Lock()
@@ -609,21 +880,23 @@ func (m *Manager) Step(ctx context.Context) (bool, error) {
 	m.events.publish(StreamEvent{
 		Type: "failed", Campaign: c.spec.ID, State: StateFailed, Error: err.Error(),
 	})
-	return true, nil
 }
 
-// park checkpoints and closes c's coordinator, returning the campaign
-// to the queued state so a later scheduler (this process or the next)
-// can resume it.
+// park checkpoints and closes c's coordinator and returns its workers
+// to the free set, leaving the campaign queued so a later scheduler
+// (this process or the next) can resume it.
 func (m *Manager) park(c *campaignRec) {
-	if c.coord == nil {
+	if c.coord == nil && c.part == nil {
 		return
 	}
-	if blob, err := c.coord.Checkpoint(); err == nil {
-		campaign.WriteFileAtomic(filepath.Join(m.dir(c.spec.ID), "checkpoint.bin"), blob, 0o644)
+	if c.coord != nil {
+		if blob, err := c.coord.Checkpoint(); err == nil {
+			campaign.WriteFileAtomic(filepath.Join(m.dir(c.spec.ID), "checkpoint.bin"), blob, 0o644)
+		}
+		c.coord.Close()
+		c.coord = nil
 	}
-	c.coord.Close()
-	c.coord = nil
+	m.releasePartition(c)
 	m.mu.Lock()
 	c.state = StateQueued
 	m.mu.Unlock()
@@ -681,7 +954,7 @@ func (m *Manager) parkAll() {
 	m.mu.Lock()
 	var running []*campaignRec
 	for _, id := range m.order {
-		if c := m.campaigns[id]; c.coord != nil {
+		if c := m.campaigns[id]; c.coord != nil || c.part != nil {
 			running = append(running, c)
 		}
 	}
@@ -699,7 +972,7 @@ func (m *Manager) Close() {
 	m.mu.Lock()
 	var running []*campaignRec
 	for _, id := range m.order {
-		if c := m.campaigns[id]; c.coord != nil {
+		if c := m.campaigns[id]; c.coord != nil || c.part != nil {
 			running = append(running, c)
 		}
 	}
@@ -707,8 +980,11 @@ func (m *Manager) Close() {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	for _, c := range running {
-		c.coord.Close()
-		c.coord = nil
+		if c.coord != nil {
+			c.coord.Close()
+			c.coord = nil
+		}
+		m.releasePartition(c)
 		m.mu.Lock()
 		c.state = StateQueued
 		m.mu.Unlock()

@@ -192,8 +192,10 @@ func TestRestartResumesByteIdentity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Two concurrent rounds: both campaigns advance two slices each,
+	// leaving both mid-flight (mqtt-b's 900s horizon needs three).
 	ctx := context.Background()
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 2; i++ {
 		ok, err := m1.Step(ctx)
 		if err != nil || !ok {
 			t.Fatalf("step %d: ok=%v err=%v", i, ok, err)
@@ -611,7 +613,10 @@ func TestBanditAllocation(t *testing.T) {
 
 	pool, wait := newPool(t, 2)
 	defer wait()
-	m, err := fleet.NewManager(fleet.Config{StateDir: t.TempDir(), Slice: 600}, pool, protocols.ByName)
+	// Concurrency 1: the oracle/round-robin comparison simulates a
+	// serial one-slice-per-step schedule, the regime the discounted-UCB
+	// pick was designed and budgeted for.
+	m, err := fleet.NewManager(fleet.Config{StateDir: t.TempDir(), Slice: 600, Concurrency: 1}, pool, protocols.ByName)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package fleet
+
+import "testing"
+
+// TestStreamDropVisibility pins the lossy broker's drop accounting: a
+// subscriber whose buffer fills loses events silently (publish never
+// blocks), but the next event that does get through carries the gap
+// size in Dropped, and every loss lands in the broker-wide total that
+// feeds cmfuzz_stream_dropped_total.
+func TestStreamDropVisibility(t *testing.T) {
+	b := newBroker()
+	ch, cancel := b.subscribe()
+	defer cancel()
+
+	// Fill the 64-slot buffer, then overflow by 5.
+	for i := 0; i < 69; i++ {
+		b.publish(StreamEvent{Type: "checkpoint"})
+	}
+	if got := b.dropped(); got != 5 {
+		t.Fatalf("dropped total after overflow = %d, want 5", got)
+	}
+
+	// Everything buffered before the overflow was delivered gap-free.
+	for i := 0; i < 64; i++ {
+		ev := <-ch
+		if ev.Seq != int64(i+1) || ev.Dropped != 0 {
+			t.Fatalf("buffered event %d: seq=%d dropped=%d, want seq=%d dropped=0",
+				i, ev.Seq, ev.Dropped, i+1)
+		}
+	}
+
+	// The next delivered event announces the 5-event gap, and the one
+	// after that is clean again.
+	b.publish(StreamEvent{Type: "slice_end"})
+	if ev := <-ch; ev.Seq != 70 || ev.Dropped != 5 {
+		t.Fatalf("post-gap event: seq=%d dropped=%d, want seq=70 dropped=5", ev.Seq, ev.Dropped)
+	}
+	b.publish(StreamEvent{Type: "done"})
+	if ev := <-ch; ev.Seq != 71 || ev.Dropped != 0 {
+		t.Fatalf("clean event after gap: seq=%d dropped=%d, want seq=71 dropped=0", ev.Seq, ev.Dropped)
+	}
+	if got := b.dropped(); got != 5 {
+		t.Fatalf("dropped total after recovery = %d, want 5 still", got)
+	}
+
+	// A second, fast subscriber is unaffected by the slow one's losses.
+	ch2, cancel2 := b.subscribe()
+	defer cancel2()
+	b.publish(StreamEvent{Type: "submit"})
+	if ev := <-ch2; ev.Dropped != 0 {
+		t.Fatalf("fresh subscriber saw dropped=%d, want 0", ev.Dropped)
+	}
+	<-ch
+}

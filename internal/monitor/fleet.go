@@ -14,6 +14,7 @@ import (
 //	cmfuzz_campaign_edges{...}               union coverage so far
 //	cmfuzz_campaign_execs{...}               executions so far
 //	cmfuzz_campaign_slices{...}              scheduler quanta received
+//	cmfuzz_campaign_workers{...}             partition size this round
 //	cmfuzz_bandit_reward{...}                scheduler reward EMA
 //
 // Per-campaign series are labeled campaign=<id>,subject=<protocol>.
@@ -42,6 +43,8 @@ func RegisterFleet(reg *metrics.Registry, snap func() []fleet.CampaignStatus) {
 				float64(cs.Execs), cl, sl)
 			set("cmfuzz_campaign_slices", "Scheduler time slices granted so far.",
 				float64(cs.Slices), cl, sl)
+			set("cmfuzz_campaign_workers", "Workers in the campaign's partition this scheduling round (0 while parked).",
+				float64(cs.Workers), cl, sl)
 			set("cmfuzz_bandit_reward", "Discounted reward EMA (new edges per execution) the scheduler holds for the campaign.",
 				cs.Reward, cl, sl)
 		}

@@ -17,7 +17,7 @@ func TestAPIMountAndFleetMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	RegisterFleet(reg, func() []fleet.CampaignStatus {
 		return []fleet.CampaignStatus{
-			{ID: "dns-a", Subject: "DNS", State: fleet.StateRunning, Clock: 450, Horizon: 1800, Edges: 900, Execs: 451, Slices: 3, Reward: 1.5},
+			{ID: "dns-a", Subject: "DNS", State: fleet.StateRunning, Clock: 450, Horizon: 1800, Edges: 900, Execs: 451, Slices: 3, Reward: 1.5, Workers: 2},
 			{ID: "mqtt-b", Subject: "MQTT", State: fleet.StateQueued, Horizon: 900},
 			// A done campaign as a restarted manager recovers it from disk:
 			// no slices this lifetime, but final figures intact — the
@@ -39,12 +39,17 @@ func TestAPIMountAndFleetMetrics(t *testing.T) {
 		t.Fatalf("/api/ping = %d %q", code, body)
 	}
 	_, _, metricsBody := get(t, s.URL()+"/metrics")
+	if _, err := metrics.LintStrict(strings.NewReader(metricsBody)); err != nil {
+		t.Fatalf("/metrics fails strict lint: %v\n%s", err, metricsBody)
+	}
 	for _, want := range []string{
 		`cmfuzz_campaigns{state="running"} 1`,
 		`cmfuzz_campaigns{state="queued"} 1`,
 		`cmfuzz_campaigns{state="done"} 1`,
 		`cmfuzz_campaign_edges{campaign="dns-a",subject="DNS"} 900`,
 		`cmfuzz_campaign_slices{campaign="dns-a",subject="DNS"} 3`,
+		`cmfuzz_campaign_workers{campaign="dns-a",subject="DNS"} 2`,
+		`cmfuzz_campaign_workers{campaign="mqtt-b",subject="MQTT"} 0`,
 		`cmfuzz_bandit_reward{campaign="dns-a",subject="DNS"} 1.5`,
 		`cmfuzz_campaign_horizon_seconds{campaign="mqtt-b",subject="MQTT"} 900`,
 		`cmfuzz_campaign_edges{campaign="coap-c",subject="CoAP"} 1200`,
