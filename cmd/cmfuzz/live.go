@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmfuzz/internal/live"
+	"cmfuzz/internal/subject"
+)
+
+// liveFlags groups the `fuzz` flags that point a campaign at a live
+// external target instead of a built-in simulation subject.
+type liveFlags struct {
+	cmd           *string
+	addr          *string
+	template      *string
+	transport     *string
+	specPath      *string
+	rate          *float64
+	maxRestarts   *int
+	restartWindow *float64
+	maxHangs      *int
+}
+
+func addLiveFlags(fs *flag.FlagSet) *liveFlags {
+	return &liveFlags{
+		cmd:           fs.String("target-cmd", "", "live target: server command line ({port} and {config} are substituted); overrides -subject"),
+		addr:          fs.String("target-addr", "", "live target: attach to an already-running server at host:port (no lifecycle management)"),
+		template:      fs.String("target-config-template", "", "live target: path to the server's key=value config file template (identification input + render template)"),
+		transport:     fs.String("target-transport", "udp", "live target transport: udp or tcp"),
+		specPath:      fs.String("target-spec", "", "live target: path to a full JSON spec (overrides the individual -target-* flags)"),
+		rate:          fs.Float64("target-rate", 0, "live target: max messages per wall-clock second (0 = unlimited)"),
+		maxRestarts:   fs.Int("target-max-restarts", 0, "live target: kill switch fires above this many restarts per window (0 = off)"),
+		restartWindow: fs.Float64("target-restart-window", 30, "live target: restart-storm window in seconds"),
+		maxHangs:      fs.Int("target-max-hangs", 0, "live target: kill switch fires after this many hangs (0 = off)"),
+	}
+}
+
+// enabled reports whether any live-target surface was requested.
+func (lf *liveFlags) enabled() bool {
+	return *lf.cmd != "" || *lf.addr != "" || *lf.specPath != ""
+}
+
+// subject builds the live subject from the flags (or the JSON spec
+// file). The config template travels inline in the spec, so everything
+// downstream — fleet workers included — is machine-independent.
+func (lf *liveFlags) subject() (*live.Subject, error) {
+	if *lf.specPath != "" {
+		raw, err := os.ReadFile(*lf.specPath)
+		if err != nil {
+			return nil, err
+		}
+		return live.SubjectFromJSON(string(raw))
+	}
+	spec := live.Spec{
+		Cmd:       strings.Fields(*lf.cmd),
+		Addr:      *lf.addr,
+		Transport: *lf.transport,
+		Rails: live.Rails{
+			Rate:          *lf.rate,
+			MaxRestarts:   *lf.maxRestarts,
+			RestartWindow: *lf.restartWindow,
+			MaxHangs:      *lf.maxHangs,
+		},
+	}
+	if *lf.template != "" {
+		raw, err := os.ReadFile(*lf.template)
+		if err != nil {
+			return nil, err
+		}
+		spec.ConfigTemplate = string(raw)
+	}
+	return live.NewSubject(spec)
+}
+
+// liveKillSwitch returns the subject's kill switch when sub is a live
+// subject, nil otherwise.
+func liveKillSwitch(sub subject.Subject) *live.KillSwitch {
+	if ls, ok := sub.(*live.Subject); ok {
+		return ls.KillSwitch()
+	}
+	return nil
+}
+
+// printKillReason reports a kill-switch shutdown on stdout so the CI
+// smoke (and an operator's eyeball) can confirm the stop was the rails
+// acting, not a crash of the fuzzer itself.
+func printKillReason(ks *live.KillSwitch) {
+	if ks.Tripped() {
+		fmt.Printf("kill switch tripped: %s — campaign stopped, partial results kept\n", ks.Reason())
+	}
+}

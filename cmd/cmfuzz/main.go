@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +36,7 @@ import (
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/protocols"
 	"cmfuzz/internal/subject"
+	"cmfuzz/internal/telemetry"
 	"cmfuzz/internal/telemetry/metrics"
 )
 
@@ -242,10 +245,29 @@ func cmdFuzz(args []string) error {
 	eventsPath := fs.String("events", "", "write the structured event stream as JSONL to this file (implies -telemetry)")
 	tracePath := fs.String("trace", "", "write a wall-clock Chrome trace (chrome://tracing / Perfetto) to this file")
 	monitorAddr := fs.String("monitor", "", "serve /status, /metrics, /healthz and /debug/pprof on this host:port (implies -telemetry)")
+	satWindow := fs.Float64("sat-window", 0, "saturation window in virtual seconds (0 = default 1800)")
+	satMinGain := fs.Int("sat-min-gain", 0, "per-window coverage gain below which an instance saturates (0 = default 8)")
+	linkLoss := fs.Float64("link-loss", 0, "drop each fuzzer-to-target datagram with this probability")
+	linkLatency := fs.Float64("link-latency", 0, "base virtual link latency per delivered message, seconds")
+	linkJitter := fs.Float64("link-jitter", 0, "uniform virtual latency jitter on top of -link-latency, seconds")
+	lf := addLiveFlags(fs)
 	fs.Parse(args)
-	sub, err := getSubject(*name)
-	if err != nil {
-		return err
+	var sub subject.Subject
+	if lf.enabled() {
+		ls, lerr := lf.subject()
+		if lerr != nil {
+			return lerr
+		}
+		sub = ls
+		// A live campaign's safety-rail counters must land in result.json,
+		// so the recorder is always on.
+		*telemetryOn = true
+	} else {
+		var serr error
+		sub, serr = getSubject(*name)
+		if serr != nil {
+			return serr
+		}
 	}
 	sess, err := monitor.StartSession(monitor.SessionConfig{
 		Telemetry:   *telemetryOn,
@@ -285,6 +307,18 @@ func cmdFuzz(args []string) error {
 	}
 	ctx, cancel := signalContext()
 	defer cancel()
+	ks := liveKillSwitch(sub)
+	if ks != nil {
+		if ls, ok := sub.(interface{ SetRecorder(*telemetry.Recorder) }); ok {
+			ls.SetRecorder(rec)
+		}
+		// The kill switch hard-stops the campaign through context
+		// cancellation; Run finalizes a partial result we still report.
+		kctx, kcancel := context.WithCancel(ctx)
+		defer kcancel()
+		ks.SetOnTrip(func(string) { kcancel() })
+		ctx = kctx
+	}
 	res, err := parallel.Run(ctx, sub, parallel.Options{
 		Mode:                  mode,
 		Instances:             *instances,
@@ -293,12 +327,17 @@ func cmdFuzz(args []string) error {
 		Allocator:             allocator,
 		DisableConfigMutation: *noMut,
 		RawRelationWeighting:  *rawWeights,
+		SaturationWindow:      *satWindow,
+		SaturationMinGain:     *satMinGain,
+		LinkLoss:              *linkLoss,
+		LinkLatencyBase:       *linkLatency,
+		LinkLatencyJitter:     *linkJitter,
 		Concurrency:           *concurrency,
 		Telemetry:             rec,
 		Trace:                 sess.Root,
 		Progress:              sess.Progress,
 	})
-	if err != nil {
+	if err != nil && !(res != nil && ks.Tripped() && errors.Is(err, context.Canceled)) {
 		sess.Finish(nil)
 		return err
 	}
@@ -324,6 +363,9 @@ func cmdFuzz(args []string) error {
 		for _, r := range reports {
 			fmt.Printf("  [%6.1fh] %s\n", r.Time/3600, r.Crash.Error())
 		}
+	}
+	if ks != nil {
+		printKillReason(ks)
 	}
 	return finishSession(sess, *telemetryOn)
 }

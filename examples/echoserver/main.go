@@ -1,0 +1,234 @@
+// Command echoserver is the sample external target for live-socket
+// fuzzing: a tiny UDP/TCP echo server configured through a key=value
+// file, the way a real IoT daemon would be. It exists so the README
+// quickstart, the live driver's tests, and the CI smoke job all have a
+// genuinely external process to point `cmfuzz fuzz -target-cmd` at.
+//
+// The configuration surface is deliberately behavior-bearing so the
+// identification/relation machinery has something to find:
+//
+//	mode        = plain | upper | reverse   response transform
+//	verbose     = true | false              extra banner features + logging
+//	max_payload = N                         payloads above N are rejected
+//	wedge_after = N                         stop responding after N messages (0 = never)
+//	crash_on    = TOKEN                     abort when a payload contains TOKEN ("" = never)
+//	delay_ms    = N                         sleep before each reply
+//
+// On startup the server prints a READY banner listing its enabled
+// features as tokens; the live driver folds those tokens into startup
+// coverage, so configurations that flip features apart are visibly
+// different to the relation-quantification probe.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type config struct {
+	mode       string
+	verbose    bool
+	maxPayload int
+	wedgeAfter int
+	crashOn    string
+	delay      time.Duration
+}
+
+func loadConfig(path string) (config, error) {
+	cfg := config{mode: "plain", maxPayload: 1 << 16}
+	if path == "" {
+		return cfg, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.IndexByte(line, '=')
+		if i < 0 {
+			continue
+		}
+		k := strings.TrimSpace(line[:i])
+		v := strings.TrimSpace(line[i+1:])
+		switch k {
+		case "mode":
+			switch v {
+			case "plain", "upper", "reverse":
+				cfg.mode = v
+			default:
+				return cfg, fmt.Errorf("bad mode %q", v)
+			}
+		case "verbose":
+			cfg.verbose = v == "true" || v == "1" || v == "yes"
+		case "max_payload":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad max_payload %q", v)
+			}
+			cfg.maxPayload = n
+		case "wedge_after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad wedge_after %q", v)
+			}
+			cfg.wedgeAfter = n
+		case "crash_on":
+			cfg.crashOn = v
+		case "delay_ms":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("bad delay_ms %q", v)
+			}
+			cfg.delay = time.Duration(n) * time.Millisecond
+		}
+	}
+	return cfg, nil
+}
+
+// banner lists the enabled feature set as tokens. Feature interactions
+// get their own token (turbo) so pairwise configuration probes see a
+// non-additive signal, the thing relation quantification measures.
+func banner(cfg config, port int) string {
+	toks := []string{"READY", "echoserver", fmt.Sprintf("port=%d", port), "mode=" + cfg.mode}
+	if cfg.mode != "plain" {
+		toks = append(toks, "xform")
+	}
+	if cfg.mode == "reverse" {
+		toks = append(toks, "rev")
+	}
+	if cfg.verbose {
+		toks = append(toks, "verbose", "log")
+	}
+	if cfg.verbose && cfg.mode == "upper" {
+		toks = append(toks, "turbo")
+	}
+	if cfg.maxPayload > 512 {
+		toks = append(toks, "bigbuf")
+	}
+	if cfg.wedgeAfter > 0 {
+		toks = append(toks, "wedge")
+	}
+	if cfg.crashOn != "" {
+		toks = append(toks, "tripwire")
+	}
+	return strings.Join(toks, " ")
+}
+
+func transform(cfg config, payload []byte) []byte {
+	switch cfg.mode {
+	case "upper":
+		return []byte(strings.ToUpper(string(payload)))
+	case "reverse":
+		out := make([]byte, len(payload))
+		for i, b := range payload {
+			out[len(payload)-1-i] = b
+		}
+		return out
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}
+
+// handle implements the per-message behavior shared by both transports.
+// A nil return means "no reply" (rejected or wedged); crash aborts the
+// whole process the way a real memory-safety bug would.
+func handle(cfg config, served *int, payload []byte) []byte {
+	if cfg.crashOn != "" && strings.Contains(string(payload), cfg.crashOn) {
+		fmt.Fprintf(os.Stderr, "fatal: payload contained crash token %q\n", cfg.crashOn)
+		os.Exit(134)
+	}
+	if cfg.wedgeAfter > 0 && *served >= cfg.wedgeAfter {
+		return nil
+	}
+	*served++
+	if len(payload) > cfg.maxPayload {
+		return []byte("ERR too-big")
+	}
+	if cfg.delay > 0 {
+		time.Sleep(cfg.delay)
+	}
+	return transform(cfg, payload)
+}
+
+func main() {
+	port := flag.Int("port", 0, "listen port (required)")
+	configPath := flag.String("config", "", "key=value config file")
+	transport := flag.String("transport", "udp", "udp or tcp")
+	flag.Parse()
+	if *port == 0 {
+		fmt.Fprintln(os.Stderr, "echoserver: -port is required")
+		os.Exit(2)
+	}
+	cfg, err := loadConfig(*configPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "echoserver: config: %v\n", err)
+		os.Exit(2)
+	}
+
+	served := 0
+	switch *transport {
+	case "udp":
+		pc, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", *port))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "echoserver: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(banner(cfg, *port))
+		buf := make([]byte, 64<<10)
+		for {
+			n, src, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if cfg.verbose {
+				fmt.Fprintf(os.Stderr, "recv %d bytes from %s\n", n, src)
+			}
+			if resp := handle(cfg, &served, buf[:n]); resp != nil {
+				pc.WriteTo(resp, src)
+			}
+		}
+	case "tcp":
+		l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", *port))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "echoserver: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(banner(cfg, *port))
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				buf := make([]byte, 64<<10)
+				for {
+					n, err := r.Read(buf)
+					if n > 0 {
+						if resp := handle(cfg, &served, buf[:n]); resp != nil {
+							c.Write(resp)
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "echoserver: unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+}

@@ -15,7 +15,10 @@ import (
 // Kind is the sanitizer report category of a crash.
 type Kind int
 
-// The sanitizer categories that appear in the paper's Table II.
+// The sanitizer categories that appear in the paper's Table II, plus
+// AbnormalExit for live targets: an external server process that dies
+// with a nonzero exit code (or a signal with no finer classification)
+// has no sanitizer report, only an exit status and a stderr tail.
 const (
 	HeapUseAfterFree Kind = iota
 	SEGV
@@ -23,6 +26,7 @@ const (
 	AllocationSizeTooBig
 	StackBufferOverflow
 	HeapBufferOverflow
+	AbnormalExit
 )
 
 var kindNames = [...]string{
@@ -32,6 +36,7 @@ var kindNames = [...]string{
 	AllocationSizeTooBig: "allocation-size-too-big",
 	StackBufferOverflow:  "stack-buffer-overflow",
 	HeapBufferOverflow:   "heap-buffer-overflow",
+	AbnormalExit:         "abnormal-exit",
 }
 
 // String returns the ASan-style name of the kind.

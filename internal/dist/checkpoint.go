@@ -184,6 +184,15 @@ type checkpointInstance struct {
 	remaining   []leaseRecord
 }
 
+// ValidateCheckpoint reports whether data parses as a structurally
+// complete checkpoint. The fleet recovery scan uses it to quarantine a
+// corrupt or truncated checkpoint.bin (a crash mid-write, a bad disk)
+// instead of aborting recovery for every sibling campaign.
+func ValidateCheckpoint(data []byte) error {
+	_, err := decodeCheckpoint(data)
+	return err
+}
+
 func decodeCheckpoint(data []byte) (*checkpoint, error) {
 	r := wire.NewReader(data)
 	if magic := r.String16(); r.Err() != nil || magic != checkpointMagic {
@@ -368,7 +377,7 @@ func (c *Coordinator) Restore(ctx context.Context, data []byte) error {
 	wireOpts.Trace = nil
 	wireOpts.Progress = nil
 	wireOpts.Label = ""
-	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Trace: opts.Trace != nil, Opts: wireOpts, Specs: ck.specs})
+	assignPayload := encodeAssign(assign{Campaign: c.campaign, Subject: info.Protocol, Trace: opts.Trace != nil, LiveSpec: liveSpecOf(c.sub), Opts: wireOpts, Specs: ck.specs})
 	for _, wc := range workers {
 		if _, err := wc.rpc(msgAssign, assignPayload, msgAssignOK, c.cfg.RPCTimeout); err != nil {
 			return fmt.Errorf("dist: assign to worker %q: %w", wc.name, err)

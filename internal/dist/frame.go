@@ -54,8 +54,10 @@ const maxFrame = 64 << 20
 // cross-process tracing: Assign carries a Trace flag, and every lease
 // reply ends with a span-record section (empty when tracing is off)
 // plus the worker's tracer clock, so the coordinator can stitch worker
-// spans into one aligned Chrome trace.
-const protocolVersion = 4
+// spans into one aligned Chrome trace. Version 5 adds live targets:
+// Assign carries an inline JSON live-target spec (empty for built-in
+// subjects) and the options gain the link-impairment knobs.
+const protocolVersion = 5
 
 // Message types.
 const (

@@ -108,26 +108,46 @@ type Partition struct {
 // for another partition); a short partition — fewer than n — is
 // returned when the free set is smaller than asked.
 func (p *Pool) Acquire(n int) *Partition {
+	return p.AcquirePreferring(n, nil)
+}
+
+// AcquirePreferring is Acquire with partition affinity: free live
+// workers named in prefer are leased first (in attach order among
+// themselves), and only then is the remainder filled from the rest of
+// the free set in attach order. A campaign that parks and re-acquires
+// gets its previous workers back whenever they are still free, so the
+// worker-side state that survives a warm hand-off (booted live
+// targets, OS page cache) is reused instead of rebuilt on strangers.
+func (p *Pool) AcquirePreferring(n int, prefer []string) *Partition {
 	if n <= 0 {
 		return nil
+	}
+	preferred := make(map[string]bool, len(prefer))
+	for _, name := range prefer {
+		preferred[name] = true
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var got []*workerConn
-	for _, wc := range p.workers {
-		if len(got) == n {
-			break
+	take := func(wantPreferred bool) {
+		for _, wc := range p.workers {
+			if len(got) == n {
+				return
+			}
+			if wc.dead.Load() || p.leased[wc] {
+				continue
+			}
+			if preferred[wc.name] != wantPreferred {
+				continue
+			}
+			got = append(got, wc)
+			p.leased[wc] = true
 		}
-		if wc.dead.Load() || p.leased[wc] {
-			continue
-		}
-		got = append(got, wc)
 	}
+	take(true)
+	take(false)
 	if len(got) == 0 {
 		return nil
-	}
-	for _, wc := range got {
-		p.leased[wc] = true
 	}
 	return &Partition{pool: p, workers: got}
 }

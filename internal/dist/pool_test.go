@@ -124,3 +124,52 @@ func TestElasticAdmission(t *testing.T) {
 		t.Fatal("AddConn on a closed pool succeeded, want error")
 	}
 }
+
+// TestAcquirePreferring pins partition affinity: workers named in the
+// prefer list are leased first when free, the remainder fills in
+// attach order, and a fully-preferred re-grant reproduces the exact
+// worker set a campaign held before releasing it.
+func TestAcquirePreferring(t *testing.T) {
+	p := NewPool(Config{HeartbeatInterval: -1})
+	defer p.Close()
+	var ws []*workerConn
+	for i := 0; i < 4; i++ {
+		ws = append(ws, addPipeWorker(t, p, fmt.Sprintf("w%d", i)))
+	}
+
+	// Preference jumps the attach order: w2 and w3 come first, then
+	// the remainder fills from the front.
+	a := p.AcquirePreferring(3, []string{"w2", "w3"})
+	if a.Size() != 3 || a.workers[0] != ws[2] || a.workers[1] != ws[3] || a.workers[2] != ws[0] {
+		t.Fatalf("AcquirePreferring(3, [w2 w3]) = %v, want [w2 w3 w0]", a.Names())
+	}
+	a.Release()
+
+	// Release-then-reacquire with the previous names lands on the same
+	// worker set even though another campaign grabbed different
+	// workers in between.
+	other := p.AcquirePreferring(2, nil)
+	if other.workers[0] != ws[0] || other.workers[1] != ws[1] {
+		t.Fatalf("plain acquire = %v, want [w0 w1]", other.Names())
+	}
+	b := p.AcquirePreferring(2, []string{"w2", "w3"})
+	if b.Size() != 2 || b.workers[0] != ws[2] || b.workers[1] != ws[3] {
+		t.Fatalf("re-grant = %v, want previous set [w2 w3]", b.Names())
+	}
+	other.Release()
+	b.Release()
+
+	// Preferred names that are leased or dead are skipped, not waited
+	// for: the grant falls back to whatever is free.
+	ws[2].dead.Store(true)
+	hold := p.AcquirePreferring(1, []string{"w3"})
+	if hold.workers[0] != ws[3] {
+		t.Fatalf("hold = %v, want [w3]", hold.Names())
+	}
+	c := p.AcquirePreferring(2, []string{"w2", "w3"})
+	if c.Size() != 2 || c.workers[0] != ws[0] || c.workers[1] != ws[1] {
+		t.Fatalf("grant with dead+leased preferences = %v, want [w0 w1]", c.Names())
+	}
+	hold.Release()
+	c.Release()
+}

@@ -12,6 +12,7 @@ import (
 	"cmfuzz/internal/core/schedule"
 	"cmfuzz/internal/fuzz"
 	"cmfuzz/internal/parallel"
+	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
 	"cmfuzz/internal/telemetry/trace"
 	"cmfuzz/internal/wire"
@@ -118,8 +119,13 @@ type assign struct {
 	// Timing observation only — it never influences execution, so
 	// traced and untraced campaigns stay byte-identical.
 	Trace bool
-	Opts  parallel.Options
-	Specs []parallel.InstanceSpec
+	// LiveSpec, when non-empty, is a JSON-encoded live-target spec: the
+	// worker builds a live subject from it instead of resolving Subject
+	// by name. The whole spec (config template included) travels inline
+	// so workers never need files from the submitter's machine.
+	LiveSpec string
+	Opts     parallel.Options
+	Specs    []parallel.InstanceSpec
 }
 
 func encodeOptions(w *wire.Writer, o parallel.Options) {
@@ -139,6 +145,9 @@ func encodeOptions(w *wire.Writer, o parallel.Options) {
 	putBool(w, o.RawRelationWeighting)
 	putBool(w, o.PeachSharedSchedules)
 	w.U32(uint32(o.Concurrency))
+	putF64(w, o.LinkLoss)
+	putF64(w, o.LinkLatencyBase)
+	putF64(w, o.LinkLatencyJitter)
 }
 
 func decodeOptions(r *wire.Reader) parallel.Options {
@@ -159,6 +168,9 @@ func decodeOptions(r *wire.Reader) parallel.Options {
 		RawRelationWeighting:  getBool(r),
 		PeachSharedSchedules:  getBool(r),
 		Concurrency:           int(r.U32()),
+		LinkLoss:              getF64(r),
+		LinkLatencyBase:       getF64(r),
+		LinkLatencyJitter:     getF64(r),
 	}
 }
 
@@ -190,11 +202,23 @@ func decodeSpec(r *wire.Reader) parallel.InstanceSpec {
 	return s
 }
 
+// liveSpecOf returns the inline live-target spec for subjects that
+// carry one ("" otherwise). The assertion keeps dist decoupled from
+// the live package on the coordinator side: any subject exposing
+// LiveSpecJSON rides the wire.
+func liveSpecOf(sub subject.Subject) string {
+	if ls, ok := sub.(interface{ LiveSpecJSON() string }); ok {
+		return ls.LiveSpecJSON()
+	}
+	return ""
+}
+
 func encodeAssign(a assign) []byte {
 	w := &wire.Writer{}
 	w.U32(a.Campaign)
 	w.String16(a.Subject)
 	putBool(w, a.Trace)
+	w.String32(a.LiveSpec)
 	encodeOptions(w, a.Opts)
 	w.U16(uint16(len(a.Specs)))
 	for _, s := range a.Specs {
@@ -205,7 +229,7 @@ func encodeAssign(a assign) []byte {
 
 func decodeAssign(p []byte) (assign, error) {
 	r := wire.NewReader(p)
-	a := assign{Campaign: r.U32(), Subject: r.String16(), Trace: getBool(r), Opts: decodeOptions(r)}
+	a := assign{Campaign: r.U32(), Subject: r.String16(), Trace: getBool(r), LiveSpec: r.String32(), Opts: decodeOptions(r)}
 	n := int(r.U16())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		a.Specs = append(a.Specs, decodeSpec(r))

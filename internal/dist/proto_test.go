@@ -52,13 +52,15 @@ func TestFrameRejectsOversize(t *testing.T) {
 
 func TestAssignRoundTrip(t *testing.T) {
 	in := assign{
-		Subject: "DNS",
+		Subject:  "DNS",
+		LiveSpec: `{"cmd":["/usr/bin/echo-server","-port","{port}"],"transport":"udp"}`,
 		Opts: parallel.Options{
 			Mode: parallel.ModeCMFuzz, Instances: 4, VirtualHours: 1.5, Seed: 42,
 			StepCost: 2, ByteCost: 0.00002, SyncInterval: 600,
 			SaturationWindow: 1800, SaturationMinGain: 8, MaxValues: 4,
 			Allocator: parallel.AllocRandom, DisableConfigMutation: true,
 			SampleEvery: 300, RawRelationWeighting: true, PeachSharedSchedules: true,
+			LinkLoss: 0.01, LinkLatencyBase: 0.0002, LinkLatencyJitter: 0.0001,
 			Concurrency: 3,
 		},
 		Specs: []parallel.InstanceSpec{
@@ -80,6 +82,9 @@ func TestAssignRoundTrip(t *testing.T) {
 	}
 	if out.Subject != in.Subject || !reflect.DeepEqual(out.Opts, in.Opts) {
 		t.Fatalf("options diverged: %+v vs %+v", out.Opts, in.Opts)
+	}
+	if out.LiveSpec != in.LiveSpec {
+		t.Fatalf("live spec diverged: %q vs %q", out.LiveSpec, in.LiveSpec)
 	}
 	if len(out.Specs) != len(in.Specs) {
 		t.Fatalf("spec count %d, want %d", len(out.Specs), len(in.Specs))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cmfuzz/internal/coverage"
+	"cmfuzz/internal/live"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry/trace"
@@ -186,12 +187,22 @@ func (w *Worker) handle(typ byte, payload []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		if w.cfg.Resolve == nil {
-			return 0, nil, errors.New("dist: worker has no subject resolver")
-		}
-		sub, err := w.cfg.Resolve(a.Subject)
-		if err != nil {
-			return 0, nil, fmt.Errorf("dist: resolve subject %q: %w", a.Subject, err)
+		var sub subject.Subject
+		if a.LiveSpec != "" {
+			// Live target: the spec travels inline, so any worker can
+			// spawn and drive the external server locally.
+			sub, err = live.SubjectFromJSON(a.LiveSpec)
+			if err != nil {
+				return 0, nil, fmt.Errorf("dist: live spec: %w", err)
+			}
+		} else {
+			if w.cfg.Resolve == nil {
+				return 0, nil, errors.New("dist: worker has no subject resolver")
+			}
+			sub, err = w.cfg.Resolve(a.Subject)
+			if err != nil {
+				return 0, nil, fmt.Errorf("dist: resolve subject %q: %w", a.Subject, err)
+			}
 		}
 		host, err := parallel.NewHost(sub, a.Opts)
 		if err != nil {

@@ -44,6 +44,7 @@ import (
 
 	"cmfuzz/internal/campaign"
 	"cmfuzz/internal/dist"
+	"cmfuzz/internal/live"
 	"cmfuzz/internal/parallel"
 	"cmfuzz/internal/subject"
 	"cmfuzz/internal/telemetry"
@@ -69,13 +70,17 @@ type Config struct {
 }
 
 // A CampaignSpec is one submitted campaign, as posted to /api/submit.
+// Exactly one of Subject (a built-in protocol name) and Live (an
+// inline live-target spec) selects the fuzzing target; when Live is
+// set, Subject serves only as a display label.
 type CampaignSpec struct {
-	ID        string  `json:"id"`
-	Subject   string  `json:"subject"`
-	Mode      string  `json:"mode,omitempty"` // cmfuzz (default) | peach | spfuzz
-	Hours     float64 `json:"hours"`
-	Seed      int64   `json:"seed"`
-	Instances int     `json:"instances,omitempty"` // 0 = parallel default
+	ID        string     `json:"id"`
+	Subject   string     `json:"subject"`
+	Mode      string     `json:"mode,omitempty"` // cmfuzz (default) | peach | spfuzz
+	Hours     float64    `json:"hours"`
+	Seed      int64      `json:"seed"`
+	Instances int        `json:"instances,omitempty"` // 0 = parallel default
+	Live      *live.Spec `json:"live,omitempty"`      // live target instead of a built-in subject
 }
 
 // Campaign lifecycle states.
@@ -115,6 +120,12 @@ type campaignRec struct {
 	// manager lock at assignment and release.
 	part    *dist.Partition
 	workers int
+	// prevWorkers remembers the names of the partition members the
+	// campaign last held, captured when the partition is released.
+	// The next acquisition prefers these workers (Pool.AcquirePreferring)
+	// so a park-and-reacquire lands back on machines that already hold
+	// this campaign's warm state when capacity allows.
+	prevWorkers []string
 
 	// Bandit bookkeeping. reward is an exponential moving average of the
 	// per-slice coverage rate — new union edges per (executions+1)
@@ -246,6 +257,22 @@ func NewManager(cfg Config, pool *dist.Pool, resolve func(string) (subject.Subje
 				rec.execs = final.TotalExecs
 			}
 		}
+		// A corrupt or truncated checkpoint (torn write from a kill
+		// mid-rename, disk trouble) would otherwise fail the campaign's
+		// first slice after recovery. Quarantine it now — rename it
+		// aside, mark the campaign failed with the decode error so
+		// /api/status reports why — and keep scanning: one damaged
+		// campaign must not abort recovery of the rest.
+		if rec.state == StateQueued {
+			ckPath := filepath.Join(m.dir(spec.ID), "checkpoint.bin")
+			if blob, err := os.ReadFile(ckPath); err == nil {
+				if verr := dist.ValidateCheckpoint(blob); verr != nil {
+					os.Rename(ckPath, ckPath+".corrupt")
+					rec.state = StateFailed
+					rec.err = fmt.Sprintf("checkpoint quarantined to checkpoint.bin.corrupt: %v", verr)
+				}
+			}
+		}
 		m.campaigns[spec.ID] = rec
 		m.order = append(m.order, spec.ID)
 	}
@@ -284,7 +311,7 @@ func (m *Manager) Submit(spec CampaignSpec) error {
 	if _, err := m.options(spec); err != nil {
 		return err
 	}
-	if _, err := m.resolve(spec.Subject); err != nil {
+	if _, err := m.subjectFor(spec); err != nil {
 		return fmt.Errorf("fleet: campaign %q: %w", spec.ID, err)
 	}
 
@@ -304,6 +331,17 @@ func (m *Manager) Submit(spec CampaignSpec) error {
 	m.cond.Broadcast()
 	m.events.publish(StreamEvent{Type: "submit", Campaign: spec.ID, State: StateQueued})
 	return nil
+}
+
+// subjectFor maps a spec to its fuzzing target: an inline live-target
+// spec when one is present (validated and instantiated fresh per
+// call — a live Subject carries per-campaign rails state), otherwise
+// a built-in subject by name.
+func (m *Manager) subjectFor(spec CampaignSpec) (subject.Subject, error) {
+	if spec.Live != nil {
+		return live.NewSubject(*spec.Live)
+	}
+	return m.resolve(spec.Subject)
 }
 
 // options maps a spec to campaign options. Concurrency is pinned to 1:
@@ -469,7 +507,7 @@ func (m *Manager) ensureStarted(ctx context.Context, c *campaignRec) error {
 	if c.coord != nil {
 		return nil
 	}
-	sub, err := m.resolve(c.spec.Subject)
+	sub, err := m.subjectFor(c.spec)
 	if err != nil {
 		return err
 	}
@@ -802,7 +840,7 @@ func (m *Manager) stepRound(ctx context.Context) (bool, error) {
 	for _, a := range allocs {
 		c := a.c
 		if c.part == nil {
-			c.part = m.pool.Acquire(a.workers)
+			c.part = m.pool.AcquirePreferring(a.workers, c.prevWorkers)
 			c.flight.add("handoff", map[string]any{"warm": false, "workers": c.part.Live()})
 		}
 		m.mu.Lock()
@@ -850,9 +888,11 @@ func (m *Manager) stepRound(ctx context.Context) (bool, error) {
 }
 
 // releasePartition returns c's workers to the free set and zeroes the
-// status snapshot's worker count.
+// status snapshot's worker count, remembering the member names so the
+// next acquisition can prefer them.
 func (m *Manager) releasePartition(c *campaignRec) {
 	if c.part != nil {
+		c.prevWorkers = c.part.Names()
 		c.part.Release()
 		c.part = nil
 	}

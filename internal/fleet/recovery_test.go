@@ -1,0 +1,92 @@
+package fleet_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cmfuzz/internal/fleet"
+	"cmfuzz/internal/live"
+	"cmfuzz/internal/protocols"
+)
+
+// TestRecoveryQuarantinesCorruptCheckpoint pins the recovery-scan
+// hardening: a campaign directory holding a corrupt or truncated
+// checkpoint.bin is quarantined (the blob renamed aside, the campaign
+// marked failed with the decode error in /api/status) while the scan
+// keeps going and recovers the healthy campaigns around it.
+func TestRecoveryQuarantinesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeSpec := func(id string) {
+		t.Helper()
+		cdir := filepath.Join(dir, id)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := json.Marshal(fleet.CampaignSpec{ID: id, Subject: "dns", Hours: 0.1, Seed: 1})
+		if err := os.WriteFile(filepath.Join(cdir, "spec.json"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSpec("bad")
+	writeSpec("good")
+	ckPath := filepath.Join(dir, "bad", "checkpoint.bin")
+	if err := os.WriteFile(ckPath, []byte("definitely not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, stop := newPool(t, 1)
+	defer stop()
+	m, err := fleet.NewManager(fleet.Config{StateDir: dir}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatalf("recovery scan aborted on corrupt checkpoint: %v", err)
+	}
+
+	bad := findStatus(t, m, "bad")
+	if bad.State != fleet.StateFailed {
+		t.Fatalf("bad campaign state = %s, want %s", bad.State, fleet.StateFailed)
+	}
+	if !strings.Contains(bad.Error, "quarantined") {
+		t.Fatalf("bad campaign error = %q, want a quarantine notice", bad.Error)
+	}
+	if _, err := os.Stat(ckPath); !os.IsNotExist(err) {
+		t.Fatalf("corrupt checkpoint still at %s (stat err %v), want renamed aside", ckPath, err)
+	}
+	if _, err := os.Stat(ckPath + ".corrupt"); err != nil {
+		t.Fatalf("quarantined blob missing: %v", err)
+	}
+	if good := findStatus(t, m, "good"); good.State != fleet.StateQueued {
+		t.Fatalf("good campaign state = %s, want %s", good.State, fleet.StateQueued)
+	}
+}
+
+// TestSubmitLiveSpec pins live-target submission: an inline live spec
+// replaces the built-in subject lookup, and an invalid one is rejected
+// at submit time instead of failing the campaign's first slice.
+func TestSubmitLiveSpec(t *testing.T) {
+	pool, stop := newPool(t, 1)
+	defer stop()
+	m, err := fleet.NewManager(fleet.Config{StateDir: t.TempDir()}, pool, protocols.ByName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Submit(fleet.CampaignSpec{
+		ID: "live-bad", Subject: "echo", Hours: 0.1,
+		Live: &live.Spec{}, // neither Cmd nor Addr: invalid
+	})
+	if err == nil {
+		t.Fatal("Submit accepted an invalid live spec")
+	}
+	err = m.Submit(fleet.CampaignSpec{
+		ID: "live-ok", Subject: "echo", Hours: 0.1,
+		Live: &live.Spec{Cmd: []string{"/bin/echo-server", "-port", "{port}"}},
+	})
+	if err != nil {
+		t.Fatalf("Submit rejected a valid live spec: %v", err)
+	}
+	if st := findStatus(t, m, "live-ok"); st.State != fleet.StateQueued {
+		t.Fatalf("live campaign state = %s, want %s", st.State, fleet.StateQueued)
+	}
+}

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"strings"
+
+	"cmfuzz/internal/coverage"
+)
+
+// Inferred coverage. A live target has no trace-pc-guard map, so the
+// driver synthesizes one from what the wire gives back: each response
+// is folded into a small bounded class (length bucket × first-byte
+// nibble), and both the class and the (previous class → class)
+// transition are recorded as edges. The class space is deliberately
+// tiny — a few hundred classes, a few thousand transitions — so a
+// target whose behavior stops changing saturates the inferred map
+// quickly and the scheduler's saturation detector fires config-group
+// mutations exactly as it would for an instrumented subject. Raw
+// response hashes would do the opposite: every timestamp or sequence
+// number in a reply would mint a fresh edge and the group would never
+// saturate.
+
+// Probe-site namespaces for the synthetic edges. Spread apart so the
+// splitmix64 edge hash keeps boot, class, and transition populations
+// disjoint in practice.
+const (
+	siteBoot       = 0x11770001 // target reached readiness
+	siteBanner     = 0x11770002 // one banner token (state = token hash)
+	siteClass      = 0x11770003 // one response class
+	siteTransition = 0x11770004 // one class→class transition
+	siteSilence    = 0x11770005 // a message drew no response
+)
+
+// classNone is the transition-origin sentinel for "start of session".
+const classNone = 0xffff
+
+// classify folds one response into its bounded class: the upper bits
+// are the length's power-of-two bucket, the lower four the first
+// payload nibble (a protocol's opcode/type field usually lives there).
+func classify(resp []byte) uint16 {
+	bucket := uint16(bits.Len(uint(len(resp))))
+	var nib uint16
+	if len(resp) > 0 {
+		nib = uint16(resp[0] >> 4)
+	}
+	return bucket<<4 | nib
+}
+
+// classifier accumulates inferred coverage for one instance. Not
+// safe for concurrent use; each instance owns one.
+type classifier struct {
+	tr   *coverage.Trace
+	prev uint16
+}
+
+func newClassifier() *classifier { return &classifier{prev: classNone} }
+
+// setTrace redirects subsequent observations into tr.
+func (c *classifier) setTrace(tr *coverage.Trace) { c.tr = tr }
+
+// newSession resets the transition origin, mirroring the fresh-session
+// semantics instrumented subjects get from Instance.NewSession.
+func (c *classifier) newSession() { c.prev = classNone }
+
+// observe records the inferred edges for one request's responses. An
+// empty response set records the silence edge (distinguishing "target
+// answers nothing" from "target answers") without advancing the
+// transition chain.
+func (c *classifier) observe(resps [][]byte) {
+	if len(resps) == 0 {
+		c.tr.Edge(siteSilence, uint64(c.prev))
+		return
+	}
+	for _, r := range resps {
+		cl := classify(r)
+		c.tr.Edge(siteClass, uint64(cl))
+		c.tr.Edge(siteTransition, uint64(c.prev)<<16|uint64(cl))
+		c.prev = cl
+	}
+}
+
+// bannerCoverage turns the target's readiness banner into startup
+// coverage: one guaranteed boot edge (so subject.Probe always sees a
+// successful start as >0 coverage) plus one edge per whitespace token.
+// Targets that announce enabled features in their banner — the usual
+// convention, and the one the bundled echo fixture follows — thereby
+// give the relation-quantification probe a real signal: configurations
+// that flip features on and off produce different startup counts.
+func bannerCoverage(tr *coverage.Trace, banner string) {
+	tr.Hit(siteBoot)
+	for _, tok := range strings.Fields(banner) {
+		h := fnv.New32a()
+		h.Write([]byte(tok))
+		tr.Edge(siteBanner, uint64(h.Sum32()))
+	}
+}

@@ -1,0 +1,75 @@
+package live
+
+// genericPitXML is the default generation model for live targets whose
+// protocol is unknown: a handful of byte-oriented message shapes — a
+// short textual command line, a length-prefixed binary record, a
+// type+payload frame — arranged in a small state machine so session
+// sequences mix probes, follow-ups, and oversized payloads. Targets
+// with a real protocol should ship their own Pit via Spec.PitXML; this
+// one exists so `cmfuzz fuzz -target-cmd ...` works with zero protocol
+// knowledge.
+const genericPitXML = `<?xml version="1.0"?>
+<Peach>
+  <DataModel name="TextCmd">
+    <Choice name="verb">
+      <String name="ping" value="PING"/>
+      <String name="get" value="GET"/>
+      <String name="set" value="SET"/>
+      <String name="info" value="INFO"/>
+      <String name="quit" value="QUIT"/>
+    </Choice>
+    <String name="sp" value=" " token="true"/>
+    <Choice name="arg">
+      <String name="key" value="key"/>
+      <String name="star" value="*"/>
+      <String name="num" value="12345"/>
+      <String name="long" value="aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"/>
+      <String name="fmt" value="%s%n%x"/>
+    </Choice>
+    <String name="nl" value="&#10;" token="true"/>
+  </DataModel>
+  <DataModel name="BinRecord">
+    <Number name="magic" bits="16" value="51966" token="true"/>
+    <Number name="version" bits="8" value="1"/>
+    <Choice name="kind">
+      <Number name="req" bits="8" value="0"/>
+      <Number name="ack" bits="8" value="1"/>
+      <Number name="data" bits="8" value="2"/>
+      <Number name="ctrl" bits="8" value="255"/>
+    </Choice>
+    <Number name="len" bits="16" sizeOf="body"/>
+    <Block name="body">
+      <Choice name="payload">
+        <String name="small" value="hello"/>
+        <String name="empty" value=""/>
+        <String name="big" value="BBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBBB"/>
+      </Choice>
+    </Block>
+  </DataModel>
+  <DataModel name="TypeFrame">
+    <Choice name="type">
+      <Number name="t0" bits="8" value="0"/>
+      <Number name="t1" bits="8" value="1"/>
+      <Number name="t16" bits="8" value="16"/>
+      <Number name="t127" bits="8" value="127"/>
+      <Number name="t255" bits="8" value="255"/>
+    </Choice>
+    <Number name="seq" bits="32" value="1"/>
+    <String name="data" value="payload-bytes"/>
+  </DataModel>
+  <StateModel name="GenericExchange" initialState="probe">
+    <State name="probe">
+      <Action type="output" dataModel="TextCmd"/>
+      <Action type="changeState" to="binary"/>
+      <Action type="changeState" to="framed"/>
+    </State>
+    <State name="binary">
+      <Action type="output" dataModel="BinRecord"/>
+      <Action type="changeState" to="framed"/>
+    </State>
+    <State name="framed">
+      <Action type="output" dataModel="TypeFrame"/>
+      <Action type="output" dataModel="TextCmd"/>
+    </State>
+  </StateModel>
+</Peach>`

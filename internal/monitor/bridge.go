@@ -25,6 +25,11 @@ var counterHelp = map[string]string{
 	telemetry.CtrCrashesUnique:   "Unique crashes after dedup.",
 	telemetry.CtrProbeStartups:   "Startup probes executed (cache misses).",
 	telemetry.CtrProbeCacheHits:  "Startup probes served from the memo cache.",
+	// Live-target safety-rail counters (internal/live); zero for
+	// in-process simulation subjects.
+	telemetry.CtrTargetRestarts:    "Live target process restarts (mutations, crashes, hangs).",
+	telemetry.CtrTargetRateLimited: "Sends delayed by the live-target rate limiter.",
+	telemetry.CtrTargetHangs:       "Live target hang detections (consecutive silent messages).",
 }
 
 // NewRegistry builds the standard monitor registry: the recorder's

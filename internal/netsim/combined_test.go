@@ -1,0 +1,159 @@
+package netsim
+
+import "testing"
+
+// These tests pin the composition contract of the two impairment
+// knobs on ONE namespace: loss and latency each own a private rng
+// stream, reconfiguring one never perturbs the other's sequence, a
+// dropped datagram is never charged delay, and the whole Stats
+// snapshot is a pure function of (configuration, send sequence).
+
+// combinedRun drives one namespace through a fixed mixed workload —
+// datagrams and stream segments interleaved, with both knobs
+// reconfigured mid-run — and returns the final Stats snapshot.
+func combinedRun(t *testing.T) Stats {
+	t.Helper()
+	ns := NewFabric().Namespace("combined")
+	ns.SetLoss(0.5, 42)
+	ns.SetLatency(0.010, 0.005, 7)
+	if err := ns.BindDatagram(1, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Listen(2, &recordingStream{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ns.Dial(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		switch i {
+		case 40:
+			ns.SetLoss(0.3, 1000) // re-seed loss mid-run
+		case 80:
+			ns.SetLatency(0.020, 0.010, 2000) // re-seed latency mid-run
+		}
+		if _, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ns.Stats()
+}
+
+// TestCombinedStatsDeterministic: the full Stats snapshot — including
+// the float latency ledger — is byte-identical across two runs of the
+// same workload, reconfigurations and all.
+func TestCombinedStatsDeterministic(t *testing.T) {
+	s1, s2 := combinedRun(t), combinedRun(t)
+	if s1 != s2 {
+		t.Fatalf("combined Stats not deterministic:\n%+v\n%+v", s1, s2)
+	}
+	if s1.DatagramsSent != 120 || s1.SegmentsDelivered != 40 {
+		t.Fatalf("workload accounting off: %+v", s1)
+	}
+	if s1.DatagramsDropped+s1.DatagramsDelivered != s1.DatagramsSent {
+		t.Fatalf("sent != dropped + delivered: %+v", s1)
+	}
+	if s1.DatagramsDropped == 0 || s1.DatagramsDelivered == 0 {
+		t.Fatalf("loss=0.5/0.3 dropped %d of %d — want a mix", s1.DatagramsDropped, s1.DatagramsSent)
+	}
+}
+
+// TestDropsNeverAccrueLatency: with jitter disabled the ledger is
+// exact arithmetic, so LatencyAccrued must equal deliveries × base —
+// any charge on a dropped datagram would show up as a surplus.
+func TestDropsNeverAccrueLatency(t *testing.T) {
+	ns := NewFabric().Namespace("exact")
+	ns.SetLoss(0.5, 42)
+	ns.SetLatency(0.25, 0, 7) // binary-exact base, no jitter
+	if err := ns.BindDatagram(1, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ns.Stats()
+	if want := float64(st.DatagramsDelivered) * 0.25; st.LatencyAccrued != want {
+		t.Fatalf("accrued %v, want exactly deliveries(%d) × 0.25 = %v",
+			st.LatencyAccrued, st.DatagramsDelivered, want)
+	}
+}
+
+// TestLatencyReconfigKeepsLossStream: re-seeding SetLatency mid-run
+// must not shift which datagrams the loss knob drops — the drop
+// pattern is a pure function of the loss stream alone.
+func TestLatencyReconfigKeepsLossStream(t *testing.T) {
+	pattern := func(reconfig bool) []bool {
+		ns := NewFabric().Namespace("loss-side")
+		ns.SetLoss(0.5, 42)
+		ns.SetLatency(0.001, 0.001, 99)
+		if err := ns.BindDatagram(1, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			if reconfig && i%25 == 0 {
+				ns.SetLatency(0.002, 0.003, int64(1000+i))
+			}
+			resp, err := ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = resp != nil
+		}
+		return out
+	}
+	plain, perturbed := pattern(false), pattern(true)
+	for i := range plain {
+		if plain[i] != perturbed[i] {
+			t.Fatalf("drop pattern diverged at datagram %d under latency reconfiguration", i)
+		}
+	}
+}
+
+// TestLossReconfigKeepsLatencyStream: with every datagram dropped
+// (charged nothing, drawing nothing from the latency rng), stream
+// segments are the only latency consumers — so the accrued ledger
+// must match a run with no loss knob at all, however often the loss
+// stream is re-seeded in between.
+func TestLossReconfigKeepsLatencyStream(t *testing.T) {
+	run := func(withLoss bool) float64 {
+		ns := NewFabric().Namespace("lat-side")
+		ns.SetLatency(0.010, 0.005, 7)
+		if withLoss {
+			ns.SetLoss(1.0, 42)
+		}
+		if err := ns.BindDatagram(1, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+		if err := ns.Listen(2, &recordingStream{}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := ns.Dial(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if withLoss {
+				if i%20 == 0 {
+					ns.SetLoss(1.0, int64(i)) // re-seed, still dropping everything
+				}
+				ns.SendDatagram(Addr{}, Addr{Port: 1}, []byte{byte(i)})
+			}
+			if _, err := c.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ns.Stats().LatencyAccrued
+	}
+	if plain, lossy := run(false), run(true); plain != lossy {
+		t.Fatalf("latency ledger diverged under loss reconfiguration: %v vs %v", plain, lossy)
+	}
+}

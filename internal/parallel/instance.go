@@ -64,6 +64,9 @@ type Instance struct {
 	crashes      int
 	restartFails int
 	startEdges   int
+	// latencySpent is how much of the namespace's accrued link latency
+	// has already been charged to the virtual clock.
+	latencySpent float64
 }
 
 // Boot starts the instance described by spec: repair the scheduled
@@ -72,6 +75,14 @@ type Instance struct {
 // coverage. Startup crashes go to sink.
 func (h *Host) Boot(spec InstanceSpec, sink CrashSink) (*Instance, error) {
 	ns := h.Fabric.Namespace(fmt.Sprintf("inst%d", spec.Index))
+	// Link impairment, seeded per instance so loss/latency streams are
+	// independent across instances yet reproducible per campaign seed.
+	if h.Opts.LinkLoss > 0 {
+		ns.SetLoss(h.Opts.LinkLoss, h.Opts.Seed*31+int64(spec.Index))
+	}
+	if h.Opts.LinkLatencyBase > 0 || h.Opts.LinkLatencyJitter > 0 {
+		ns.SetLatency(h.Opts.LinkLatencyBase, h.Opts.LinkLatencyJitter, h.Opts.Seed*37+int64(spec.Index))
+	}
 	cfg := repairConfig(h.Sub, spec.Config, h.Defaults)
 	target, startCov, err := bootTarget(h.Sub, ns, cfg, sink, spec.Index)
 	if err != nil {
@@ -110,6 +121,14 @@ func (h *Host) Boot(spec InstanceSpec, sink CrashSink) (*Instance, error) {
 func (in *Instance) Step() fuzz.StepResult {
 	step := in.engine.Step()
 	in.clock += in.host.Opts.StepCost + in.host.Opts.ByteCost*float64(step.Bytes)
+	if in.host.Opts.LinkLatencyBase > 0 || in.host.Opts.LinkLatencyJitter > 0 {
+		// Spend the link latency netsim accrued during this step: the
+		// impaired link slows the campaign's virtual clock, exactly as a
+		// slow real network would slow wall time.
+		acc := in.target.ns.Stats().LatencyAccrued
+		in.clock += acc - in.latencySpent
+		in.latencySpent = acc
+	}
 	if step.Crash != nil {
 		in.crashes++
 	}

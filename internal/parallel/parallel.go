@@ -118,6 +118,15 @@ type Options struct {
 	// literature). Off by default: the Table I baseline runs independent
 	// workers.
 	PeachSharedSchedules bool
+	// LinkLoss drops each fuzzer→target datagram with this probability
+	// (0 disables). Applied per instance namespace, so it impairs the
+	// live-target link (and simulated links) identically.
+	LinkLoss float64
+	// LinkLatencyBase/LinkLatencyJitter charge virtual latency per
+	// delivered message: base plus uniform jitter, in virtual seconds
+	// (0/0 disables).
+	LinkLatencyBase   float64
+	LinkLatencyJitter float64
 	// Concurrency bounds the relation-probing worker pool (0 means
 	// GOMAXPROCS). The campaign itself stays on the deterministic
 	// virtual-clock event loop; only the startup probe matrix fans out,

@@ -108,6 +108,12 @@ const (
 	// identical to the in-process campaign's.
 	CtrWorkerDeaths  = "worker_deaths"
 	CtrReassignments = "group_reassignments"
+	// Live-target counters (internal/live): real-process restarts, rate
+	// limiter engagements, and hang detections. Zero for simulation
+	// subjects.
+	CtrTargetRestarts    = "target_restarts"
+	CtrTargetRateLimited = "target_rate_limited"
+	CtrTargetHangs       = "target_hangs"
 )
 
 // Clone returns an independent copy of c.
